@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the checksum engines (§IV-B): per-update
+//! cost of parity, modular, Adler-32 and the simultaneous modular+parity
+//! pair, plus full-region digests.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_lp::checksum::{ChecksumKind, ChecksumSet};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum_update");
+    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    for kind in [ChecksumKind::Parity, ChecksumKind::Modular, ChecksumKind::Adler32] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let mut acc = kind.init();
+                for &v in &values {
+                    acc = kind.update(acc, black_box(v));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum_set_digest");
+    let values: Vec<u64> = (0..4096u64).map(|i| i ^ 0xABCD_EF01).collect();
+    for (name, set) in [
+        ("modular_only", ChecksumSet::modular_only()),
+        ("parity_only", ChecksumSet::parity_only()),
+        ("modular_parity", ChecksumSet::modular_parity()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| set.digest(black_box(values.iter().copied())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ordered_conversion(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32 - 2048.0) * 0.37).collect();
+    c.bench_function("f32_ordered_bits_4096", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| gpu_lp::checksum::f32_ordered_bits(black_box(v)))
+                .fold(0u32, |a, b| a ^ b)
+        })
+    });
+}
+
+criterion_group!(benches, bench_updates, bench_sets, bench_ordered_conversion);
+criterion_main!(benches);

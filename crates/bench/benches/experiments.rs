@@ -1,0 +1,82 @@
+//! Criterion benches mirroring the paper's tables, one group per artefact,
+//! at Test scale (fast): each bench runs the measured configuration's full
+//! simulated launch. The `src/bin/` harness binaries produce the actual
+//! table numbers; these benches track the cost of regenerating them and
+//! guard against performance regressions in the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_lp::{LockPolicy, LpConfig, ReduceStrategy};
+use lp_bench::measure_workload;
+use lp_kernels::Scale;
+
+fn fig5_hash_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_hash_tables");
+    g.sample_size(10);
+    g.bench_function("tmm_quad", |b| {
+        b.iter(|| measure_workload("TMM", Scale::Test, 42, &LpConfig::quad(), false))
+    });
+    g.bench_function("tmm_cuckoo", |b| {
+        b.iter(|| measure_workload("TMM", Scale::Test, 42, &LpConfig::cuckoo(), false))
+    });
+    g.finish();
+}
+
+fn table3_locking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_locking");
+    g.sample_size(10);
+    g.bench_function("spmv_lock_free", |b| {
+        b.iter(|| measure_workload("SPMV", Scale::Test, 42, &LpConfig::quad(), false))
+    });
+    g.bench_function("spmv_lock_based", |b| {
+        b.iter(|| {
+            measure_workload(
+                "SPMV",
+                Scale::Test,
+                42,
+                &LpConfig::quad().with_lock(LockPolicy::GlobalLock),
+                false,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn table4_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_reduction");
+    g.sample_size(10);
+    g.bench_function("histo_shuffle", |b| {
+        b.iter(|| measure_workload("HISTO", Scale::Test, 42, &LpConfig::quad(), false))
+    });
+    g.bench_function("histo_sequential", |b| {
+        b.iter(|| {
+            measure_workload(
+                "HISTO",
+                Scale::Test,
+                42,
+                &LpConfig::quad().with_reduce(ReduceStrategy::SequentialMemory),
+                false,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn table5_global_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_global_array");
+    g.sample_size(10);
+    for w in ["TMM", "SPMV", "HISTO", "CUTCP"] {
+        g.bench_function(w, |b| {
+            b.iter(|| measure_workload(w, Scale::Test, 42, &LpConfig::recommended(), false))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig5_hash_tables,
+    table3_locking,
+    table4_reduction,
+    table5_global_array
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for block-level checksum reduction (§IV-B,
+//! Table IV's axis): warp-shuffle tree vs. sequential through-memory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_lp::checksum::ChecksumSet;
+use gpu_lp::reduce::{block_reduce, ReduceStrategy};
+use nvm::{NvmConfig, PersistMemory};
+use simt::{BlockCtx, DeviceConfig, DeviceState, Dim3, LaunchConfig};
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_reduce_256_threads");
+    let cfg = DeviceConfig::test_gpu();
+    let lc = LaunchConfig {
+        grid: Dim3::x(4),
+        block: Dim3::x(256),
+    };
+    let set = ChecksumSet::modular_parity();
+    let per_thread: Vec<u64> = (0..256 * 2).map(|i| i as u64 * 0x9E37).collect();
+
+    g.bench_function("parallel_shuffle", |b| {
+        b.iter_batched(
+            || PersistMemory::new(NvmConfig::default()),
+            |mut mem| {
+                let mut dev = DeviceState::new(&cfg, 4, 128);
+                let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
+                let out = block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+                (out, ctx.into_cost())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("sequential_memory", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = PersistMemory::new(NvmConfig::default());
+                let scratch = mem.alloc(256 * 2 * 8, 8);
+                (mem, scratch)
+            },
+            |(mut mem, scratch)| {
+                let mut dev = DeviceState::new(&cfg, 4, 128);
+                let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
+                let out = block_reduce(
+                    &mut ctx,
+                    &set,
+                    &per_thread,
+                    ReduceStrategy::SequentialMemory,
+                    Some(scratch),
+                );
+                (out, ctx.into_cost())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

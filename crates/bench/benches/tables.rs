@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the checksum tables (§IV-C/§V): host-side
+//! cost of a full insert epoch (one insert per thread block) for each
+//! organisation — the structures whose scalability Fig. 5 compares.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_lp::table::{
+    AtomicPolicy, ChecksumTableOps, CuckooTable, GlobalArrayTable, LockPolicy, QuadraticProbeTable,
+};
+use nvm::{NvmConfig, PersistMemory};
+use simt::{BlockCtx, DeviceConfig, DeviceState, Dim3, LaunchConfig};
+
+const KEYS: u64 = 1024;
+
+fn insert_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_insert_epoch_1024");
+    let cfg = DeviceConfig::test_gpu();
+    let lc = LaunchConfig {
+        grid: Dim3::x(64),
+        block: Dim3::x(64),
+    };
+
+    g.bench_function("quadratic_probing", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = PersistMemory::new(NvmConfig::default());
+                let t = QuadraticProbeTable::create(
+                    &mut mem,
+                    KEYS,
+                    0.65,
+                    2,
+                    LockPolicy::LockFree,
+                    AtomicPolicy::Atomic,
+                    7,
+                );
+                (mem, t)
+            },
+            |(mut mem, t)| {
+                let mut dev = DeviceState::new(&cfg, KEYS, 128);
+                let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
+                for k in 0..KEYS {
+                    t.insert(&mut ctx, k, &[k, !k]);
+                }
+                ctx.into_cost()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("cuckoo", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = PersistMemory::new(NvmConfig::default());
+                let t = CuckooTable::create(
+                    &mut mem,
+                    KEYS,
+                    0.48,
+                    32,
+                    2,
+                    LockPolicy::LockFree,
+                    AtomicPolicy::Atomic,
+                    7,
+                );
+                (mem, t)
+            },
+            |(mut mem, t)| {
+                let mut dev = DeviceState::new(&cfg, KEYS, 128);
+                let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
+                for k in 0..KEYS {
+                    t.insert(&mut ctx, k, &[k, !k]);
+                }
+                ctx.into_cost()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("global_array", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = PersistMemory::new(NvmConfig::default());
+                let t = GlobalArrayTable::create(&mut mem, KEYS, 2);
+                (mem, t)
+            },
+            |(mut mem, t)| {
+                let mut dev = DeviceState::new(&cfg, KEYS, 128);
+                let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
+                for k in 0..KEYS {
+                    t.insert(&mut ctx, k, &[k, !k]);
+                }
+                ctx.into_cost()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, insert_epoch);
+criterion_main!(benches);

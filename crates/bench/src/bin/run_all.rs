@@ -1,0 +1,46 @@
+//! Runs the whole evaluation — every table and figure — by invoking the
+//! sibling experiment binaries in sequence and concatenating their reports.
+//! This is what regenerates the data behind EXPERIMENTS.md.
+
+use std::process::Command;
+
+const EXPERIMENTS: [(&str, &str); 11] = [
+    ("ep_comparison", "E0 / eager-vs-lazy motivation"),
+    ("fig5_hash_tables", "E1 / Fig. 5"),
+    ("table2_collisions", "E2 / Table II"),
+    ("atomics_ablation", "E3 / §IV-D3"),
+    ("table3_locking", "E4 / Table III"),
+    ("table4_reduction", "E5 / Table IV"),
+    ("table5_global_array", "E6 / Table V"),
+    ("multi_checksum", "E7 / §VII-2"),
+    ("write_amplification", "E8 / §VII-3"),
+    ("megakv_overhead", "E9 / §VII-4"),
+    ("recovery_cost", "E13 / recovery-cost trade-off"),
+];
+const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current_exe");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+
+    let mut failed = Vec::new();
+    for (bin, label) in EXPERIMENTS.iter().chain(FAST_EXTRA.iter()) {
+        println!("\n================================================================");
+        println!("== {label}  ({bin})");
+        println!("================================================================\n");
+        let status = Command::new(bin_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failed.push(*bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFAILED experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Tiny argument parsing shared by the experiment binaries (no external
+//! CLI dependency needed for `--scale`/`--seed`/`--json`).
+
+use lp_kernels::Scale;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Problem-size preset (`--scale test|bench|paper`; default bench).
+    pub scale: Scale,
+    /// Input seed (`--seed N`; default 42).
+    pub seed: u64,
+    /// Emit a JSON blob after the human-readable table (`--json`).
+    pub json: bool,
+    /// Restrict to one workload (`--workload NAME`).
+    pub workload: Option<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args {
+            scale: Scale::Bench,
+            seed: 42,
+            json: false,
+            workload: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = match v.to_ascii_lowercase().as_str() {
+                        "test" => Scale::Test,
+                        "bench" => Scale::Bench,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other:?} (test|bench|paper)"),
+                    };
+                }
+                "--seed" => {
+                    out.seed = it.next().expect("--seed needs a value").parse().expect("seed must be u64");
+                }
+                "--json" => out.json = true,
+                "--workload" => out.workload = Some(it.next().expect("--workload needs a value")),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale test|bench|paper] [--seed N] [--json] [--workload NAME]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Bench);
+        assert_eq!(a.seed, 42);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn parses_everything() {
+        let a = parse(&["--scale", "test", "--seed", "7", "--json", "--workload", "SPMV"]);
+        assert_eq!(a.scale, Scale::Test);
+        assert_eq!(a.seed, 7);
+        assert!(a.json);
+        assert_eq!(a.workload.as_deref(), Some("SPMV"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_panics() {
+        parse(&["--scale", "huge"]);
+    }
+}

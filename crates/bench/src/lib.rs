@@ -1,0 +1,23 @@
+//! `lp-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! One binary per artefact (see `src/bin/`): Fig. 5, Tables II–V, the
+//! atomics ablation (§IV-D3), the multi-checksum study (§VII-2), write
+//! amplification (§VII-3), the MEGA-KV application study (§VII-4), and the
+//! checksum false-negative injection study (§II/§IV-B). `run_all`
+//! regenerates the whole evaluation and emits EXPERIMENTS.md content.
+//!
+//! The library half holds the shared measurement machinery: build a fresh
+//! simulated world per run, launch the baseline and the LP variant of a
+//! workload, and report overheads plus the model's cost breakdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod measure;
+pub mod report;
+
+pub use cli::Args;
+pub use measure::{geometric_mean, measure_workload, Measurement, World};
+pub use report::{fmt_overhead, fmt_slowdown, Table};

@@ -1,0 +1,175 @@
+//! Measurement machinery: baseline-vs-LP launches in fresh worlds.
+
+use gpu_lp::table::TableStatsSnapshot;
+use gpu_lp::{LpConfig, LpRuntime};
+use lp_kernels::{workload_by_name, Scale, Workload};
+use nvm::{NvmConfig, NvmStats, PersistMemory};
+use serde::{Deserialize, Serialize};
+use simt::{DeviceConfig, Gpu, LaunchStats};
+
+/// A fresh simulated machine (device + memory) for one run.
+#[derive(Debug)]
+pub struct World {
+    /// The simulated GPU.
+    pub gpu: Gpu,
+    /// The simulated persistent memory.
+    pub mem: PersistMemory,
+}
+
+impl World {
+    /// Builds a world from device/memory configurations.
+    pub fn new(dev: DeviceConfig, nvm: NvmConfig) -> Self {
+        World {
+            gpu: Gpu::new(dev),
+            mem: PersistMemory::new(nvm),
+        }
+    }
+
+    /// The default measurement world: V100 device, paper NVM cache model.
+    pub fn default_world() -> Self {
+        Self::new(DeviceConfig::v100(), NvmConfig::default())
+    }
+
+    /// The §VII-3 world: NVM-grade bandwidth.
+    pub fn nvm_world() -> Self {
+        Self::new(DeviceConfig::v100_nvm(), NvmConfig::paper_nvm())
+    }
+}
+
+/// The result of one baseline-vs-LP comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Baseline (no LP) launch stats.
+    pub baseline: LaunchStats,
+    /// LP-instrumented launch stats.
+    pub lp: LaunchStats,
+    /// `lp / baseline` execution time.
+    pub slowdown: f64,
+    /// `slowdown − 1` (0.021 = 2.1 %).
+    pub overhead: f64,
+    /// Checksum-table counters from the LP run (Table II data).
+    pub table_stats: TableStatsSnapshot,
+    /// Device bytes of the checksum table.
+    pub table_bytes: u64,
+    /// Persistent payload bytes of the workload (space-overhead denominator).
+    pub payload_bytes: u64,
+    /// Baseline NVM write-backs (write-amplification denominator).
+    pub baseline_nvm_writes: u64,
+    /// LP NVM write-backs.
+    pub lp_nvm_writes: u64,
+}
+
+impl Measurement {
+    /// Table V's space overhead: checksum-table bytes over payload bytes.
+    pub fn space_overhead(&self) -> f64 {
+        self.table_bytes as f64 / self.payload_bytes as f64
+    }
+
+    /// §VII-3's write amplification: LP writes over baseline writes.
+    pub fn write_amplification(&self) -> f64 {
+        self.lp_nvm_writes as f64 / self.baseline_nvm_writes.max(1) as f64
+    }
+}
+
+/// Runs a workload's baseline in a fresh world and returns its stats.
+pub fn run_baseline(world: &mut World, w: &mut dyn Workload) -> (LaunchStats, NvmStats) {
+    w.setup(&mut world.mem);
+    world.mem.reset_stats();
+    let kernel = w.kernel(None);
+    let stats = world.gpu.launch(kernel.as_ref(), &mut world.mem).expect("baseline launch");
+    world.mem.flush_all();
+    let nvm = world.mem.stats();
+    assert!(w.verify(&mut world.mem), "{}: baseline verification failed", w.info().name);
+    (stats, nvm)
+}
+
+/// Runs a workload under `config` in a fresh world.
+pub fn run_lp(
+    world: &mut World,
+    w: &mut dyn Workload,
+    config: &LpConfig,
+) -> (LaunchStats, NvmStats, LpRuntime) {
+    w.setup(&mut world.mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut world.mem, lc.num_blocks(), lc.threads_per_block(), config.clone());
+    world.mem.flush_all();
+    world.mem.reset_stats();
+    let stats = {
+        let kernel = w.kernel(Some(&rt));
+        world.gpu.launch(kernel.as_ref(), &mut world.mem).expect("LP launch")
+    };
+    world.mem.flush_all();
+    let nvm = world.mem.stats();
+    assert!(w.verify(&mut world.mem), "{}: LP verification failed", w.info().name);
+    (stats, nvm, rt)
+}
+
+/// Measures one workload at `scale` under `config`, with fresh worlds for
+/// baseline and LP runs (same seed, so identical inputs).
+pub fn measure_workload(name: &str, scale: Scale, seed: u64, config: &LpConfig, nvm_mode: bool) -> Measurement {
+    let build_world = || if nvm_mode { World::nvm_world() } else { World::default_world() };
+
+    let mut world = build_world();
+    let mut w = workload_by_name(name, scale, seed).expect("unknown workload");
+    let (baseline, base_nvm) = run_baseline(&mut world, w.as_mut());
+
+    let mut world = build_world();
+    let mut w = workload_by_name(name, scale, seed).expect("unknown workload");
+    let (lp, lp_nvm, rt) = run_lp(&mut world, w.as_mut(), config);
+
+    Measurement {
+        workload: w.info().name.to_string(),
+        blocks: w.launch_config().num_blocks(),
+        slowdown: lp.slowdown_vs(&baseline),
+        overhead: lp.overhead_vs(&baseline),
+        table_stats: rt.table_stats(),
+        table_bytes: rt.table_bytes(),
+        payload_bytes: w.payload_bytes(),
+        baseline_nvm_writes: base_nvm.nvm_writes,
+        lp_nvm_writes: lp_nvm.nvm_writes,
+        baseline,
+        lp,
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_tmm_recommended_is_cheap() {
+        let m = measure_workload("TMM", Scale::Test, 1, &LpConfig::recommended(), false);
+        assert!(m.slowdown >= 1.0, "LP cannot be faster than baseline");
+        assert!(m.overhead < 0.5, "global array should be cheap, got {}", m.overhead);
+        assert_eq!(m.table_stats.collisions, 0);
+    }
+
+    #[test]
+    fn measure_reports_space_and_write_amp() {
+        let m = measure_workload("HISTO", Scale::Test, 1, &LpConfig::recommended(), false);
+        assert!(m.space_overhead() > 0.0);
+        assert!(m.write_amplification() >= 1.0);
+        assert!(m.write_amplification() < 1.5, "LP write amplification must be small");
+    }
+}

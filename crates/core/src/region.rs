@@ -1,0 +1,658 @@
+//! The LP runtime and per-block instrumentation session.
+//!
+//! [`LpRuntime`] owns the launch-level pieces: configuration, the checksum
+//! table in device memory, and scratch space. [`LpBlockSession`] is what a
+//! kernel holds while executing one block (one LP region): it keeps the
+//! per-thread checksum accumulators, wraps the protected stores, and
+//! publishes the reduced checksums at region end.
+
+use crate::checksum::{f32_store_image, f64_store_image, ChecksumSet};
+use crate::reduce::{block_reduce, scratch_words, ReduceStrategy};
+use crate::table::{
+    AtomicPolicy, ChecksumTableOps, CuckooTable, GlobalArrayTable, LockPolicy,
+    QuadraticProbeTable, TableInstance, TableKind, TableStatsSnapshot,
+};
+use nvm::{Addr, PersistMemory};
+use serde::{Deserialize, Serialize};
+use simt::BlockCtx;
+
+/// Scratch slots for the sequential-reduction spill buffer. Blocks reuse
+/// slots modulo this count (matching how many blocks are ever in flight).
+const SCRATCH_SLOTS: u64 = 4096;
+
+/// Undo-log slots for the logged-eager baseline (ring-reused like the
+/// scratch buffer; only this many blocks are ever in flight).
+const LOG_SLOTS: u64 = 512;
+
+/// Log capacity per block, in 128-byte line-sized entries.
+const LOG_ENTRIES_PER_BLOCK: u64 = 1024;
+
+/// Which persistency discipline instruments the kernel.
+///
+/// The paper's subject is [`PersistMode::Lazy`]; [`PersistMode::Eager`] is
+/// the comparison baseline it repeatedly cites (20–40 % slowdowns from
+/// cache-line flushing and persist barriers, §I/§II). Our eager variant is
+/// *epoch persistency with re-execution recovery*: every protected store
+/// is written back immediately (`clwb`), a persist barrier drains the
+/// region's flushes, and a durable per-region commit token is published —
+/// if the token survives a crash, the region's data provably persisted
+/// first. Regions are idempotent, so uncommitted regions are simply
+/// re-executed (no undo log needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PersistMode {
+    /// Lazy Persistency: checksums + natural eviction (the paper).
+    Lazy,
+    /// Strict Eager Persistency: every protected store is written back
+    /// immediately (`clwb` after each store). Maximal durability, maximal
+    /// cost — repeated stores to one line write it back repeatedly.
+    Eager,
+    /// Logged (epoch) Eager Persistency: each dirtied cache line is
+    /// undo-logged once (one log line + flush), data lines are written
+    /// back once at the region boundary, then barrier + commit token.
+    /// This is the classic "logging + cache-line flushing" design whose
+    /// 20–40 % slowdown and ~2× write amplification the paper cites as
+    /// EP's price (§I).
+    EagerLogged,
+}
+
+impl PersistMode {
+    /// Whether this mode is one of the eager baselines.
+    pub fn is_eager(self) -> bool {
+        !matches!(self, PersistMode::Lazy)
+    }
+}
+
+/// The full LP design point: one coordinate in the paper's design space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpConfig {
+    /// Lazy (the paper's technique) or eager (the baseline it replaces).
+    pub mode: PersistMode,
+    /// Which checksums protect each region (simultaneously).
+    pub checksums: ChecksumSet,
+    /// Checksum-table organisation.
+    pub table: TableKind,
+    /// Lock discipline for insertions (Table III axis).
+    pub lock: LockPolicy,
+    /// Proper atomics vs. racy emulation (§IV-D3 axis).
+    pub atomic: AtomicPolicy,
+    /// Block-level reduction strategy (Table IV axis).
+    pub reduce: ReduceStrategy,
+}
+
+impl LpConfig {
+    /// The paper's final design (§V + §VII-1): checksum global array,
+    /// warp-shuffle reduction, lock-free, modular + parity checksums.
+    /// Geometric-mean overhead in the paper: **2.1 %**.
+    pub fn recommended() -> Self {
+        Self {
+            mode: PersistMode::Lazy,
+            checksums: ChecksumSet::modular_parity(),
+            table: TableKind::global_array(),
+            lock: LockPolicy::LockFree,
+            atomic: AtomicPolicy::Atomic,
+            reduce: ReduceStrategy::ParallelShuffle,
+        }
+    }
+
+    /// The strict Eager Persistency baseline: per-store `clwb`,
+    /// persist barrier, durable commit tokens in a flat array.
+    pub fn eager() -> Self {
+        Self {
+            mode: PersistMode::Eager,
+            ..Self::recommended()
+        }
+    }
+
+    /// The logged (epoch) Eager Persistency baseline: per-line undo log +
+    /// one deferred write-back per dirtied line + barrier + commit token.
+    pub fn eager_logged() -> Self {
+        Self {
+            mode: PersistMode::EagerLogged,
+            ..Self::recommended()
+        }
+    }
+
+    /// Quadratic-probing baseline (the "Quad" design of Fig. 5).
+    pub fn quad() -> Self {
+        Self {
+            table: TableKind::quad(),
+            ..Self::recommended()
+        }
+    }
+
+    /// Cuckoo-hashing baseline (the "Cuckoo" design of Fig. 5).
+    pub fn cuckoo() -> Self {
+        Self {
+            table: TableKind::cuckoo(),
+            ..Self::recommended()
+        }
+    }
+
+    /// Replaces the checksum set.
+    pub fn with_checksums(mut self, set: ChecksumSet) -> Self {
+        self.checksums = set;
+        self
+    }
+
+    /// Replaces the lock policy.
+    pub fn with_lock(mut self, lock: LockPolicy) -> Self {
+        self.lock = lock;
+        self
+    }
+
+    /// Replaces the atomic policy.
+    pub fn with_atomic(mut self, atomic: AtomicPolicy) -> Self {
+        self.atomic = atomic;
+        self
+    }
+
+    /// Replaces the reduction strategy.
+    pub fn with_reduce(mut self, reduce: ReduceStrategy) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Checks the configuration is self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Rejects parallel reduction with a non-associative checksum set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.reduce == ReduceStrategy::ParallelShuffle && !self.checksums.is_associative() {
+            return Err("parallel reduction requires associative checksums (no Adler-32)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LpConfig {
+    fn default() -> Self {
+        Self::recommended()
+    }
+}
+
+/// Launch-level LP state: the checksum table and scratch space in device
+/// memory, plus the configuration.
+///
+/// One `LpRuntime` protects one kernel launch (its keys are the launch's
+/// thread-block IDs). Applications with several kernels create one runtime
+/// per kernel.
+#[derive(Debug)]
+pub struct LpRuntime {
+    config: LpConfig,
+    num_regions: u64,
+    threads_per_block: u64,
+    table: TableInstance,
+    scratch: Option<Addr>,
+    undo_log: Option<Addr>,
+}
+
+impl LpRuntime {
+    /// Allocates the checksum table (and scratch, if the sequential
+    /// reduction is selected) for a launch of `num_regions` thread blocks
+    /// of `threads_per_block` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`LpConfig::validate`] or the geometry is
+    /// zero.
+    pub fn setup(
+        mem: &mut PersistMemory,
+        num_regions: u64,
+        threads_per_block: u64,
+        config: LpConfig,
+    ) -> Self {
+        config.validate().expect("invalid LpConfig");
+        assert!(num_regions > 0 && threads_per_block > 0, "empty launch");
+        let arity = config.checksums.arity();
+        let table = match config.table {
+            TableKind::QuadraticProbing { load_factor } => TableInstance::Quad(
+                QuadraticProbeTable::create(
+                    mem,
+                    num_regions,
+                    load_factor,
+                    arity,
+                    config.lock,
+                    config.atomic,
+                    0x1EAF_5EED,
+                ),
+            ),
+            TableKind::Cuckoo {
+                load_factor,
+                max_displacements,
+            } => TableInstance::Cuckoo(CuckooTable::create(
+                mem,
+                num_regions,
+                load_factor,
+                max_displacements,
+                arity,
+                config.lock,
+                config.atomic,
+                0xC0C2_005E,
+            )),
+            TableKind::GlobalArray => {
+                TableInstance::Array(GlobalArrayTable::create(mem, num_regions, arity))
+            }
+        };
+        let scratch = (config.reduce == ReduceStrategy::SequentialMemory).then(|| {
+            let slots = num_regions.min(SCRATCH_SLOTS);
+            mem.alloc(slots * scratch_words(threads_per_block, arity) * 8, 8)
+        });
+        let undo_log = (config.mode == PersistMode::EagerLogged).then(|| {
+            let slots = num_regions.min(LOG_SLOTS);
+            mem.alloc(slots * LOG_ENTRIES_PER_BLOCK * 128, 128)
+        });
+        Self {
+            config,
+            num_regions,
+            threads_per_block,
+            table,
+            scratch,
+            undo_log,
+        }
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &LpConfig {
+        &self.config
+    }
+
+    /// Number of LP regions (thread blocks) covered.
+    pub fn num_regions(&self) -> u64 {
+        self.num_regions
+    }
+
+    /// The checksum table.
+    pub fn table(&self) -> &TableInstance {
+        &self.table
+    }
+
+    /// Table instrumentation counters (collisions etc. — Table II data).
+    pub fn table_stats(&self) -> TableStatsSnapshot {
+        self.table.stats().snapshot()
+    }
+
+    /// Clears the table (and its counters) for a fresh launch epoch.
+    pub fn reset(&self, mem: &mut PersistMemory) {
+        self.table.reset(mem);
+    }
+
+    /// Reads back the published checksums for region `key` (recovery path).
+    pub fn lookup(&self, mem: &mut PersistMemory, key: u64) -> Option<Vec<u64>> {
+        self.table.lookup(mem, key)
+    }
+
+    /// Device bytes the checksum table occupies (Table V space column).
+    pub fn table_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+
+    /// Whether `recomputed` matches the published checksums of `key`.
+    pub fn validate_region(&self, mem: &mut PersistMemory, key: u64, recomputed: &[u64]) -> bool {
+        match self.lookup(mem, key) {
+            Some(stored) => stored == recomputed,
+            None => false,
+        }
+    }
+
+    /// Folds the per-region *seal* into a reduced checksum vector.
+    ///
+    /// The paper's Listing 1 initialises each region's checksum to a
+    /// distinctive value (NaN) so that a region that never ran cannot
+    /// vacuously match: all-zero output data digests to zero, and a
+    /// freshly-allocated table entry is also zero. We implement the same
+    /// idea associatively by folding `splitmix64(key + 1)` into the reduced
+    /// checksums — both at publish time and at recovery recompute time.
+    fn seal(&self, key: u64, mut reduced: Vec<u64>) -> Vec<u64> {
+        let seed = crate::table::splitmix64(key + 1);
+        for (v, kind) in reduced.iter_mut().zip(self.config.checksums.kinds()) {
+            *v = if kind.is_associative() {
+                kind.combine(*v, seed)
+            } else {
+                kind.update(*v, seed)
+            };
+        }
+        reduced
+    }
+
+    /// The durable commit token for region `key` under
+    /// [`PersistMode::Eager`] — a per-region constant: data were flushed
+    /// *before* the token, so a surviving token implies durable data.
+    fn commit_token(&self, key: u64) -> Vec<u64> {
+        (0..self.config.checksums.arity() as u64)
+            .map(|c| crate::table::splitmix64(key.wrapping_mul(2) + 1 + (c << 32)))
+            .collect()
+    }
+
+    /// The checksum vector region `key` is *expected* to publish for the
+    /// store-image sequence `images` — the recovery-side recomputation
+    /// (Listing 7's `validate()` input). Folds in the region seal.
+    pub fn digest_region(&self, key: u64, images: impl IntoIterator<Item = u64>) -> Vec<u64> {
+        match self.config.mode {
+            PersistMode::Lazy => self.seal(key, self.config.checksums.digest(images)),
+            // Eager validation does not look at the data: presence of the
+            // commit token is the proof of durability.
+            PersistMode::Eager | PersistMode::EagerLogged => self.commit_token(key),
+        }
+    }
+
+    fn log_for_block(&self, block: u64) -> Option<Addr> {
+        self.undo_log.map(|base| {
+            let slots = self.num_regions.min(LOG_SLOTS);
+            base.index(block % slots, LOG_ENTRIES_PER_BLOCK * 128)
+        })
+    }
+
+    fn scratch_for_block(&self, block: u64) -> Option<Addr> {
+        self.scratch.map(|base| {
+            let slots = self.num_regions.min(SCRATCH_SLOTS);
+            let words = scratch_words(self.threads_per_block, self.config.checksums.arity());
+            base.index(block % slots, words * 8)
+        })
+    }
+}
+
+/// Per-block LP instrumentation: per-thread checksum accumulators plus the
+/// protected-store wrappers (the code Listing 2 adds to the kernel).
+///
+/// Create one at block start with [`LpBlockSession::begin`] (or
+/// [`LpBlockSession::begin_opt`] to make instrumentation optional at zero
+/// code cost), route every persistent store through it, and call
+/// [`LpBlockSession::finalize`] as the region's last step.
+#[derive(Debug)]
+pub struct LpBlockSession<'rt> {
+    rt: Option<&'rt LpRuntime>,
+    acc: Vec<u64>,
+    arity: usize,
+    /// Line bases dirtied by this region (logged-eager bookkeeping).
+    dirtied: std::collections::HashSet<u64>,
+    /// Next free undo-log entry for this block.
+    log_cursor: u64,
+}
+
+impl<'rt> LpBlockSession<'rt> {
+    /// Starts an LP region for the current block: one accumulator vector
+    /// per thread, reset to the checksum identity (`ResetCheckSum()` in the
+    /// paper's Listing 1).
+    pub fn begin(rt: &'rt LpRuntime, ctx: &BlockCtx<'_>) -> Self {
+        Self::begin_opt(Some(rt), ctx)
+    }
+
+    /// Like [`LpBlockSession::begin`], but `None` produces a disabled
+    /// session whose stores are plain stores and whose `finalize` is a
+    /// no-op. Kernels can then have a single code path for their baseline
+    /// and LP variants.
+    pub fn begin_opt(rt: Option<&'rt LpRuntime>, ctx: &BlockCtx<'_>) -> Self {
+        match rt {
+            Some(rt) if rt.config.mode == PersistMode::Lazy => {
+                let threads = ctx.threads_per_block() as usize;
+                let arity = rt.config.checksums.arity();
+                let mut acc = vec![0u64; threads * arity];
+                let init = rt.config.checksums.init();
+                for t in 0..threads {
+                    acc[t * arity..(t + 1) * arity].copy_from_slice(&init);
+                }
+                Self {
+                    rt: Some(rt),
+                    acc,
+                    arity,
+                    dirtied: std::collections::HashSet::new(),
+                    log_cursor: 0,
+                }
+            }
+            // Eager modes keep no accumulators: persistence comes from
+            // flushes, not checksums.
+            Some(rt) => Self {
+                rt: Some(rt),
+                acc: Vec::new(),
+                arity: rt.config.checksums.arity(),
+                dirtied: std::collections::HashSet::new(),
+                log_cursor: 0,
+            },
+            None => Self {
+                rt: None,
+                acc: Vec::new(),
+                arity: 0,
+                dirtied: std::collections::HashSet::new(),
+                log_cursor: 0,
+            },
+        }
+    }
+
+    /// Whether instrumentation is active.
+    pub fn enabled(&self) -> bool {
+        self.rt.is_some()
+    }
+
+    /// Folds an explicit 64-bit store image into thread `t`'s accumulators
+    /// (`UpdateCheckSum()` in Listing 1) without performing a store.
+    /// A no-op under [`PersistMode::Eager`] (no checksums there).
+    pub fn update(&mut self, ctx: &mut BlockCtx<'_>, t: u64, value_image: u64) {
+        if let Some(rt) = self.rt {
+            if rt.config.mode != PersistMode::Lazy {
+                return;
+            }
+            let set = &rt.config.checksums;
+            let base = t as usize * self.arity;
+            let mut acc: Vec<u64> = self.acc[base..base + self.arity].to_vec();
+            set.update(&mut acc, value_image);
+            self.acc[base..base + self.arity].copy_from_slice(&acc);
+            ctx.charge_alu(set.update_alu_ops());
+        }
+    }
+
+    /// Eager-mode hook for a protected store to `addr`.
+    ///
+    /// * Strict eager: write the line back immediately (`clwb` per store).
+    /// * Logged eager: the first store to each line appends one undo-log
+    ///   entry (a line-sized record of the old contents) and flushes it;
+    ///   the data line itself is written back once, at `finalize`.
+    fn eager_flush(&mut self, ctx: &mut BlockCtx<'_>, addr: Addr) {
+        let Some(rt) = self.rt else { return };
+        match rt.config.mode {
+            PersistMode::Lazy => {}
+            PersistMode::Eager => {
+                ctx.flush_line(addr);
+            }
+            PersistMode::EagerLogged => {
+                let line = addr.raw() & !127;
+                if self.dirtied.insert(line) {
+                    if let Some(log) = rt.log_for_block(ctx.block_id()) {
+                        let entry = log.index(self.log_cursor % LOG_ENTRIES_PER_BLOCK, 128);
+                        self.log_cursor += 1;
+                        // Undo record: the old line image (16 words) — the
+                        // recovery path never rolls back (regions are
+                        // idempotent), but the traffic and durability cost
+                        // are real: 16 stores + one flush of the log line.
+                        for wordidx in 0..16u64 {
+                            ctx.store_u64(entry.offset(8 * wordidx), line ^ wordidx);
+                        }
+                        ctx.flush_line(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Protected `f32` store by thread `t`: performs the global store and
+    /// folds the value into the thread's checksums.
+    pub fn store_f32(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: f32) {
+        ctx.store_f32(addr, v);
+        self.update(ctx, t, f32_store_image(v));
+        self.eager_flush(ctx, addr);
+    }
+
+    /// Protected `f64` store by thread `t`.
+    pub fn store_f64(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: f64) {
+        ctx.store_f64(addr, v);
+        self.update(ctx, t, f64_store_image(v));
+        self.eager_flush(ctx, addr);
+    }
+
+    /// Protected `u32` store by thread `t`.
+    pub fn store_u32(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: u32) {
+        ctx.store_u32(addr, v);
+        self.update(ctx, t, v as u64);
+        self.eager_flush(ctx, addr);
+    }
+
+    /// Protected `u64` store by thread `t`.
+    pub fn store_u64(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: u64) {
+        ctx.store_u64(addr, v);
+        self.update(ctx, t, v);
+        self.eager_flush(ctx, addr);
+    }
+
+    /// Ends the LP region: reduces the per-thread accumulators with the
+    /// configured strategy and publishes the result to the checksum table
+    /// under the block's ID. Must be the block's last LP action.
+    pub fn finalize(mut self, ctx: &mut BlockCtx<'_>) {
+        let Some(rt) = self.rt else { return };
+        match rt.config.mode {
+            PersistMode::Lazy => {
+                let set = &rt.config.checksums;
+                let scratch = rt.scratch_for_block(ctx.block_id());
+                let reduced = block_reduce(ctx, set, &self.acc, rt.config.reduce, scratch);
+                let sealed = rt.seal(ctx.block_id(), reduced);
+                ctx.charge_alu(set.arity() as u64); // seal fold
+                rt.table.insert(ctx, ctx.block_id(), &sealed);
+            }
+            PersistMode::Eager | PersistMode::EagerLogged => {
+                // Epoch boundary. Logged mode first writes back each dirty
+                // data line exactly once (strict mode already flushed per
+                // store); then: barrier → commit token → flush token →
+                // barrier. The ordering makes the token a durable witness
+                // for the region's data.
+                if rt.config.mode == PersistMode::EagerLogged {
+                    for line in std::mem::take(&mut self.dirtied) {
+                        ctx.flush_line(Addr::new(line));
+                    }
+                }
+                ctx.sync_threads();
+                ctx.persist_barrier();
+                let token = rt.commit_token(ctx.block_id());
+                rt.table.insert(ctx, ctx.block_id(), &token);
+                if let Some(addr) = rt.table.entry_addr(ctx.block_id()) {
+                    ctx.flush_line(addr);
+                }
+                ctx.persist_barrier();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::testutil::Rig;
+
+    fn runtime(rig: &mut Rig, config: LpConfig) -> LpRuntime {
+        LpRuntime::setup(&mut rig.mem, 64, 64, config)
+    }
+
+    #[test]
+    fn session_protects_stores_and_publishes() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::recommended());
+        let out = rig.mem.alloc(64 * 4, 8);
+        let mut ctx = simt::BlockCtx::standalone(rig.lc, 3, &mut rig.mem, &mut rig.dev, &rig.cfg);
+        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        for t in 0..64u64 {
+            lp.store_f32(&mut ctx, t, out.index(t, 4), t as f32 * 1.5);
+        }
+        lp.finalize(&mut ctx);
+        let _ = ctx.into_cost();
+
+        // The published checksums must equal the sealed digest of the values.
+        let want = rt.digest_region(3, (0..64u64).map(|t| f32_store_image(t as f32 * 1.5)));
+        assert_eq!(rt.lookup(&mut rig.mem, 3), Some(want));
+    }
+
+    #[test]
+    fn validate_region_detects_mismatch() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::recommended());
+        let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
+        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        lp.update(&mut ctx, 0, 1234);
+        lp.finalize(&mut ctx);
+        let _ = ctx.into_cost();
+
+        let good = rt.digest_region(0, [1234u64]);
+        let bad = rt.digest_region(0, [1235u64]);
+        assert!(rt.validate_region(&mut rig.mem, 0, &good));
+        assert!(!rt.validate_region(&mut rig.mem, 0, &bad));
+        assert!(!rt.validate_region(&mut rig.mem, 5, &good), "never-published region");
+    }
+
+    #[test]
+    fn disabled_session_is_transparent() {
+        let mut rig = Rig::new();
+        let out = rig.mem.alloc(8, 8);
+        let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
+        let mut lp = LpBlockSession::begin_opt(None, &ctx);
+        assert!(!lp.enabled());
+        lp.store_u64(&mut ctx, 0, out, 99);
+        lp.finalize(&mut ctx);
+        let _ = ctx.into_cost();
+        assert_eq!(rig.mem.read_u64(out), 99);
+    }
+
+    #[test]
+    fn all_table_kinds_roundtrip() {
+        for config in [LpConfig::recommended(), LpConfig::quad(), LpConfig::cuckoo()] {
+            let mut rig = Rig::new();
+            let rt = runtime(&mut rig, config.clone());
+            for b in 0..64u64 {
+                let mut ctx =
+                    simt::BlockCtx::standalone(rig.lc, b, &mut rig.mem, &mut rig.dev, &rig.cfg);
+                let mut lp = LpBlockSession::begin(&rt, &ctx);
+                lp.update(&mut ctx, 0, b * 31);
+                lp.finalize(&mut ctx);
+                let _ = ctx.into_cost();
+            }
+            for b in 0..64u64 {
+                let want = rt.digest_region(b, [b * 31]);
+                assert_eq!(rt.lookup(&mut rig.mem, b), Some(want), "{:?} block {b}", config.table);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_reduce_config_allocates_scratch() {
+        let mut rig = Rig::new();
+        let rt = runtime(
+            &mut rig,
+            LpConfig::recommended().with_reduce(ReduceStrategy::SequentialMemory),
+        );
+        assert!(rt.scratch_for_block(0).is_some());
+        // And it still produces correct checksums end-to-end.
+        let mut ctx = simt::BlockCtx::standalone(rig.lc, 1, &mut rig.mem, &mut rig.dev, &rig.cfg);
+        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        for t in 0..64u64 {
+            lp.update(&mut ctx, t, t + 7);
+        }
+        lp.finalize(&mut ctx);
+        let _ = ctx.into_cost();
+        let want = rt.digest_region(1, (0..64u64).map(|t| t + 7));
+        assert_eq!(rt.lookup(&mut rig.mem, 1), Some(want));
+    }
+
+    #[test]
+    fn config_validation_rejects_adler_shuffle() {
+        let bad = LpConfig::recommended()
+            .with_checksums(ChecksumSet::new(vec![crate::ChecksumKind::Adler32]));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn table_bytes_positive_and_array_minimal() {
+        let mut rig = Rig::new();
+        let arr = runtime(&mut rig, LpConfig::recommended());
+        let mut rig2 = Rig::new();
+        let quad = runtime(&mut rig2, LpConfig::quad());
+        assert!(arr.table_bytes() > 0);
+        // Global array: no key tags, 100% load factor — strictly smaller.
+        assert!(arr.table_bytes() < quad.table_bytes());
+    }
+}

@@ -1,0 +1,156 @@
+//! Code generators: instrumented kernel text, check-and-recovery kernel
+//! (Listing 7), and host initialisation call (Listing 5's expansion).
+
+use crate::plan::{InitPlan, LpPlan};
+
+/// Runtime function the generated host code calls in place of
+/// `lpcuda_init`.
+pub fn host_init_call(p: &InitPlan) -> String {
+    format!(
+        "lpcuda_init_runtime(&{tab}, {nelems}, {selem});",
+        tab = p.table,
+        nelems = p.nelems,
+        selem = p.selem
+    )
+}
+
+/// The statement(s) injected *after* the protected store inside the
+/// instrumented kernel: fold the stored value into the region's running
+/// checksum(s).
+pub fn checksum_update_stmt(p: &LpPlan) -> String {
+    let ops: String = p.ops.iter().map(|o| o.symbol()).collect();
+    format!(
+        "lpcuda_update_checksum({tab}, \"{ops}\", {rhs});",
+        tab = p.table,
+        ops = ops,
+        rhs = p.store_rhs
+    )
+}
+
+/// The region prologue injected at kernel entry (`ResetCheckSum()` of
+/// Listing 1).
+pub fn region_begin_stmt(p: &LpPlan) -> String {
+    format!("lpcuda_region_begin({tab});", tab = p.table)
+}
+
+/// The region epilogue injected before kernel exit: block-level parallel
+/// reduction and publication into the checksum table under the key(s).
+pub fn region_end_stmt(p: &LpPlan) -> String {
+    format!(
+        "lpcuda_block_reduce_and_store({tab}, {keys});",
+        tab = p.table,
+        keys = p.keys.join(", ")
+    )
+}
+
+/// Generates the check-and-recovery kernel (the paper's Listing 7): the
+/// program slice reconstructs the protected address, `lpcuda_validate`
+/// compares the recomputed checksum with the table entry, and the recovery
+/// function (the original kernel body — regions are idempotent) runs on
+/// mismatch.
+pub fn recovery_kernel(p: &LpPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "__global__ void cr{name}({params}) {{\n",
+        name = p.kernel,
+        params = p.kernel_params
+    ));
+    for stmt in &p.slice {
+        out.push_str("    ");
+        out.push_str(stmt);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "    if (!lpcuda_validate({lhs}, {tab}, {keys}))\n",
+        lhs = p.store_lhs,
+        tab = p.table,
+        keys = p.keys.join(", ")
+    ));
+    let args: String = param_names(&p.kernel_params).join(", ");
+    out.push_str(&format!("        recovery_{name}({args});\n", name = p.kernel));
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the parameter *names* from a C parameter list.
+pub fn param_names(params: &str) -> Vec<String> {
+    params
+        .split(',')
+        .filter_map(|p| {
+            p.trim()
+                .rsplit(|c: char| c.is_whitespace() || c == '*')
+                .next()
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChecksumOp;
+
+    fn mm_plan() -> LpPlan {
+        LpPlan {
+            kernel: "MatrixMulCUDA".into(),
+            kernel_params: "float *C, float *A, float *B, int wA, int wB".into(),
+            table: "checksumMM".into(),
+            ops: vec![ChecksumOp::Modular],
+            keys: vec!["blockIdx.x".into(), "blockIdx.y".into()],
+            store_lhs: "C[c + wB * ty + tx]".into(),
+            store_rhs: "Csub".into(),
+            slice: vec![
+                "int bx = blockIdx.x;".into(),
+                "int by = blockIdx.y;".into(),
+                "int tx = threadIdx.x;".into(),
+                "int ty = threadIdx.y;".into(),
+                "int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn recovery_kernel_matches_listing7_shape() {
+        let src = recovery_kernel(&mm_plan());
+        assert!(src.starts_with("__global__ void crMatrixMulCUDA(float *C"));
+        assert!(src.contains("int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;"));
+        assert!(src.contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y)"));
+        assert!(src.contains("recovery_MatrixMulCUDA(C, A, B, wA, wB);"));
+        assert!(src.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn host_init_expands_to_runtime_call() {
+        let init = InitPlan {
+            table: "checksumMM".into(),
+            nelems: "grid.x*grid.y".into(),
+            selem: "1".into(),
+        };
+        assert_eq!(
+            host_init_call(&init),
+            "lpcuda_init_runtime(&checksumMM, grid.x*grid.y, 1);"
+        );
+    }
+
+    #[test]
+    fn update_statement_names_the_value() {
+        let s = checksum_update_stmt(&mm_plan());
+        assert_eq!(s, "lpcuda_update_checksum(checksumMM, \"+\", Csub);");
+    }
+
+    #[test]
+    fn epilogue_carries_keys() {
+        let s = region_end_stmt(&mm_plan());
+        assert!(s.contains("blockIdx.x, blockIdx.y"));
+    }
+
+    #[test]
+    fn param_names_strip_types_and_pointers() {
+        assert_eq!(
+            param_names("float *C, float *A, int wA"),
+            vec!["C", "A", "wA"]
+        );
+        assert_eq!(param_names(""), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,74 @@
+//! Compile-time diagnostics.
+
+use std::fmt;
+
+/// An error raised while compiling LP directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A pragma had the wrong shape.
+    MalformedPragma {
+        /// 1-based source line of the pragma.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// `lpcuda_checksum` was not followed by an assignment statement.
+    MissingProtectedStore {
+        /// 1-based source line of the pragma.
+        line: usize,
+    },
+    /// `lpcuda_checksum` appeared outside any `__global__` kernel.
+    ChecksumOutsideKernel {
+        /// 1-based source line of the pragma.
+        line: usize,
+    },
+    /// An unknown checksum operator was requested.
+    UnknownChecksumOp {
+        /// 1-based source line of the pragma.
+        line: usize,
+        /// The operator text.
+        op: String,
+    },
+    /// Unbalanced braces while scanning a kernel body.
+    UnbalancedBraces {
+        /// Kernel name.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MalformedPragma { line, reason } => {
+                write!(f, "line {line}: malformed #pragma nvm: {reason}")
+            }
+            CompileError::MissingProtectedStore { line } => {
+                write!(f, "line {line}: lpcuda_checksum must precede an assignment statement")
+            }
+            CompileError::ChecksumOutsideKernel { line } => {
+                write!(f, "line {line}: lpcuda_checksum outside a __global__ kernel")
+            }
+            CompileError::UnknownChecksumOp { line, op } => {
+                write!(f, "line {line}: unknown checksum operator {op:?} (expected \"+\" or \"^\")")
+            }
+            CompileError::UnbalancedBraces { kernel } => {
+                write!(f, "kernel {kernel}: unbalanced braces")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_line_numbers() {
+        let e = CompileError::MissingProtectedStore { line: 12 };
+        assert!(e.to_string().contains("line 12"));
+        let e = CompileError::UnknownChecksumOp { line: 3, op: "%".into() };
+        assert!(e.to_string().contains('%'));
+    }
+}

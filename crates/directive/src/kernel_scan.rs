@@ -1,0 +1,215 @@
+//! Locating `__global__` kernel functions and splitting their bodies into
+//! statements.
+
+use crate::error::CompileError;
+
+/// A kernel function found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpan {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter list, verbatim (without parentheses).
+    pub params: String,
+    /// 0-based source line of the `__global__` keyword.
+    pub start_line: usize,
+    /// 0-based source line of the opening `{`.
+    pub body_open_line: usize,
+    /// 0-based source line of the matching closing `}`.
+    pub body_close_line: usize,
+}
+
+impl KernelSpan {
+    /// Whether 0-based `line` falls inside the kernel body.
+    pub fn contains_line(&self, line: usize) -> bool {
+        line > self.body_open_line && line < self.body_close_line
+            || (line == self.body_open_line && line == self.body_close_line)
+            || (line >= self.body_open_line && line <= self.body_close_line)
+    }
+}
+
+/// Scans the source for `__global__ void name(params) { … }` functions.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnbalancedBraces`] when a kernel body never
+/// closes.
+pub fn find_kernels(lines: &[&str]) -> Result<Vec<KernelSpan>, CompileError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if let Some(pos) = lines[i].find("__global__") {
+            // Gather the header (may span lines) up to the opening '('.
+            let mut header = lines[i][pos..].to_string();
+            let mut j = i;
+            while !header.contains('(') && j + 1 < lines.len() {
+                j += 1;
+                header.push(' ');
+                header.push_str(lines[j]);
+            }
+            let name = header
+                .split('(')
+                .next()
+                .unwrap_or("")
+                .split_whitespace()
+                .last()
+                .unwrap_or("")
+                .trim_matches('*')
+                .to_string();
+            // Gather params up to the matching ')'.
+            while !header.contains(')') && j + 1 < lines.len() {
+                j += 1;
+                header.push(' ');
+                header.push_str(lines[j]);
+            }
+            let params = header
+                .split_once('(')
+                .map(|(_, rest)| rest)
+                .and_then(|r| r.rsplit_once(')').map(|(p, _)| p))
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            // Find the opening brace and its match, line-by-line.
+            let mut depth = 0i64;
+            let mut open_line = None;
+            let mut close_line = None;
+            let mut k = j;
+            'scan: while k < lines.len() {
+                for c in lines[k].chars() {
+                    match c {
+                        '{' => {
+                            if open_line.is_none() {
+                                open_line = Some(k);
+                            }
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 && open_line.is_some() {
+                                close_line = Some(k);
+                                break 'scan;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            let (Some(open), Some(close)) = (open_line, close_line) else {
+                return Err(CompileError::UnbalancedBraces { kernel: name });
+            };
+            out.push(KernelSpan {
+                name,
+                params,
+                start_line: i,
+                body_open_line: open,
+                body_close_line: close,
+            });
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a kernel body (the given 0-based line range, exclusive of the
+/// braces' lines' outer parts) into `;`-terminated statements, tracking the
+/// first line of each. Brace-delimited compound statements are kept
+/// per-line (good enough for slicing simple declarations).
+pub fn body_statements(lines: &[&str], open_line: usize, close_line: usize) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_start = None;
+    for (idx, raw) in lines
+        .iter()
+        .enumerate()
+        .take(close_line)
+        .skip(open_line + 1)
+    {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if cur_start.is_none() {
+            cur_start = Some(idx);
+        }
+        cur.push_str(line);
+        cur.push(' ');
+        if line.ends_with(';') || line.ends_with('{') || line.ends_with('}') {
+            out.push((cur_start.take().unwrap(), cur.trim().to_string()));
+            cur.clear();
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push((cur_start.unwrap_or(open_line + 1), cur.trim().to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+int host_thing(void) { return 1; }
+
+__global__ void MatrixMulCUDA(float *C, float *A,
+                              float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+    C[c + wB * ty + tx] = Csub;
+}
+
+__global__ void other(int *p) {
+    p[0] = 1;
+}
+"#;
+
+    fn lines() -> Vec<&'static str> {
+        SRC.lines().collect()
+    }
+
+    #[test]
+    fn finds_both_kernels() {
+        let ks = find_kernels(&lines()).unwrap();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].name, "MatrixMulCUDA");
+        assert_eq!(ks[1].name, "other");
+        assert!(ks[0].params.contains("float *C"));
+        assert!(ks[0].params.contains("int wB"));
+    }
+
+    #[test]
+    fn body_range_is_sane() {
+        let ks = find_kernels(&lines()).unwrap();
+        let k = &ks[0];
+        assert!(k.body_close_line > k.body_open_line);
+        assert!(k.contains_line(k.body_open_line + 1));
+        assert!(!k.contains_line(0));
+    }
+
+    #[test]
+    fn statements_split_on_semicolons() {
+        let ks = find_kernels(&lines()).unwrap();
+        let k = &ks[0];
+        let stmts = body_statements(&lines(), k.body_open_line, k.body_close_line);
+        assert_eq!(stmts.len(), 3);
+        assert!(stmts[0].1.starts_with("int bx"));
+        assert!(stmts[2].1.starts_with("C["));
+    }
+
+    #[test]
+    fn unbalanced_braces_error() {
+        let src = ["__global__ void bad(int *p) {", "    p[0] = 1;"];
+        assert!(matches!(
+            find_kernels(&src),
+            Err(CompileError::UnbalancedBraces { .. })
+        ));
+    }
+
+    #[test]
+    fn host_functions_ignored() {
+        let src = ["int main() {", "  return 0;", "}"];
+        assert!(find_kernels(&src).unwrap().is_empty());
+    }
+}

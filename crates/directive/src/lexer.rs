@@ -1,0 +1,224 @@
+//! A small token scanner for the CUDA-C subset the directives touch.
+//!
+//! The compiler does not need a full C grammar: it tokenises expressions
+//! and statements well enough to (a) split assignment statements into
+//! left- and right-hand sides, (b) collect identifier uses for the program
+//! slice, and (c) re-emit source faithfully.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`foo`, `blockIdx`, `int`).
+    Ident(String),
+    /// Numeric literal (kept as text: `42`, `2.0f`, `0x10`).
+    Number(String),
+    /// String literal, quotes included.
+    Str(String),
+    /// Any punctuation/operator chunk (`*`, `=`, `==`, `->`, `[`, …).
+    Punct(String),
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text(&self) -> &str {
+        match self {
+            Token::Ident(s) | Token::Number(s) | Token::Str(s) | Token::Punct(s) => s,
+        }
+    }
+
+    /// Whether this is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(s) if s == p)
+    }
+
+    /// Whether this is the exact identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == id)
+    }
+}
+
+/// Multi-character operators recognised as single tokens (longest first).
+const MULTI_PUNCT: [&str; 14] = [
+    "<<<", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=",
+];
+
+/// Tokenises `src`, skipping whitespace and comments.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(bytes[start..i].iter().collect()));
+            continue;
+        }
+        // Numbers (ints, floats, suffixes, hex).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '.' || bytes[i] == 'x' || bytes[i] == 'X')
+            {
+                i += 1;
+            }
+            out.push(Token::Number(bytes[start..i].iter().collect()));
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] != '"' {
+                if bytes[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            out.push(Token::Str(bytes[start..i].iter().collect()));
+            continue;
+        }
+        // Multi-char punctuation.
+        let rest: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+        if let Some(m) = MULTI_PUNCT.iter().find(|m| rest.starts_with(**m)) {
+            out.push(Token::Punct((*m).to_string()));
+            i += m.len();
+            continue;
+        }
+        out.push(Token::Punct(c.to_string()));
+        i += 1;
+    }
+    out
+}
+
+/// Collects the identifiers *used* in a token stream (for slicing),
+/// skipping C keywords/types and call names immediately followed by `(`.
+pub fn used_identifiers(tokens: &[Token]) -> Vec<String> {
+    const KEYWORDS: [&str; 16] = [
+        "int", "float", "double", "char", "void", "unsigned", "long", "short", "const", "if",
+        "else", "for", "while", "return", "sizeof", "struct",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if let Token::Ident(name) = t {
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            if matches!(tokens.get(i + 1), Some(tk) if tk.is_punct("(")) {
+                continue; // function call name
+            }
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Re-emits tokens as compact source text.
+pub fn detokenize(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            let prev = &tokens[i - 1];
+            let need_space = matches!(prev, Token::Ident(_) | Token::Number(_))
+                && matches!(t, Token::Ident(_) | Token::Number(_));
+            if need_space {
+                s.push(' ');
+            }
+        }
+        s.push_str(t.text());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_assignment() {
+        let ts = tokenize("C[c + wB*ty + tx] = Csub;");
+        assert!(ts.iter().any(|t| t.is_ident("Csub")));
+        assert!(ts.iter().any(|t| t.is_punct("[")));
+        assert_eq!(ts.last().unwrap().text(), ";");
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ts = tokenize("a = 1; // comment\n/* more */ b = 2;");
+        let idents: Vec<_> = ts.iter().filter(|t| matches!(t, Token::Ident(_))).collect();
+        assert_eq!(idents.len(), 2);
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let ts = tokenize("kernel<<<grid, block>>>(a); x->y; i++;");
+        assert!(ts.iter().any(|t| t.is_punct("<<<")));
+        assert!(ts.iter().any(|t| t.is_punct(">>>")));
+        assert!(ts.iter().any(|t| t.is_punct("->")));
+        assert!(ts.iter().any(|t| t.is_punct("++")));
+    }
+
+    #[test]
+    fn used_identifiers_skips_keywords_and_calls() {
+        let ts = tokenize("int c = wB * BLOCK_SIZE * by + foo(bx);");
+        let used = used_identifiers(&ts);
+        assert!(used.contains(&"wB".to_string()));
+        assert!(used.contains(&"by".to_string()));
+        assert!(used.contains(&"bx".to_string()));
+        assert!(!used.contains(&"int".to_string()));
+        assert!(!used.contains(&"foo".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        let ts = tokenize("x = 2.0f + 0x1F;");
+        let nums: Vec<_> = ts
+            .iter()
+            .filter_map(|t| match t {
+                Token::Number(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["2.0f", "0x1F"]);
+    }
+
+    #[test]
+    fn detokenize_preserves_meaning() {
+        let src = "C[c+wB*ty+tx]=Csub;";
+        assert_eq!(detokenize(&tokenize(src)), src);
+    }
+
+    #[test]
+    fn string_literals_survive() {
+        let ts = tokenize(r#"printf("hi \"there\"");"#);
+        assert!(ts.iter().any(|t| matches!(t, Token::Str(_))));
+    }
+}

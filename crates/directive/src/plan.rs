@@ -1,0 +1,93 @@
+//! The semantic result of directive analysis: everything codegen needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A checksum operator named in a directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChecksumOp {
+    /// `"+"` — modular checksum (addition of store values).
+    Modular,
+    /// `"^"` — parity checksum (XOR of ordered-integer store images).
+    Parity,
+}
+
+impl ChecksumOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ChecksumOp::Modular => "+",
+            ChecksumOp::Parity => "^",
+        }
+    }
+
+    /// The matching runtime checksum kind in `gpu-lp`.
+    pub fn to_kind(self) -> gpu_lp::ChecksumKind {
+        match self {
+            ChecksumOp::Modular => gpu_lp::ChecksumKind::Modular,
+            ChecksumOp::Parity => gpu_lp::ChecksumKind::Parity,
+        }
+    }
+}
+
+/// One LP region plan: a `lpcuda_checksum` directive bound to its protected
+/// store, its kernel, and its table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpPlan {
+    /// Name of the kernel containing the region.
+    pub kernel: String,
+    /// Parameter list of the kernel (verbatim), for recovery-kernel
+    /// generation.
+    pub kernel_params: String,
+    /// Checksum-table identifier.
+    pub table: String,
+    /// Checksum operators applied simultaneously.
+    pub ops: Vec<ChecksumOp>,
+    /// Key expressions indexing the table.
+    pub keys: Vec<String>,
+    /// The protected store's left-hand side (address expression).
+    pub store_lhs: String,
+    /// The protected store's right-hand side (value expression).
+    pub store_rhs: String,
+    /// The backward program slice: statements (in source order) that the
+    /// address computation depends on.
+    pub slice: Vec<String>,
+}
+
+/// A host-side `lpcuda_init` binding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitPlan {
+    /// Checksum-table identifier.
+    pub table: String,
+    /// Element-count expression.
+    pub nelems: String,
+    /// Checksums per element.
+    pub selem: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_map_to_runtime_kinds() {
+        assert_eq!(ChecksumOp::Modular.to_kind(), gpu_lp::ChecksumKind::Modular);
+        assert_eq!(ChecksumOp::Parity.to_kind(), gpu_lp::ChecksumKind::Parity);
+        assert_eq!(ChecksumOp::Modular.symbol(), "+");
+    }
+
+    #[test]
+    fn plan_serialises() {
+        let p = LpPlan {
+            kernel: "k".into(),
+            kernel_params: "float *C".into(),
+            table: "tab".into(),
+            ops: vec![ChecksumOp::Modular],
+            keys: vec!["blockIdx.x".into()],
+            store_lhs: "C[i]".into(),
+            store_rhs: "v".into(),
+            slice: vec!["int i = 0;".into()],
+        };
+        let s = serde_json::to_string(&p).unwrap();
+        assert!(s.contains("blockIdx.x"));
+    }
+}

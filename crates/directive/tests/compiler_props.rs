@@ -1,0 +1,60 @@
+//! Property-based tests for the directive compiler: the lexer and pragma
+//! parser must be total (never panic) on arbitrary input, and compilation
+//! must be idempotent in the ways the §VI contract promises.
+
+use lp_directive::lexer::{detokenize, tokenize};
+use lp_directive::pragma::{is_nvm_pragma, parse_pragma};
+use lp_directive::compile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer is total: any string tokenises without panicking, and
+    /// re-lexing its own output is a fixed point.
+    #[test]
+    fn lexer_is_total_and_stable(src in ".*") {
+        let toks = tokenize(&src);
+        let emitted = detokenize(&toks);
+        let toks2 = tokenize(&emitted);
+        prop_assert_eq!(toks, toks2, "detokenize must be lex-stable");
+    }
+
+    /// The pragma parser never panics, whatever garbage follows `#pragma`.
+    #[test]
+    fn pragma_parser_is_total(body in "[ -~]{0,80}") {
+        let line = format!("#pragma nvm {body}");
+        let _ = parse_pragma(1, &line); // Ok or Err, never panic
+    }
+
+    /// Sources without nvm pragmas always compile to themselves.
+    #[test]
+    fn pragma_free_sources_round_trip(
+        names in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+    ) {
+        let mut src = String::new();
+        for n in &names {
+            src.push_str(&format!("__global__ void {n}(int *p) {{\n    p[0] = 1;\n}}\n"));
+        }
+        prop_assume!(!src.lines().any(is_nvm_pragma));
+        let out = compile(&src).unwrap();
+        prop_assert_eq!(out.instrumented, src);
+        prop_assert!(out.plans.is_empty());
+    }
+
+    /// Any identifier-shaped table name and key list survives the pipeline
+    /// verbatim into the plan.
+    #[test]
+    fn pragma_arguments_survive_verbatim(
+        tab in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+        key in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+    ) {
+        let src = format!(
+            "__global__ void k(float *o) {{\n    int i = blockIdx.x;\n#pragma nvm lpcuda_checksum(+, {tab}, {key})\n    o[i] = 1.0f;\n}}\n"
+        );
+        let out = compile(&src).unwrap();
+        prop_assert_eq!(&out.plans[0].table, &tab);
+        prop_assert_eq!(&out.plans[0].keys[0], &key);
+        prop_assert!(out.recovery_kernels[0].source.contains(&tab));
+    }
+}

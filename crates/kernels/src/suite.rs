@@ -1,0 +1,88 @@
+//! The full benchmark suite (Table I) behind one constructor.
+
+use crate::cutcp::Cutcp;
+use crate::histo::Histo;
+use crate::mri_gridding::MriGridding;
+use crate::mri_q::MriQ;
+use crate::sad::Sad;
+use crate::spmv::Spmv;
+use crate::tmm::Tmm;
+use crate::tpacf::Tpacf;
+use crate::workload::{Scale, Workload};
+
+/// Names of the suite in the paper's table order.
+pub const WORKLOAD_NAMES: [&str; 8] = [
+    "TMM",
+    "TPACF",
+    "MRI-GRIDDING",
+    "SPMV",
+    "SAD",
+    "HISTO",
+    "CUTCP",
+    "MRI-Q",
+];
+
+/// Builds the whole suite at `scale`, in the paper's table order.
+pub fn all_workloads(scale: Scale, seed: u64) -> Vec<Box<dyn Workload>> {
+    WORKLOAD_NAMES
+        .iter()
+        .map(|n| workload_by_name(n, scale, seed).expect("known name"))
+        .collect()
+}
+
+/// Builds a single workload by its (case-insensitive) paper name.
+pub fn workload_by_name(name: &str, scale: Scale, seed: u64) -> Option<Box<dyn Workload>> {
+    Some(match name.to_ascii_uppercase().as_str() {
+        "TMM" => Box::new(Tmm::new(scale, seed)) as Box<dyn Workload>,
+        "TPACF" => Box::new(Tpacf::new(scale, seed)),
+        "MRI-GRIDDING" | "GRIDDING" => Box::new(MriGridding::new(scale, seed)),
+        "SPMV" => Box::new(Spmv::new(scale, seed)),
+        "SAD" => Box::new(Sad::new(scale, seed)),
+        "HISTO" => Box::new(Histo::new(scale, seed)),
+        "CUTCP" => Box::new(Cutcp::new(scale, seed)),
+        "MRI-Q" | "MRIQ" => Box::new(MriQ::new(scale, seed)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_workloads() {
+        let ws = all_workloads(Scale::Test, 0);
+        assert_eq!(ws.len(), 8);
+        let names: Vec<_> = ws.iter().map(|w| w.info().name).collect();
+        assert_eq!(names, WORKLOAD_NAMES.to_vec());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload_by_name("NOPE", Scale::Test, 0).is_none());
+    }
+
+    #[test]
+    fn block_count_ordering_matches_paper() {
+        // Table III ordering: SAD > MRI-GRIDDING > TMM > SPMV > MRI-Q >
+        // TPACF > CUTCP > HISTO must hold at Bench scale.
+        let order = ["SAD", "MRI-GRIDDING", "TMM", "SPMV", "MRI-Q", "TPACF", "CUTCP", "HISTO"];
+        let mut prev = u64::MAX;
+        for name in order {
+            let w = workload_by_name(name, Scale::Bench, 0).unwrap();
+            let blocks = w.launch_config().num_blocks();
+            assert!(
+                blocks <= prev,
+                "{name} has {blocks} blocks, breaking the paper's ordering"
+            );
+            prev = blocks;
+        }
+    }
+
+    #[test]
+    fn paper_block_counts_recorded() {
+        for w in all_workloads(Scale::Test, 0) {
+            assert!(w.info().paper_blocks > 0);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! TMM — tiled (shared-memory) matrix multiplication, the paper's running
+//! example (Listings 1–2). Instruction-throughput bound; 16 384 blocks at
+//! paper scale.
+
+use crate::common::{self, random_f32s};
+use crate::workload::{Bottleneck, LpKernel, Scale, Workload, WorkloadInfo};
+use gpu_lp::checksum::f32_store_image;
+use gpu_lp::{LpBlockSession, LpRuntime, Recoverable};
+use nvm::{Addr, PersistMemory};
+use simt::{BlockCtx, Kernel, LaunchConfig};
+
+/// C = A × B with square tiling through shared memory.
+#[derive(Debug)]
+pub struct Tmm {
+    n: usize,
+    tile: usize,
+    seed: u64,
+    a: Addr,
+    b: Addr,
+    c: Addr,
+    host_a: Vec<f32>,
+    host_b: Vec<f32>,
+}
+
+impl Tmm {
+    /// Creates the workload at the given scale. `setup` must follow.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (n, tile) = match scale {
+            Scale::Test => (32, 4),
+            Scale::Bench => (320, 8), // 1 600 blocks: keeps Table III's ordering (TMM > SPMV)
+            Scale::Paper => (1024, 8), // 16 384 blocks, as in Table III
+        };
+        Self {
+            n,
+            tile,
+            seed,
+            a: Addr::NULL,
+            b: Addr::NULL,
+            c: Addr::NULL,
+            host_a: Vec::new(),
+            host_b: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut c = vec![0.0f32; n * n];
+        // Same k-ascending accumulation order as the kernel, so results are
+        // bit-comparable (we still verify with tolerance).
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += self.host_a[i * n + k] * self.host_b[k * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+}
+
+impl Workload for Tmm {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "TMM",
+            suite: "tiled-mm",
+            bottleneck: Bottleneck::InstThroughput,
+            paper_blocks: 16_384,
+        }
+    }
+
+    fn setup(&mut self, mem: &mut PersistMemory) {
+        let n = self.n;
+        self.host_a = random_f32s(self.seed, n * n, -1.0, 1.0);
+        self.host_b = random_f32s(self.seed ^ 0xB, n * n, -1.0, 1.0);
+        self.a = common::upload_f32s(mem, &self.host_a);
+        self.b = common::upload_f32s(mem, &self.host_b);
+        self.c = common::alloc_f32s(mem, (n * n) as u64);
+        mem.flush_all();
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        let tiles = (self.n / self.tile) as u32;
+        LaunchConfig::grid2d(tiles, tiles, self.tile as u32, self.tile as u32)
+    }
+
+    fn kernel<'a>(&'a self, lp: Option<&'a LpRuntime>) -> Box<dyn LpKernel + 'a> {
+        Box::new(TmmKernel { w: self, lp })
+    }
+
+    fn reset_output(&self, mem: &mut PersistMemory) {
+        common::zero_words(mem, self.c, (self.n * self.n) as u64);
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        (self.n * self.n * 4) as u64
+    }
+
+    fn verify(&self, mem: &mut PersistMemory) -> bool {
+        let got = common::download_f32s(mem, self.c, (self.n * self.n) as u64);
+        common::slices_match(&got, &self.reference(), 1e-3).is_ok()
+    }
+}
+
+struct TmmKernel<'a> {
+    w: &'a Tmm,
+    lp: Option<&'a LpRuntime>,
+}
+
+impl TmmKernel<'_> {
+    /// `(row, col)` of flat thread `t` in block `(bx, by)`.
+    fn coords(&self, ctx: &BlockCtx<'_>, t: u64) -> (usize, usize, usize, usize) {
+        let (bx, by, _) = ctx.block_idx();
+        let (tx, ty, _) = ctx.thread_idx(t);
+        let row = by as usize * self.w.tile + ty as usize;
+        let col = bx as usize * self.w.tile + tx as usize;
+        (row, col, tx as usize, ty as usize)
+    }
+}
+
+impl Kernel for TmmKernel<'_> {
+    fn name(&self) -> &str {
+        "tmm"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        self.w.launch_config()
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let n = self.w.n;
+        let tile = self.w.tile;
+        let tpb = ctx.threads_per_block();
+        let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
+
+        let a_s = ctx.shared_alloc(tile * tile);
+        let b_s = ctx.shared_alloc(tile * tile);
+        let mut acc = vec![0.0f32; tpb as usize];
+
+        for phase in 0..(n / tile) {
+            // Load this phase's A and B tiles into shared memory.
+            for t in 0..tpb {
+                let (row, col, tx, ty) = self.coords(ctx, t);
+                let a_col = phase * tile + tx;
+                let b_row = phase * tile + ty;
+                let av = ctx.load_f32(self.w.a.index((row * n + a_col) as u64, 4));
+                let bv = ctx.load_f32(self.w.b.index((b_row * n + col) as u64, 4));
+                ctx.shm_write_f32(a_s, ty * tile + tx, av);
+                ctx.shm_write_f32(b_s, ty * tile + tx, bv);
+            }
+            ctx.sync_threads();
+            // Multiply the tiles.
+            for t in 0..tpb {
+                let (_, _, tx, ty) = self.coords(ctx, t);
+                let mut sum = acc[t as usize];
+                for k in 0..tile {
+                    let av = ctx.shm_read_f32(a_s, ty * tile + k);
+                    let bv = ctx.shm_read_f32(b_s, k * tile + tx);
+                    sum += av * bv;
+                    ctx.charge_alu(2);
+                }
+                acc[t as usize] = sum;
+            }
+            ctx.sync_threads();
+        }
+
+        // Persistent stores, LP-protected.
+        for t in 0..tpb {
+            let (row, col, _, _) = self.coords(ctx, t);
+            lp.store_f32(ctx, t, self.w.c.index((row * n + col) as u64, 4), acc[t as usize]);
+        }
+        lp.finalize(ctx);
+    }
+}
+
+impl Recoverable for TmmKernel<'_> {
+    fn recompute_block_checksums(&self, mem: &mut PersistMemory, block: u64) -> Vec<u64> {
+        let rt = self.lp.expect("recovery needs the LP runtime");
+        let lc = self.config();
+        let n = self.w.n;
+        let tile = self.w.tile;
+        let (bx, by, _) = lc.grid.unflatten(block);
+        let mut images = Vec::with_capacity(tile * tile);
+        for t in 0..lc.threads_per_block() {
+            let (tx, ty, _) = lc.block.unflatten(t);
+            let row = by as usize * tile + ty as usize;
+            let col = bx as usize * tile + tx as usize;
+            images.push(f32_store_image(mem.read_f32(self.w.c.index((row * n + col) as u64, 4))));
+        }
+        rt.digest_region(block, images)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+
+    #[test]
+    fn baseline_matches_reference() {
+        testkit::assert_baseline_correct(&mut Tmm::new(Scale::Test, 1));
+    }
+
+    #[test]
+    fn lp_variant_matches_reference() {
+        testkit::assert_lp_correct(&mut Tmm::new(Scale::Test, 2));
+    }
+
+    #[test]
+    fn crash_recovery_restores_output() {
+        testkit::assert_crash_recovery(&mut Tmm::new(Scale::Test, 3), 800);
+    }
+
+    #[test]
+    fn clean_run_validates_clean() {
+        testkit::assert_clean_validation(&mut Tmm::new(Scale::Test, 4));
+    }
+
+    #[test]
+    fn block_count_matches_geometry() {
+        let w = Tmm::new(Scale::Test, 5);
+        assert_eq!(w.launch_config().num_blocks(), 64); // (32/4)²
+        assert_eq!(w.launch_config().threads_per_block(), 16);
+    }
+}

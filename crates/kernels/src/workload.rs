@@ -1,0 +1,110 @@
+//! The common contract all benchmark workloads implement.
+
+use gpu_lp::{LpRuntime, Recoverable};
+use nvm::PersistMemory;
+use serde::{Deserialize, Serialize};
+use simt::LaunchConfig;
+
+/// The performance bottleneck class of a benchmark (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Limited by instruction throughput.
+    InstThroughput,
+    /// Limited by memory bandwidth.
+    Bandwidth,
+    /// Not classified by the prior study.
+    Unknown,
+}
+
+/// Static facts about a benchmark (Table I + Table III's block counts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadInfo {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: &'static str,
+    /// Bottleneck classification.
+    pub bottleneck: Bottleneck,
+    /// Thread-block count reported in the paper's Table III.
+    pub paper_blocks: u64,
+}
+
+/// Problem-size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny inputs for unit and integration tests (sub-second runs).
+    Test,
+    /// Harness scale: block counts preserve the paper's ordering while the
+    /// simulation stays CPU-friendly; used to regenerate the tables.
+    Bench,
+    /// The paper's Table III block counts (slow; for targeted runs).
+    Paper,
+}
+
+/// A Lazy-Persistency-capable kernel: a [`simt::Kernel`] that also knows
+/// how to recompute its per-block checksums for crash recovery.
+pub trait LpKernel: Recoverable {}
+
+impl<T: Recoverable + ?Sized> LpKernel for T {}
+
+/// A benchmark workload: input generation, kernel construction, and
+/// verification.
+///
+/// Lifecycle: `setup(&mut mem)` (once), then any number of
+/// `kernel(lp)`-launches; `verify(&mut mem)` checks the device output
+/// against the CPU reference. Between repeated launches callers reset the
+/// output region with [`Workload::reset_output`] so runs are independent.
+pub trait Workload {
+    /// Static description.
+    fn info(&self) -> WorkloadInfo;
+
+    /// Allocates and writes the input and output regions into `mem`, then
+    /// flushes (inputs are durable, like data loaded from a file). Must be
+    /// called exactly once before `kernel`.
+    fn setup(&mut self, mem: &mut PersistMemory);
+
+    /// Launch geometry (valid after `setup`).
+    fn launch_config(&self) -> LaunchConfig;
+
+    /// Builds the kernel. `lp = None` is the uninstrumented baseline;
+    /// `lp = Some(rt)` routes every persistent store through an
+    /// [`gpu_lp::LpBlockSession`].
+    fn kernel<'a>(&'a self, lp: Option<&'a LpRuntime>) -> Box<dyn LpKernel + 'a>;
+
+    /// Zeroes the output region (for back-to-back measurement runs).
+    fn reset_output(&self, mem: &mut PersistMemory);
+
+    /// Bytes of persistent payload the kernel produces (the denominator of
+    /// Table V's space-overhead column).
+    fn payload_bytes(&self) -> u64;
+
+    /// Checks the device output against the CPU reference.
+    fn verify(&self, mem: &mut PersistMemory) -> bool;
+}
+
+/// Number of thread blocks a workload launches.
+pub fn num_blocks(w: &dyn Workload) -> u64 {
+    w.launch_config().num_blocks()
+}
+
+/// Threads per block of a workload.
+pub fn threads_per_block(w: &dyn Workload) -> u64 {
+    w.launch_config().threads_per_block()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_is_serialisable() {
+        let info = WorkloadInfo {
+            name: "TMM",
+            suite: "tiled-mm",
+            bottleneck: Bottleneck::InstThroughput,
+            paper_blocks: 16384,
+        };
+        let s = serde_json::to_string(&info).unwrap();
+        assert!(s.contains("TMM"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The three batched KV kernels (insert / search / delete), each with
+//! optional Lazy Persistency instrumentation and crash recovery.
+//!
+//! One thread per operation, 256 operations per thread block (one LP
+//! region). Recovery recomputation derives each operation's expected
+//! post-state image from the table/result arrays in memory, so a block
+//! whose effects did not fully persist fails validation and is re-executed
+//! — all three operations are idempotent.
+
+use crate::batch::Batch;
+use crate::store::{KvStore, EMPTY, NOT_FOUND, TOMBSTONE};
+use gpu_lp::{LpBlockSession, LpRuntime, Recoverable};
+use nvm::PersistMemory;
+use simt::{BlockCtx, Kernel, LaunchConfig};
+
+/// Operations per thread block.
+pub const OPS_PER_BLOCK: u32 = 256;
+
+/// Store image recorded by a delete op once the key is gone.
+const DELETED_IMAGE: u64 = 0xDE1E_7E00_0000_0001;
+
+fn launch_for(batch: &Batch) -> LaunchConfig {
+    LaunchConfig::linear(batch.len() as u64, OPS_PER_BLOCK)
+}
+
+/// Batched insert: `store[key] = value_of(key)`.
+#[derive(Debug)]
+pub struct InsertKernel<'a> {
+    /// The device hash table.
+    pub store: &'a KvStore,
+    /// The operation batch.
+    pub batch: &'a Batch,
+    /// Optional LP instrumentation.
+    pub lp: Option<&'a LpRuntime>,
+}
+
+impl Kernel for InsertKernel<'_> {
+    fn name(&self) -> &str {
+        "megakv-insert"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        launch_for(self.batch)
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
+        for t in 0..ctx.threads_per_block() {
+            let i = ctx.global_thread_id(t);
+            if i >= self.batch.len() as u64 {
+                continue;
+            }
+            let key = ctx.load_u64(self.batch.keys.index(i, 8));
+            let value = crate::batch::value_of(key);
+            // MEGA-KV insert pipeline work per op: two hash functions,
+            // signature construction, slot scoring, value serialisation.
+            ctx.charge_alu(1600);
+            let mut placed = false;
+            'probe: for b in self.store.probe_buckets(key) {
+                for s in 0..self.store.slots() {
+                    let kaddr = self.store.key_addr(b, s);
+                    // Cheap non-atomic peek first; CAS only to claim.
+                    let k = ctx.load_u64(kaddr);
+                    if k == key {
+                        // Re-insert (e.g. recovery re-execution): refresh
+                        // the value.
+                        lp.update(ctx, t, key);
+                        lp.store_u64(ctx, t, self.store.value_addr(b, s), value);
+                        placed = true;
+                        break 'probe;
+                    }
+                    if k == EMPTY {
+                        let old = ctx.atomic_cas_u64(kaddr, EMPTY, key);
+                        if old == EMPTY || old == key {
+                            // Claimed: the key and value stores are this
+                            // op's persistent effect.
+                            lp.update(ctx, t, key);
+                            lp.store_u64(ctx, t, self.store.value_addr(b, s), value);
+                            placed = true;
+                            break 'probe;
+                        }
+                    }
+                    ctx.charge_alu(1);
+                }
+            }
+            // Dropping a record silently would corrupt the store (and was
+            // caught by the crash-property suite at an unlucky seed): the
+            // probe window must never be exhausted at this load factor.
+            assert!(placed, "KV store probe window exhausted for key {key}: resize the store");
+        }
+        lp.finalize(ctx);
+    }
+}
+
+impl Recoverable for InsertKernel<'_> {
+    fn recompute_block_checksums(&self, mem: &mut PersistMemory, block: u64) -> Vec<u64> {
+        let rt = self.lp.expect("recovery needs the LP runtime");
+        let tpb = OPS_PER_BLOCK as u64;
+        let mut images = Vec::new();
+        for t in 0..tpb {
+            let i = block * tpb + t;
+            if i >= self.batch.len() as u64 {
+                continue;
+            }
+            let key = self.batch.host_keys[i as usize];
+            // Expected post-state: key present with its value. If the key
+            // or value store was lost, the images differ and the region is
+            // re-executed.
+            match self.store.lookup_host(mem, key) {
+                Some(v) => {
+                    images.push(key);
+                    images.push(v);
+                }
+                None => {
+                    images.push(NOT_FOUND); // key missing: guaranteed mismatch
+                    images.push(NOT_FOUND);
+                }
+            }
+        }
+        // The kernel folded (key, value) per op; fold the read-back pair
+        // stream the same way.
+        let folded: Vec<u64> = images.clone();
+        rt.digest_region(block, folded)
+    }
+}
+
+/// Batched search: `out[i] = store[key[i]]` (or [`NOT_FOUND`]).
+#[derive(Debug)]
+pub struct SearchKernel<'a> {
+    /// The device hash table.
+    pub store: &'a KvStore,
+    /// The operation batch (results land in `batch.out`).
+    pub batch: &'a Batch,
+    /// Optional LP instrumentation.
+    pub lp: Option<&'a LpRuntime>,
+}
+
+impl Kernel for SearchKernel<'_> {
+    fn name(&self) -> &str {
+        "megakv-search"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        launch_for(self.batch)
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
+        for t in 0..ctx.threads_per_block() {
+            let i = ctx.global_thread_id(t);
+            if i >= self.batch.len() as u64 {
+                continue;
+            }
+            let key = ctx.load_u64(self.batch.keys.index(i, 8));
+            let mut result = NOT_FOUND;
+            // Hashing + signature comparison + result marshalling per op.
+            ctx.charge_alu(900);
+            'probe: for b in self.store.probe_buckets(key) {
+                for s in 0..self.store.slots() {
+                    let k = ctx.load_u64(self.store.key_addr(b, s));
+                    if k == key {
+                        result = ctx.load_u64(self.store.value_addr(b, s));
+                        break 'probe;
+                    }
+                    ctx.charge_alu(1);
+                }
+            }
+            lp.store_u64(ctx, t, self.batch.out.index(i, 8), result);
+        }
+        lp.finalize(ctx);
+    }
+}
+
+impl Recoverable for SearchKernel<'_> {
+    fn recompute_block_checksums(&self, mem: &mut PersistMemory, block: u64) -> Vec<u64> {
+        let rt = self.lp.expect("recovery needs the LP runtime");
+        let tpb = OPS_PER_BLOCK as u64;
+        let mut images = Vec::new();
+        for t in 0..tpb {
+            let i = block * tpb + t;
+            if i < self.batch.len() as u64 {
+                images.push(mem.read_u64(self.batch.out.index(i, 8)));
+            }
+        }
+        rt.digest_region(block, images)
+    }
+}
+
+/// Batched delete: tombstones the key's slot.
+#[derive(Debug)]
+pub struct DeleteKernel<'a> {
+    /// The device hash table.
+    pub store: &'a KvStore,
+    /// The operation batch.
+    pub batch: &'a Batch,
+    /// Optional LP instrumentation.
+    pub lp: Option<&'a LpRuntime>,
+}
+
+impl Kernel for DeleteKernel<'_> {
+    fn name(&self) -> &str {
+        "megakv-delete"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        launch_for(self.batch)
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
+        for t in 0..ctx.threads_per_block() {
+            let i = ctx.global_thread_id(t);
+            if i >= self.batch.len() as u64 {
+                continue;
+            }
+            let key = ctx.load_u64(self.batch.keys.index(i, 8));
+            // Hashing + signature match per op (deletes skip the value path).
+            ctx.charge_alu(600);
+            'probe: for b in self.store.probe_buckets(key) {
+                for s in 0..self.store.slots() {
+                    let kaddr = self.store.key_addr(b, s);
+                    let k = ctx.load_u64(kaddr);
+                    if k == key {
+                        ctx.atomic_cas_u64(kaddr, key, TOMBSTONE);
+                        break 'probe;
+                    }
+                    ctx.charge_alu(1);
+                }
+            }
+            // Post-state image: the key is absent, whether or not it was
+            // ever present (deletes are idempotent).
+            lp.update(ctx, t, DELETED_IMAGE);
+        }
+        lp.finalize(ctx);
+    }
+}
+
+impl Recoverable for DeleteKernel<'_> {
+    fn recompute_block_checksums(&self, mem: &mut PersistMemory, block: u64) -> Vec<u64> {
+        let rt = self.lp.expect("recovery needs the LP runtime");
+        let tpb = OPS_PER_BLOCK as u64;
+        let mut images = Vec::new();
+        for t in 0..tpb {
+            let i = block * tpb + t;
+            if i >= self.batch.len() as u64 {
+                continue;
+            }
+            let key = self.batch.host_keys[i as usize];
+            // If the tombstone did not persist the key is still visible —
+            // image mismatch, region re-executes.
+            images.push(match self.store.lookup_host(mem, key) {
+                None => DELETED_IMAGE,
+                Some(_) => key,
+            });
+        }
+        rt.digest_region(block, images)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::value_of;
+    use nvm::NvmConfig;
+    use simt::{DeviceConfig, Gpu};
+
+    fn world(records: usize) -> (Gpu, PersistMemory, KvStore) {
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let store = KvStore::create(&mut mem, (records as u64 / 4).max(8), 8);
+        (Gpu::new(DeviceConfig::test_gpu()), mem, store)
+    }
+
+    #[test]
+    fn insert_then_search_finds_values() {
+        let (gpu, mut mem, store) = world(512);
+        let keys: Vec<u64> = (1..=512).collect();
+        let ins = Batch::upload(&mut mem, keys.clone());
+        gpu.launch(&InsertKernel { store: &store, batch: &ins, lp: None }, &mut mem)
+            .unwrap();
+        let se = Batch::upload(&mut mem, keys.clone());
+        gpu.launch(&SearchKernel { store: &store, batch: &se, lp: None }, &mut mem)
+            .unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(mem.read_u64(se.out.index(i as u64, 8)), value_of(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn search_missing_reports_not_found() {
+        let (gpu, mut mem, store) = world(64);
+        let se = Batch::upload(&mut mem, vec![9999]);
+        gpu.launch(&SearchKernel { store: &store, batch: &se, lp: None }, &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_u64(se.out.index(0, 8)), NOT_FOUND);
+    }
+
+    #[test]
+    fn delete_removes_only_targets() {
+        let (gpu, mut mem, store) = world(128);
+        let keys: Vec<u64> = (1..=128).collect();
+        let ins = Batch::upload(&mut mem, keys.clone());
+        gpu.launch(&InsertKernel { store: &store, batch: &ins, lp: None }, &mut mem)
+            .unwrap();
+        let dels: Vec<u64> = keys.iter().copied().filter(|k| k % 2 == 0).collect();
+        let del = Batch::upload(&mut mem, dels.clone());
+        gpu.launch(&DeleteKernel { store: &store, batch: &del, lp: None }, &mut mem)
+            .unwrap();
+        for k in keys {
+            let found = store.lookup_host(&mut mem, k);
+            if k % 2 == 0 {
+                assert_eq!(found, None, "key {k} should be gone");
+            } else {
+                assert_eq!(found, Some(value_of(k)), "key {k} should remain");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let (gpu, mut mem, store) = world(64);
+        let ins = Batch::upload(&mut mem, (1..=64).collect());
+        let k = InsertKernel { store: &store, batch: &ins, lp: None };
+        gpu.launch(&k, &mut mem).unwrap();
+        gpu.launch(&k, &mut mem).unwrap(); // re-execution must not duplicate
+        assert_eq!(store.live_entries(&mut mem), 64);
+    }
+}

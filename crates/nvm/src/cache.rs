@@ -1,0 +1,398 @@
+//! A set-associative, write-back, write-allocate volatile cache.
+//!
+//! This is the "volatile domain" of the persistency model: dirty lines here
+//! are *not yet durable*. Lines become durable when evicted (natural
+//! write-back, the mechanism Lazy Persistency relies on) or when explicitly
+//! flushed (what Eager Persistency would do with `clwb`).
+
+use crate::config::NvmConfig;
+use crate::stats::NvmStats;
+
+/// One cache line: tag, payload, and bookkeeping bits.
+#[derive(Debug, Clone)]
+pub struct CacheLine {
+    /// Line-aligned base byte address of the cached region.
+    pub base: u64,
+    /// Cached bytes (`line_size` of them).
+    pub data: Box<[u8]>,
+    /// Whether the line differs from NVM (i.e. holds non-durable stores).
+    pub dirty: bool,
+    /// LRU timestamp (monotone access tick).
+    pub last_use: u64,
+}
+
+/// A set-associative write-back cache in front of the NVM backing store.
+///
+/// The cache is deliberately simple: true-LRU replacement inside each set,
+/// write-allocate on store misses. Determinism matters more than realism
+/// here — identical access traces always produce identical eviction (and
+/// therefore persistence) orders, which makes crash-recovery tests
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct WriteBackCache {
+    line_size: usize,
+    num_sets: usize,
+    associativity: usize,
+    sets: Vec<Vec<CacheLine>>,
+    tick: u64,
+}
+
+impl WriteBackCache {
+    /// Creates an empty cache with the geometry from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NvmConfig::validate`].
+    pub fn new(cfg: &NvmConfig) -> Self {
+        cfg.validate().expect("invalid NvmConfig");
+        let num_sets = cfg.num_sets();
+        Self {
+            line_size: cfg.line_size,
+            num_sets,
+            associativity: cfg.associativity,
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.line_size as u64 - 1)
+    }
+
+    fn set_index(&self, line_base: u64) -> usize {
+        ((line_base / self.line_size as u64) % self.num_sets as u64) as usize
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of resident *dirty* lines (stores not yet durable).
+    pub fn dirty_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.dirty)
+            .count()
+    }
+
+    /// Returns true if the line containing `addr` is resident and dirty,
+    /// i.e. a store to it has *not* yet persisted.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        let base = self.line_base(addr);
+        let set = &self.sets[self.set_index(base)];
+        set.iter().any(|l| l.base == base && l.dirty)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` through the cache.
+    ///
+    /// Fills from `backing` on a miss (the fill is counted as an NVM read).
+    /// The read must not cross a line boundary.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8], backing: &[u8], stats: &mut NvmStats) {
+        let base = self.line_base(addr);
+        debug_assert!(
+            self.line_base(addr + buf.len() as u64 - 1) == base,
+            "cache access crosses a line boundary: addr={addr:#x} len={}",
+            buf.len()
+        );
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(base);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.base == base) {
+            line.last_use = tick;
+            let off = (addr - base) as usize;
+            buf.copy_from_slice(&line.data[off..off + buf.len()]);
+            stats.cache_hits += 1;
+            return;
+        }
+        stats.cache_misses += 1;
+        // Miss: fill from NVM.
+        let line = self.fill_line(base, backing, stats);
+        let off = (addr - base) as usize;
+        buf.copy_from_slice(&line.data[off..off + buf.len()]);
+    }
+
+    /// Writes `buf` starting at `addr` through the cache (write-allocate).
+    ///
+    /// Eviction of a dirty victim performs the write-back into `backing`
+    /// and counts an NVM write — this is the "natural eviction" persist
+    /// mechanism of Lazy Persistency. The write must not cross a line
+    /// boundary.
+    pub fn write(&mut self, addr: u64, buf: &[u8], backing: &mut [u8], stats: &mut NvmStats) {
+        let base = self.line_base(addr);
+        debug_assert!(
+            self.line_base(addr + buf.len() as u64 - 1) == base,
+            "cache access crosses a line boundary: addr={addr:#x} len={}",
+            buf.len()
+        );
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(base);
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.base == base) {
+            line.last_use = tick;
+            line.dirty = true;
+            let off = (addr - base) as usize;
+            line.data[off..off + buf.len()].copy_from_slice(buf);
+            stats.cache_hits += 1;
+            return;
+        }
+        stats.cache_misses += 1;
+        // Write-allocate: fill, then overwrite the bytes.
+        self.evict_if_full(set_idx, backing, stats);
+        let mut data = vec![0u8; self.line_size].into_boxed_slice();
+        let b = base as usize;
+        if b + self.line_size <= backing.len() {
+            data.copy_from_slice(&backing[b..b + self.line_size]);
+            stats.nvm_reads += 1;
+            stats.nvm_read_bytes += self.line_size as u64;
+        }
+        let off = (addr - base) as usize;
+        data[off..off + buf.len()].copy_from_slice(buf);
+        self.sets[set_idx].push(CacheLine {
+            base,
+            data,
+            dirty: true,
+            last_use: tick,
+        });
+    }
+
+    fn fill_line(&mut self, base: u64, backing: &[u8], stats: &mut NvmStats) -> &CacheLine {
+        let set_idx = self.set_index(base);
+        // Reads never need to write back here: eviction on read miss may,
+        // but a read-only fill path keeps `backing` immutable, so instead we
+        // drop a *clean* victim and require the caller to use `write` (which
+        // takes `&mut backing`) for dirty traffic. If every way is dirty we
+        // evict the clean-est... there may be none; in that case we spill the
+        // victim into the pending list to be drained by the next write call.
+        self.evict_clean_preferring(set_idx);
+        let mut data = vec![0u8; self.line_size].into_boxed_slice();
+        let b = base as usize;
+        if b + self.line_size <= backing.len() {
+            data.copy_from_slice(&backing[b..b + self.line_size]);
+        }
+        stats.nvm_reads += 1;
+        stats.nvm_read_bytes += self.line_size as u64;
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        set.push(CacheLine {
+            base,
+            data,
+            dirty: false,
+            last_use: tick,
+        });
+        set.last().unwrap()
+    }
+
+    /// On a read-miss with a full set we need a victim but cannot write back
+    /// (no `&mut backing`). Prefer the LRU *clean* line; if all ways are
+    /// dirty, keep them and let the set temporarily exceed associativity —
+    /// the overflow is repaid on the next `write`/`flush`. This keeps the
+    /// model simple without ever losing a dirty (non-durable) store
+    /// silently.
+    fn evict_clean_preferring(&mut self, set_idx: usize) {
+        let set = &mut self.sets[set_idx];
+        if set.len() < self.associativity {
+            return;
+        }
+        if let Some(pos) = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.dirty)
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+        {
+            set.swap_remove(pos);
+        }
+    }
+
+    fn evict_if_full(&mut self, set_idx: usize, backing: &mut [u8], stats: &mut NvmStats) {
+        while self.sets[set_idx].len() >= self.associativity {
+            let pos = self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let victim = self.sets[set_idx].swap_remove(pos);
+            if victim.dirty {
+                Self::write_back(&victim, backing, stats);
+                stats.natural_evictions += 1;
+            }
+        }
+    }
+
+    fn write_back(line: &CacheLine, backing: &mut [u8], stats: &mut NvmStats) {
+        let b = line.base as usize;
+        let len = line.data.len();
+        if b + len <= backing.len() {
+            backing[b..b + len].copy_from_slice(&line.data);
+        }
+        stats.nvm_writes += 1;
+        stats.nvm_write_bytes += len as u64;
+    }
+
+    /// Writes back every dirty line (an explicit whole-cache flush, the
+    /// checkpoint boundary of §IV-A) and marks them clean. Lines stay
+    /// resident.
+    pub fn flush_all(&mut self, backing: &mut [u8], stats: &mut NvmStats) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.dirty {
+                    Self::write_back(line, backing, stats);
+                    stats.explicit_flushes += 1;
+                    line.dirty = false;
+                }
+            }
+        }
+    }
+
+    /// Writes back the single line containing `addr` if it is resident and
+    /// dirty (the `clwb` primitive Eager Persistency relies on). The line
+    /// stays resident and becomes clean. Returns whether a write-back
+    /// happened.
+    pub fn flush_line(&mut self, addr: u64, backing: &mut [u8], stats: &mut NvmStats) -> bool {
+        let base = self.line_base(addr);
+        let set_idx = self.set_index(base);
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.base == base) {
+            if line.dirty {
+                Self::write_back(line, backing, stats);
+                stats.explicit_flushes += 1;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Simulates power loss: every resident line is discarded *without*
+    /// write-back. Dirty (non-durable) stores are lost.
+    pub fn crash(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (WriteBackCache, Vec<u8>, NvmStats) {
+        let cfg = NvmConfig {
+            line_size: 16,
+            cache_lines: 4,
+            associativity: 2,
+            ..NvmConfig::default()
+        };
+        (WriteBackCache::new(&cfg), vec![0u8; 4096], NvmStats::default())
+    }
+
+    #[test]
+    fn write_then_read_hits() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(32, &[1, 2, 3, 4], &mut back, &mut st);
+        let mut buf = [0u8; 4];
+        c.read(32, &mut buf, &back, &mut st);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert!(st.cache_hits >= 1);
+    }
+
+    #[test]
+    fn dirty_line_not_in_backing_until_evicted() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(0, &[9; 8], &mut back, &mut st);
+        assert_eq!(&back[0..8], &[0; 8]);
+        assert!(c.is_dirty(0));
+    }
+
+    #[test]
+    fn eviction_writes_back() {
+        let (mut c, mut back, mut st) = tiny();
+        // 2 sets, 2 ways, 16B lines: addresses 0, 32, 64 map to set 0.
+        c.write(0, &[1; 8], &mut back, &mut st);
+        c.write(32, &[2; 8], &mut back, &mut st);
+        c.write(64, &[3; 8], &mut back, &mut st); // evicts line 0
+        assert_eq!(&back[0..8], &[1; 8]);
+        assert_eq!(st.natural_evictions, 1);
+        assert!(st.nvm_writes >= 1);
+    }
+
+    #[test]
+    fn crash_loses_dirty_data() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st);
+        c.crash();
+        let mut buf = [0u8; 8];
+        c.read(0, &mut buf, &back, &mut st);
+        assert_eq!(buf, [0; 8]);
+    }
+
+    #[test]
+    fn flush_makes_data_durable() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st);
+        c.flush_all(&mut back, &mut st);
+        assert!(!c.is_dirty(0));
+        c.crash();
+        let mut buf = [0u8; 8];
+        c.read(0, &mut buf, &back, &mut st);
+        assert_eq!(buf, [7; 8]);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st);
+        c.flush_all(&mut back, &mut st);
+        let w = st.nvm_writes;
+        c.flush_all(&mut back, &mut st);
+        assert_eq!(st.nvm_writes, w, "clean lines must not be re-flushed");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut c, mut back, mut st) = tiny();
+        c.write(0, &[1; 4], &mut back, &mut st);
+        c.write(32, &[2; 4], &mut back, &mut st);
+        // Touch line 0 so line 32 becomes LRU.
+        let mut buf = [0u8; 4];
+        c.read(0, &mut buf, &back, &mut st);
+        c.write(64, &[3; 4], &mut back, &mut st);
+        // Line 32 should be the victim.
+        assert_eq!(&back[32..36], &[2; 4]);
+        assert_eq!(&back[0..4], &[0; 4]);
+    }
+
+    #[test]
+    fn read_miss_counts_nvm_read() {
+        let (mut c, back, _) = tiny();
+        let mut st = NvmStats::default();
+        let mut c2 = c.clone();
+        let mut buf = [0u8; 4];
+        c2.read(100, &mut buf, &back, &mut st);
+        assert_eq!(st.nvm_reads, 1);
+        assert_eq!(st.cache_misses, 1);
+        // Silence unused warning.
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn partial_line_write_preserves_other_bytes() {
+        let (mut c, mut back, mut st) = tiny();
+        back[16..32].copy_from_slice(&[5; 16]);
+        c.write(20, &[9, 9], &mut back, &mut st);
+        let mut buf = [0u8; 16];
+        c.read(16, &mut buf, &back, &mut st);
+        let mut expect = [5u8; 16];
+        expect[4] = 9;
+        expect[5] = 9;
+        assert_eq!(buf, expect);
+    }
+}

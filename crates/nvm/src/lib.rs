@@ -1,0 +1,47 @@
+//! Byte-addressable non-volatile memory (NVM) model with a volatile
+//! write-back cache in front of it.
+//!
+//! This crate is the persistence substrate for the Lazy Persistency (LP)
+//! reproduction. Its job is to model the one property LP cares about:
+//! **stores become durable only when their cache line is written back to the
+//! NVM**, either by natural eviction or by an explicit flush. A crash discards
+//! everything still sitting in the volatile cache.
+//!
+//! The model is deliberately architectural rather than cycle-accurate: it
+//! tracks *which bytes are durable*, *how many NVM reads/writes happened*
+//! (for the paper's write-amplification study, §VII-3), and charges latency
+//! and bandwidth numbers that the GPU simulator folds into its timing model.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nvm::{NvmConfig, PersistMemory};
+//!
+//! let mut mem = PersistMemory::new(NvmConfig::default());
+//! let a = mem.alloc(16, 8);
+//! mem.write_u64(a, 42);
+//! assert_eq!(mem.read_u64(a), 42);
+//! // The write is still volatile: a crash loses it.
+//! mem.crash();
+//! assert_eq!(mem.read_u64(a), 0);
+//! // After a flush it survives crashes.
+//! mem.write_u64(a, 42);
+//! mem.flush_all();
+//! mem.crash();
+//! assert_eq!(mem.read_u64(a), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod cache;
+mod config;
+mod memory;
+mod stats;
+
+pub use alloc::{Addr, BumpAllocator};
+pub use cache::{CacheLine, WriteBackCache};
+pub use config::NvmConfig;
+pub use memory::PersistMemory;
+pub use stats::NvmStats;

@@ -1,0 +1,365 @@
+//! The top-level persistent-memory object: NVM backing store + volatile
+//! write-back cache + allocator + statistics.
+
+use crate::alloc::{Addr, BumpAllocator};
+use crate::cache::WriteBackCache;
+use crate::config::NvmConfig;
+use crate::stats::NvmStats;
+
+/// A simulated persistent main memory as seen by the GPU.
+///
+/// All program loads and stores go through a volatile write-back cache; the
+/// backing array only changes on write-back. Two views exist:
+///
+/// * the **volatile view** (`read_*`): what a running program observes;
+/// * the **durable view** (`read_durable_*`): what would survive a crash
+///   right now.
+///
+/// [`PersistMemory::crash`] collapses the volatile view onto the durable one,
+/// which is exactly the failure model Lazy Persistency defends against.
+///
+/// # Examples
+///
+/// ```
+/// use nvm::{NvmConfig, PersistMemory};
+/// let mut mem = PersistMemory::new(NvmConfig::tiny_cache());
+/// let a = mem.alloc(4 * 8, 8);
+/// for i in 0..4 {
+///     mem.write_u64(a.index(i, 8), i * 10);
+/// }
+/// assert_eq!(mem.read_u64(a.index(3, 8)), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistMemory {
+    cfg: NvmConfig,
+    backing: Vec<u8>,
+    cache: WriteBackCache,
+    bump: BumpAllocator,
+    stats: NvmStats,
+}
+
+impl PersistMemory {
+    /// Creates an empty memory with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NvmConfig::validate`].
+    pub fn new(cfg: NvmConfig) -> Self {
+        cfg.validate().expect("invalid NvmConfig");
+        let cache = WriteBackCache::new(&cfg);
+        Self {
+            cfg,
+            backing: Vec::new(),
+            cache,
+            bump: BumpAllocator::new(),
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> NvmStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (e.g. between warm-up and measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats::default();
+    }
+
+    /// Allocates `size` bytes aligned to `align` and zero-initialises the
+    /// durable backing for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        let addr = self.bump.alloc(size, align);
+        let line = self.cfg.line_size as u64;
+        let needed = (addr.raw() + size).div_ceil(line) * line;
+        if needed as usize > self.backing.len() {
+            self.backing.resize(needed as usize, 0);
+        }
+        addr
+    }
+
+    /// Total bytes of device address space allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.bump.used()
+    }
+
+    fn check(&self, addr: Addr, len: usize) {
+        assert!(!addr.is_null(), "dereferenced null device address");
+        assert!(
+            (addr.raw() as usize + len) <= self.backing.len(),
+            "device access out of bounds: {addr} + {len} > {}",
+            self.backing.len()
+        );
+    }
+
+    /// Reads raw bytes through the cache (volatile view). Accesses may cross
+    /// line boundaries; they are split internally.
+    pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        self.stats.load_ops += 1;
+        let line = self.cfg.line_size as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.raw() + off as u64;
+            let in_line = (line - (a % line)) as usize;
+            let chunk = in_line.min(buf.len() - off);
+            self.cache
+                .read(a, &mut buf[off..off + chunk], &self.backing, &mut self.stats);
+            off += chunk;
+        }
+    }
+
+    /// Writes raw bytes through the cache (volatile until evicted/flushed).
+    pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) {
+        self.check(addr, buf.len());
+        self.stats.store_ops += 1;
+        let line = self.cfg.line_size as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.raw() + off as u64;
+            let in_line = (line - (a % line)) as usize;
+            let chunk = in_line.min(buf.len() - off);
+            self.cache
+                .write(a, &buf[off..off + chunk], &mut self.backing, &mut self.stats);
+            off += chunk;
+        }
+    }
+
+    /// Reads bytes from the durable view only (what a crash would preserve).
+    /// Does not perturb the cache or statistics.
+    pub fn read_durable_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        let b = addr.raw() as usize;
+        buf.copy_from_slice(&self.backing[b..b + buf.len()]);
+    }
+
+    /// Whether the cache line holding `addr` has non-durable (dirty) data.
+    pub fn is_volatile(&self, addr: Addr) -> bool {
+        self.cache.is_dirty(addr.raw())
+    }
+
+    /// Number of dirty (non-durable) lines currently in the cache.
+    pub fn dirty_lines(&self) -> usize {
+        self.cache.dirty_lines()
+    }
+
+    /// Simulates power loss: all volatile state is discarded. The program's
+    /// view afterwards equals the durable view.
+    pub fn crash(&mut self) {
+        self.cache.crash();
+    }
+
+    /// Writes back every dirty line (whole-cache flush / checkpoint
+    /// boundary, §IV-A of the paper).
+    pub fn flush_all(&mut self) {
+        self.cache.flush_all(&mut self.backing, &mut self.stats);
+    }
+
+    /// Writes back the single cache line containing `addr` (`clwb`): the
+    /// Eager Persistency primitive. Returns whether a dirty line was
+    /// actually written back.
+    pub fn flush_line(&mut self, addr: Addr) -> bool {
+        self.check(addr, 1);
+        self.cache.flush_line(addr.raw(), &mut self.backing, &mut self.stats)
+    }
+
+    // ---- typed volatile accessors ------------------------------------
+
+    /// Reads a `u32` (volatile view).
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a `u32`.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a `u64` (volatile view).
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a `u64`.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `f32` (volatile view).
+    pub fn read_f32(&mut self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: Addr, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Reads an `f64` (volatile view).
+    pub fn read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    // ---- typed durable accessors --------------------------------------
+
+    /// Reads a `u32` from the durable view.
+    pub fn read_durable_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_durable_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a `u64` from the durable view.
+    pub fn read_durable_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_durable_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads an `f32` from the durable view.
+    pub fn read_durable_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_durable_u32(addr))
+    }
+
+    /// Reads an `f64` from the durable view.
+    pub fn read_durable_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_durable_u64(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PersistMemory {
+        PersistMemory::new(NvmConfig {
+            line_size: 32,
+            cache_lines: 8,
+            associativity: 2,
+            ..NvmConfig::default()
+        })
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut m = mem();
+        let a = m.alloc(64, 8);
+        m.write_u32(a, 0xDEAD_BEEF);
+        m.write_u64(a.offset(8), u64::MAX - 3);
+        m.write_f32(a.offset(16), -1.5);
+        m.write_f64(a.offset(24), 6.02e23);
+        assert_eq!(m.read_u32(a), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(a.offset(8)), u64::MAX - 3);
+        assert_eq!(m.read_f32(a.offset(16)), -1.5);
+        assert_eq!(m.read_f64(a.offset(24)), 6.02e23);
+    }
+
+    #[test]
+    fn crash_reverts_to_durable_view() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 1);
+        m.flush_all();
+        m.write_u64(a, 2);
+        assert_eq!(m.read_u64(a), 2);
+        assert_eq!(m.read_durable_u64(a), 1);
+        m.crash();
+        assert_eq!(m.read_u64(a), 1);
+    }
+
+    #[test]
+    fn natural_eviction_persists_without_flush() {
+        // Tiny cache: writing many lines forces evictions, persisting early
+        // stores with no flush — the LP persistence mechanism.
+        let mut m = PersistMemory::new(NvmConfig {
+            line_size: 32,
+            cache_lines: 4,
+            associativity: 2,
+            ..NvmConfig::default()
+        });
+        let a = m.alloc(32 * 64, 32);
+        for i in 0..64 {
+            m.write_u64(a.offset(i * 32), i);
+        }
+        assert!(m.stats().natural_evictions > 0);
+        // The earliest line must have been evicted and thus persisted.
+        assert_eq!(m.read_durable_u64(a), 0);
+        m.crash();
+        assert_eq!(m.read_u64(a), 0);
+    }
+
+    #[test]
+    fn cross_line_access_is_split() {
+        let mut m = mem();
+        let a = m.alloc(128, 32);
+        let data: Vec<u8> = (0..60).collect();
+        m.write_bytes(a.offset(10), &data); // crosses two line boundaries
+        let mut out = vec![0u8; 60];
+        m.read_bytes(a.offset(10), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn store_and_load_ops_counted() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 5);
+        m.read_u64(a);
+        m.read_u64(a);
+        let st = m.stats();
+        assert_eq!(st.store_ops, 1);
+        assert_eq!(st.load_ops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "null device address")]
+    fn null_deref_panics() {
+        let mut m = mem();
+        m.read_u32(Addr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        let mut b = [0u8; 8];
+        m.read_durable_bytes(a.offset(1 << 20), &mut b);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), NvmStats::default());
+    }
+
+    #[test]
+    fn alloc_zero_initialises() {
+        let mut m = mem();
+        let a = m.alloc(256, 8);
+        for i in 0..32 {
+            assert_eq!(m.read_u64(a.offset(i * 8)), 0);
+        }
+    }
+}

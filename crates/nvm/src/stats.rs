@@ -1,0 +1,120 @@
+//! Counters for NVM traffic and cache behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Sub;
+
+/// Traffic and persistence statistics accumulated by [`crate::PersistMemory`].
+///
+/// The write counters are what the paper's write-amplification study
+/// (§VII-3) measures: Lazy Persistency only adds the checksum stores, so the
+/// NVM write count should grow by ~0.5–2.2 % over the baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmStats {
+    /// Line fills read from the NVM device.
+    pub nvm_reads: u64,
+    /// Lines written back to the NVM device (evictions + flushes).
+    pub nvm_writes: u64,
+    /// Bytes read from NVM.
+    pub nvm_read_bytes: u64,
+    /// Bytes written to NVM.
+    pub nvm_write_bytes: u64,
+    /// Cache hits (reads + writes).
+    pub cache_hits: u64,
+    /// Cache misses (reads + writes).
+    pub cache_misses: u64,
+    /// Dirty lines persisted by capacity eviction ("natural" persistence).
+    pub natural_evictions: u64,
+    /// Dirty lines persisted by an explicit flush (checkpoint boundary).
+    pub explicit_flushes: u64,
+    /// Program-level store operations issued (any size).
+    pub store_ops: u64,
+    /// Program-level load operations issued (any size).
+    pub load_ops: u64,
+}
+
+impl NvmStats {
+    /// Cache hit rate over all accesses, or `None` if no accesses happened.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Write amplification relative to another run: `self` writes divided by
+    /// `baseline` writes. Returns `None` if the baseline saw no writes.
+    pub fn write_amplification_vs(&self, baseline: &NvmStats) -> Option<f64> {
+        (baseline.nvm_writes > 0).then(|| self.nvm_writes as f64 / baseline.nvm_writes as f64)
+    }
+}
+
+impl Sub for NvmStats {
+    type Output = NvmStats;
+
+    /// Component-wise difference; useful for measuring a phase:
+    /// `let delta = mem.stats() - before;`
+    fn sub(self, rhs: NvmStats) -> NvmStats {
+        NvmStats {
+            nvm_reads: self.nvm_reads - rhs.nvm_reads,
+            nvm_writes: self.nvm_writes - rhs.nvm_writes,
+            nvm_read_bytes: self.nvm_read_bytes - rhs.nvm_read_bytes,
+            nvm_write_bytes: self.nvm_write_bytes - rhs.nvm_write_bytes,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            natural_evictions: self.natural_evictions - rhs.natural_evictions,
+            explicit_flushes: self.explicit_flushes - rhs.explicit_flushes,
+            store_ops: self.store_ops - rhs.store_ops,
+            load_ops: self.load_ops - rhs.load_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_none_when_empty() {
+        assert_eq!(NvmStats::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_computed() {
+        let st = NvmStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..NvmStats::default()
+        };
+        assert_eq!(st.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn write_amplification() {
+        let base = NvmStats {
+            nvm_writes: 100,
+            ..NvmStats::default()
+        };
+        let lp = NvmStats {
+            nvm_writes: 102,
+            ..NvmStats::default()
+        };
+        let wa = lp.write_amplification_vs(&base).unwrap();
+        assert!((wa - 1.02).abs() < 1e-12);
+        assert_eq!(lp.write_amplification_vs(&NvmStats::default()), None);
+    }
+
+    #[test]
+    fn subtraction_is_componentwise() {
+        let a = NvmStats {
+            nvm_reads: 10,
+            store_ops: 7,
+            ..NvmStats::default()
+        };
+        let b = NvmStats {
+            nvm_reads: 4,
+            store_ops: 2,
+            ..NvmStats::default()
+        };
+        let d = a - b;
+        assert_eq!(d.nvm_reads, 6);
+        assert_eq!(d.store_ops, 5);
+    }
+}

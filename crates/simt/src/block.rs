@@ -1,0 +1,588 @@
+//! Per-thread-block execution context: memory, shared memory, atomics,
+//! warp collectives, locks, and cost accounting.
+
+use crate::config::DeviceConfig;
+use crate::device::DeviceState;
+use crate::dim::{Dim3, LaunchConfig};
+use crate::stats::BlockCost;
+use nvm::{Addr, PersistMemory};
+
+/// Handle to a shared-memory array allocated with
+/// [`BlockCtx::shared_alloc`]. Shared memory is per-block scratch space: it
+/// is volatile, free of global-memory traffic, and cheap to access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmHandle {
+    base: usize,
+    len: usize,
+}
+
+impl ShmHandle {
+    /// Number of 64-bit words in the array.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Execution context of one thread block.
+///
+/// A `BlockCtx` is handed to [`crate::Kernel::run_block`]. It plays two
+/// roles at once:
+///
+/// * **functional**: loads/stores against the persistent memory, shared
+///   memory, atomics — the kernel's real computation happens through it;
+/// * **timing**: every operation charges the block's [`BlockCost`], and
+///   cross-block effects (atomic channels, lock serialisation, crash
+///   injection) go to the launch-wide [`DeviceState`].
+///
+/// Stores issued after the injected crash point are silently dropped — the
+/// GPU has "lost power", and the launch terminates after this block returns.
+#[derive(Debug)]
+pub struct BlockCtx<'a> {
+    launch: LaunchConfig,
+    flat_block: u64,
+    mem: &'a mut PersistMemory,
+    dev: &'a mut DeviceState,
+    cfg: &'a DeviceConfig,
+    cost: BlockCost,
+    shared: Vec<u64>,
+    lock_snapshot: Option<(u64, f64)>,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Constructs a context for one block outside a full launch.
+    ///
+    /// This is the entry point for *recovery re-execution* (running a single
+    /// failed LP region in isolation) and for tests that exercise
+    /// device-side data structures directly. Launch-time semantics (crash
+    /// injection, lock serialisation) still flow through `dev`.
+    pub fn standalone(
+        launch: LaunchConfig,
+        flat_block: u64,
+        mem: &'a mut PersistMemory,
+        dev: &'a mut DeviceState,
+        cfg: &'a DeviceConfig,
+    ) -> Self {
+        Self::new(launch, flat_block, mem, dev, cfg)
+    }
+
+    /// Consumes the context and returns the block's accumulated cost.
+    /// Only needed with [`BlockCtx::standalone`]; `Gpu::launch` does this
+    /// internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds the global lock.
+    pub fn into_cost(self) -> BlockCost {
+        self.finish()
+    }
+
+    pub(crate) fn new(
+        launch: LaunchConfig,
+        flat_block: u64,
+        mem: &'a mut PersistMemory,
+        dev: &'a mut DeviceState,
+        cfg: &'a DeviceConfig,
+    ) -> Self {
+        Self {
+            launch,
+            flat_block,
+            mem,
+            dev,
+            cfg,
+            cost: BlockCost::default(),
+            shared: Vec::new(),
+            lock_snapshot: None,
+        }
+    }
+
+    pub(crate) fn finish(self) -> BlockCost {
+        assert!(
+            self.lock_snapshot.is_none(),
+            "block {} ended while holding a global lock",
+            self.flat_block
+        );
+        self.cost
+    }
+
+    // ---- identity ----------------------------------------------------
+
+    /// Flat index of this block in the grid.
+    pub fn block_id(&self) -> u64 {
+        self.flat_block
+    }
+
+    /// `(blockIdx.x, blockIdx.y, blockIdx.z)`.
+    pub fn block_idx(&self) -> (u32, u32, u32) {
+        self.launch.grid.unflatten(self.flat_block)
+    }
+
+    /// Grid dimensions of the launch.
+    pub fn grid_dim(&self) -> Dim3 {
+        self.launch.grid
+    }
+
+    /// Block (thread) dimensions of the launch.
+    pub fn block_dim(&self) -> Dim3 {
+        self.launch.block
+    }
+
+    /// Threads in this block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.launch.threads_per_block()
+    }
+
+    /// `(threadIdx.x, threadIdx.y, threadIdx.z)` for flat thread `t`.
+    pub fn thread_idx(&self, t: u64) -> (u32, u32, u32) {
+        self.launch.block.unflatten(t)
+    }
+
+    /// Grid-global flat id of thread `t` of this block.
+    pub fn global_thread_id(&self, t: u64) -> u64 {
+        self.flat_block * self.threads_per_block() + t
+    }
+
+    /// Warp index of flat thread `t`.
+    pub fn warp_of(&self, t: u64) -> u64 {
+        t / self.cfg.warp_size as u64
+    }
+
+    /// Lane index of flat thread `t` within its warp.
+    pub fn lane_of(&self, t: u64) -> u64 {
+        t % self.cfg.warp_size as u64
+    }
+
+    /// Number of warps in this block (rounded up).
+    pub fn warps_per_block(&self) -> u64 {
+        self.threads_per_block().div_ceil(self.cfg.warp_size as u64)
+    }
+
+    /// The device configuration (geometry + cost table).
+    pub fn device_config(&self) -> &DeviceConfig {
+        self.cfg
+    }
+
+    /// Whether the injected crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.dev.crashed
+    }
+
+    /// Number of thread blocks executing concurrently device-wide
+    /// (occupancy-limited). This is the contention level hot atomics, racy
+    /// updates, and locks experience.
+    pub fn concurrency(&self) -> u64 {
+        self.dev.concurrency
+    }
+
+    // ---- cost charging -------------------------------------------------
+
+    /// Charges `ops` thread-level ALU operations (parallel bucket).
+    pub fn charge_alu(&mut self, ops: u64) {
+        self.cost.parallel_cycles += ops as f64 * self.cfg.cost.alu;
+    }
+
+    /// Charges `ops` ALU operations on the block's *serial* critical path
+    /// (e.g. a loop run by a single thread while the rest idle).
+    pub fn charge_serial_alu(&mut self, ops: u64) {
+        self.cost.serial_cycles += ops as f64 * self.cfg.cost.alu;
+    }
+
+    /// Charges `steps` warp-shuffle steps executed by `lanes` lanes.
+    pub fn charge_shuffle(&mut self, steps: u64, lanes: u64) {
+        self.cost.parallel_cycles += (steps * lanes) as f64 * self.cfg.cost.shuffle_step;
+    }
+
+    /// `__syncthreads()`: barrier cost for every thread in the block.
+    pub fn sync_threads(&mut self) {
+        self.cost.parallel_cycles += self.threads_per_block() as f64 * self.cfg.cost.barrier;
+    }
+
+    /// Cost accumulated so far (for tests and instrumentation).
+    pub fn cost_so_far(&self) -> BlockCost {
+        self.cost
+    }
+
+    // ---- shared memory ---------------------------------------------------
+
+    /// Allocates `words` 64-bit words of shared memory, zero-initialised.
+    /// Shared memory lives only for the duration of the block.
+    pub fn shared_alloc(&mut self, words: usize) -> ShmHandle {
+        let base = self.shared.len();
+        self.shared.resize(base + words, 0);
+        ShmHandle { base, len: words }
+    }
+
+    /// Reads word `i` of a shared array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn shm_read(&mut self, h: ShmHandle, i: usize) -> u64 {
+        assert!(i < h.len, "shared-memory read out of bounds");
+        self.cost.parallel_cycles += self.cfg.cost.shmem_access;
+        self.shared[h.base + i]
+    }
+
+    /// Writes word `i` of a shared array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn shm_write(&mut self, h: ShmHandle, i: usize, v: u64) {
+        assert!(i < h.len, "shared-memory write out of bounds");
+        self.cost.parallel_cycles += self.cfg.cost.shmem_access;
+        self.shared[h.base + i] = v;
+    }
+
+    /// Reads an `f32` stored in a shared word.
+    pub fn shm_read_f32(&mut self, h: ShmHandle, i: usize) -> f32 {
+        f32::from_bits(self.shm_read(h, i) as u32)
+    }
+
+    /// Writes an `f32` into a shared word.
+    pub fn shm_write_f32(&mut self, h: ShmHandle, i: usize, v: f32) {
+        self.shm_write(h, i, v.to_bits() as u64);
+    }
+
+    // ---- global memory -------------------------------------------------
+
+    fn charge_global(&mut self, bytes: u64) {
+        self.cost.parallel_cycles += self.cfg.cost.global_access;
+        self.cost.global_bytes += bytes;
+    }
+
+    /// Loads a `u32` from global memory.
+    pub fn load_u32(&mut self, addr: Addr) -> u32 {
+        self.charge_global(4);
+        self.mem.read_u32(addr)
+    }
+
+    /// Loads a `u64` from global memory.
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        self.charge_global(8);
+        self.mem.read_u64(addr)
+    }
+
+    /// Loads an `f32` from global memory.
+    pub fn load_f32(&mut self, addr: Addr) -> f32 {
+        self.charge_global(4);
+        self.mem.read_f32(addr)
+    }
+
+    /// Loads an `f64` from global memory.
+    pub fn load_f64(&mut self, addr: Addr) -> f64 {
+        self.charge_global(8);
+        self.mem.read_f64(addr)
+    }
+
+    /// Stores a `u32` to global memory (dropped after the crash point).
+    pub fn store_u32(&mut self, addr: Addr, v: u32) {
+        self.charge_global(4);
+        if self.dev.store_tick() {
+            self.mem.write_u32(addr, v);
+        }
+    }
+
+    /// Stores a `u64` to global memory (dropped after the crash point).
+    pub fn store_u64(&mut self, addr: Addr, v: u64) {
+        self.charge_global(8);
+        if self.dev.store_tick() {
+            self.mem.write_u64(addr, v);
+        }
+    }
+
+    /// Stores an `f32` to global memory (dropped after the crash point).
+    pub fn store_f32(&mut self, addr: Addr, v: f32) {
+        self.charge_global(4);
+        if self.dev.store_tick() {
+            self.mem.write_f32(addr, v);
+        }
+    }
+
+    /// Stores an `f64` to global memory (dropped after the crash point).
+    pub fn store_f64(&mut self, addr: Addr, v: f64) {
+        self.charge_global(8);
+        if self.dev.store_tick() {
+            self.mem.write_f64(addr, v);
+        }
+    }
+
+    /// Charges `events` dependent round-trips to the memory partition
+    /// owning `addr`'s line *without* atomic semantics.
+    ///
+    /// A racy read-modify-write emulation (§IV-D3) issues several dependent
+    /// transactions to the same line (read, write, verification read); each
+    /// occupies the partition just like an atomic's RMW slot does, which is
+    /// why removing atomics makes the checksum tables slower, not faster.
+    pub fn charge_channel(&mut self, addr: Addr, events: u64) {
+        for _ in 0..events {
+            self.dev.record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
+            // record_atomic counts it as an atomic op; undo that part of
+            // the accounting — these are plain transactions.
+            self.dev.atomic_ops -= 1;
+        }
+    }
+
+    // ---- eager-persistency primitives ----------------------------------
+
+    /// `clwb`-equivalent: writes back the cache line containing `addr`.
+    ///
+    /// This is the Eager Persistency primitive the paper contrasts LP
+    /// against — current GPUs do not even expose it (§IV), which is one of
+    /// LP's practical advantages. Charges the store-queue cost and, when a
+    /// dirty line is actually written back, the full line's bandwidth.
+    pub fn flush_line(&mut self, addr: Addr) {
+        self.cost.parallel_cycles += self.cfg.cost.global_access;
+        if self.mem.flush_line(addr) {
+            self.cost.global_bytes += self.mem.config().line_size as u64;
+        }
+    }
+
+    /// Persist barrier (`sfence`-equivalent): stalls the block until all
+    /// its outstanding flushes are durable. Serial — nothing in the block
+    /// overlaps the drain.
+    pub fn persist_barrier(&mut self) {
+        self.cost.serial_cycles += self.cfg.cost.persist_barrier_ns * self.cfg.clock_ghz;
+    }
+
+    // ---- atomics ---------------------------------------------------------
+
+    fn charge_atomic(&mut self, addr: Addr, bytes: u64) {
+        self.cost.parallel_cycles += self.cfg.cost.atomic_op;
+        self.cost.atomic_ops += 1;
+        self.cost.global_bytes += bytes;
+        self.dev.record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
+    }
+
+    /// `atomicCAS` on a `u64` word: if the current value equals `compare`,
+    /// writes `new`. Returns the value read (CUDA semantics).
+    pub fn atomic_cas_u64(&mut self, addr: Addr, compare: u64, new: u64) -> u64 {
+        self.charge_atomic(addr, 8);
+        let old = self.mem.read_u64(addr);
+        if old == compare && self.dev.store_tick() {
+            self.mem.write_u64(addr, new);
+        }
+        old
+    }
+
+    /// `atomicExch` on a `u64` word: writes `new`, returns the old value.
+    pub fn atomic_exch_u64(&mut self, addr: Addr, new: u64) -> u64 {
+        self.charge_atomic(addr, 8);
+        let old = self.mem.read_u64(addr);
+        if self.dev.store_tick() {
+            self.mem.write_u64(addr, new);
+        }
+        old
+    }
+
+    /// `atomicAdd` on a `u32` word; returns the old value.
+    pub fn atomic_add_u32(&mut self, addr: Addr, v: u32) -> u32 {
+        self.charge_atomic(addr, 4);
+        let old = self.mem.read_u32(addr);
+        if self.dev.store_tick() {
+            self.mem.write_u32(addr, old.wrapping_add(v));
+        }
+        old
+    }
+
+    /// `atomicAdd` on an `f32` word; returns the old value.
+    pub fn atomic_add_f32(&mut self, addr: Addr, v: f32) -> f32 {
+        self.charge_atomic(addr, 4);
+        let old = self.mem.read_f32(addr);
+        if self.dev.store_tick() {
+            self.mem.write_f32(addr, old + v);
+        }
+        old
+    }
+
+    /// `atomicMin` on a `u32` word; returns the old value.
+    pub fn atomic_min_u32(&mut self, addr: Addr, v: u32) -> u32 {
+        self.charge_atomic(addr, 4);
+        let old = self.mem.read_u32(addr);
+        if v < old && self.dev.store_tick() {
+            self.mem.write_u32(addr, v);
+        }
+        old
+    }
+
+    // ---- global spin lock ------------------------------------------------
+
+    /// Acquires the global spin lock at `lock_addr`.
+    ///
+    /// Timing-wise this begins a critical section: its duration is added to
+    /// the launch-wide serial timeline at [`BlockCtx::unlock_global`], plus a
+    /// handoff penalty that grows with the number of concurrently contending
+    /// blocks — the mechanism behind Table III's lock-based collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this block already holds a lock (the model supports one
+    /// outstanding lock per block, which is all the paper's LP code needs).
+    pub fn lock_global(&mut self, lock_addr: Addr) {
+        assert!(self.lock_snapshot.is_none(), "nested global locks not supported");
+        self.charge_atomic(lock_addr, 4);
+        let now = self.cost.parallel_cycles + self.cost.serial_cycles;
+        self.lock_snapshot = Some((lock_addr.raw(), now));
+    }
+
+    /// Releases the global spin lock at `lock_addr`, committing the critical
+    /// section's duration (plus contention handoff) to the serial timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held or a different lock address is given.
+    pub fn unlock_global(&mut self, lock_addr: Addr) {
+        let (held, snapshot) = self.lock_snapshot.take().expect("unlock without lock");
+        assert_eq!(held, lock_addr.raw(), "unlocking a different lock");
+        self.charge_atomic(lock_addr, 4);
+        let now = self.cost.parallel_cycles + self.cost.serial_cycles;
+        let crit_cycles = now - snapshot;
+        let crit_ns = self.cfg.cycles_to_ns(crit_cycles);
+        let contenders = self
+            .dev
+            .concurrency
+            .saturating_sub(1)
+            .min(self.cfg.cost.lock_contender_cap) as f64;
+        self.dev.lock_serial_ns += crit_ns + contenders * self.cfg.cost.lock_handoff_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::NvmConfig;
+
+    fn fixture() -> (PersistMemory, DeviceState, DeviceConfig, LaunchConfig) {
+        let cfg = DeviceConfig::test_gpu();
+        let mem = PersistMemory::new(NvmConfig::default());
+        let dev = DeviceState::new(&cfg, 16, 128);
+        let lc = LaunchConfig::linear(16 * 64, 64);
+        (mem, dev, cfg, lc)
+    }
+
+    #[test]
+    fn identity_helpers() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let ctx = BlockCtx::new(lc, 5, &mut mem, &mut dev, &cfg);
+        assert_eq!(ctx.block_id(), 5);
+        assert_eq!(ctx.global_thread_id(3), 5 * 64 + 3);
+        assert_eq!(ctx.warp_of(33), 1);
+        assert_eq!(ctx.lane_of(33), 1);
+        assert_eq!(ctx.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_and_charge() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let a = mem.alloc(64, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.store_f32(a, 2.5);
+        assert_eq!(ctx.load_f32(a), 2.5);
+        let cost = ctx.finish();
+        assert_eq!(cost.global_bytes, 8);
+        assert!(cost.parallel_cycles > 0.0);
+    }
+
+    #[test]
+    fn shared_memory_is_block_scratch() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        let h = ctx.shared_alloc(32);
+        ctx.shm_write(h, 7, 99);
+        assert_eq!(ctx.shm_read(h, 7), 99);
+        assert_eq!(ctx.shm_read(h, 0), 0);
+        let cost = ctx.finish();
+        assert_eq!(cost.global_bytes, 0, "shared memory must not hit global");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shm_oob_panics() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        let h = ctx.shared_alloc(4);
+        ctx.shm_read(h, 4);
+    }
+
+    #[test]
+    fn atomic_cas_semantics() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let a = mem.alloc(8, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        assert_eq!(ctx.atomic_cas_u64(a, 0, 42), 0); // success, old = 0
+        assert_eq!(ctx.atomic_cas_u64(a, 0, 77), 42); // fail, old = 42
+        assert_eq!(ctx.load_u64(a), 42);
+    }
+
+    #[test]
+    fn atomic_exch_returns_old() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let a = mem.alloc(8, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.store_u64(a, 7);
+        assert_eq!(ctx.atomic_exch_u64(a, 9), 7);
+        assert_eq!(ctx.load_u64(a), 9);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let a = mem.alloc(8, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        for _ in 0..10 {
+            ctx.atomic_add_u32(a, 3);
+        }
+        assert_eq!(ctx.load_u32(a), 30);
+        assert_eq!(ctx.cost_so_far().atomic_ops, 10);
+    }
+
+    #[test]
+    fn crash_drops_subsequent_stores() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        dev.crash_after_stores = Some(1);
+        let a = mem.alloc(16, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.store_u64(a, 1); // takes effect
+        ctx.store_u64(a.offset(8), 2); // dropped: crash point passed
+        assert!(ctx.crashed());
+        let _ = ctx.finish();
+        assert_eq!(mem.read_u64(a), 1);
+        assert_eq!(mem.read_u64(a.offset(8)), 0);
+    }
+
+    #[test]
+    fn lock_accumulates_serial_time() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let lock = mem.alloc(8, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.lock_global(lock);
+        ctx.charge_alu(1000);
+        ctx.unlock_global(lock);
+        let _ = ctx.finish();
+        assert!(dev.lock_serial_ns > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "holding a global lock")]
+    fn leaked_lock_panics() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let lock = mem.alloc(8, 8);
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.lock_global(lock);
+        ctx.finish();
+    }
+
+    #[test]
+    fn serial_charges_bypass_width_division() {
+        let (mut mem, mut dev, cfg, lc) = fixture();
+        let mut ctx = BlockCtx::new(lc, 0, &mut mem, &mut dev, &cfg);
+        ctx.charge_serial_alu(500);
+        let cost = ctx.finish();
+        assert_eq!(cost.serial_cycles, 500.0);
+        assert_eq!(cost.parallel_cycles, 0.0);
+    }
+}

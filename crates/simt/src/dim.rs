@@ -1,0 +1,154 @@
+//! Grid/block dimension types.
+
+use serde::{Deserialize, Serialize};
+
+/// A three-component dimension, like CUDA's `dim3`.
+///
+/// # Examples
+///
+/// ```
+/// use simt::Dim3;
+/// let d = Dim3::xy(4, 3);
+/// assert_eq!(d.count(), 12);
+/// assert_eq!(d.flatten(1, 2, 0), 9); // x + y*dim.x
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent in x.
+    pub x: u32,
+    /// Extent in y.
+    pub y: u32,
+    /// Extent in z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D dimension.
+    pub fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D dimension.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A full 3-D dimension.
+    pub fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Flat index of coordinate `(x, y, z)` in row-major (x fastest) order.
+    pub fn flatten(&self, x: u32, y: u32, z: u32) -> u64 {
+        x as u64 + self.x as u64 * (y as u64 + self.y as u64 * z as u64)
+    }
+
+    /// Inverse of [`Dim3::flatten`].
+    pub fn unflatten(&self, flat: u64) -> (u32, u32, u32) {
+        let x = (flat % self.x as u64) as u32;
+        let rest = flat / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        (x, y, z)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::x(1)
+    }
+}
+
+/// Grid and thread-block dimensions of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in each grid dimension.
+    pub grid: Dim3,
+    /// Number of threads in each block dimension.
+    pub block: Dim3,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch covering `n` work items with `block_threads` threads per
+    /// block (grid size rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_threads` is zero.
+    pub fn linear(n: u64, block_threads: u32) -> Self {
+        assert!(block_threads > 0, "block size must be non-zero");
+        let blocks = n.div_ceil(block_threads as u64).max(1);
+        LaunchConfig {
+            grid: Dim3::x(u32::try_from(blocks).expect("grid too large")),
+            block: Dim3::x(block_threads),
+        }
+    }
+
+    /// A 2-D launch of `grid_x` × `grid_y` blocks of `bx` × `by` threads.
+    pub fn grid2d(grid_x: u32, grid_y: u32, bx: u32, by: u32) -> Self {
+        LaunchConfig {
+            grid: Dim3::xy(grid_x, grid_y),
+            block: Dim3::xy(bx, by),
+        }
+    }
+
+    /// Total number of thread blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.block.count()
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.num_blocks() * self.threads_per_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let d = Dim3::xyz(5, 4, 3);
+        for flat in 0..d.count() {
+            let (x, y, z) = d.unflatten(flat);
+            assert_eq!(d.flatten(x, y, z), flat);
+        }
+    }
+
+    #[test]
+    fn linear_rounds_up() {
+        let lc = LaunchConfig::linear(100, 32);
+        assert_eq!(lc.num_blocks(), 4);
+        assert_eq!(lc.threads_per_block(), 32);
+        assert!(lc.total_threads() >= 100);
+    }
+
+    #[test]
+    fn linear_minimum_one_block() {
+        assert_eq!(LaunchConfig::linear(0, 64).num_blocks(), 1);
+    }
+
+    #[test]
+    fn grid2d_counts() {
+        let lc = LaunchConfig::grid2d(8, 8, 16, 16);
+        assert_eq!(lc.num_blocks(), 64);
+        assert_eq!(lc.threads_per_block(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_block_panics() {
+        LaunchConfig::linear(10, 0);
+    }
+}

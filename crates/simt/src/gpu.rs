@@ -1,0 +1,413 @@
+//! The device object: kernel launching, timing aggregation, crash injection.
+
+use crate::block::BlockCtx;
+use crate::config::DeviceConfig;
+use crate::device::DeviceState;
+use crate::kernel::Kernel;
+use crate::stats::LaunchStats;
+use nvm::PersistMemory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where to inject a power loss during a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The device loses power after this many global stores (stores and
+    /// atomic writes both advance the clock). `0` crashes before the first
+    /// store persists anything.
+    pub after_global_stores: u64,
+}
+
+/// Result of a launch that may have been cut short by a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchOutcome {
+    /// The kernel ran to completion.
+    Completed(LaunchStats),
+    /// Power was lost mid-kernel. The memory's volatile cache has been
+    /// discarded: only naturally-evicted (durable) data survives. The stats
+    /// describe the truncated execution and carry `crashed = true`.
+    Crashed(LaunchStats),
+}
+
+impl LaunchOutcome {
+    /// The stats regardless of outcome.
+    pub fn stats(&self) -> &LaunchStats {
+        match self {
+            LaunchOutcome::Completed(s) | LaunchOutcome::Crashed(s) => s,
+        }
+    }
+
+    /// Whether the launch crashed.
+    pub fn crashed(&self) -> bool {
+        matches!(self, LaunchOutcome::Crashed(_))
+    }
+}
+
+/// Errors detectable before any block executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The device configuration is inconsistent.
+    InvalidConfig(String),
+    /// The kernel requested zero blocks or zero threads.
+    EmptyLaunch,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::InvalidConfig(msg) => write!(f, "invalid device config: {msg}"),
+            LaunchError::EmptyLaunch => write!(f, "kernel launch has an empty grid or block"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// The simulated GPU device.
+///
+/// See the [crate-level documentation](crate) for the timing model. `Gpu` is
+/// stateless between launches; it can be reused for any number of kernels.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cfg: DeviceConfig,
+}
+
+impl Gpu {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`DeviceConfig::validate`].
+    pub fn new(cfg: DeviceConfig) -> Self {
+        cfg.validate().expect("invalid DeviceConfig");
+        Self { cfg }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Launches `kernel` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::EmptyLaunch`] for an empty grid/block.
+    pub fn launch(&self, kernel: &dyn Kernel, mem: &mut PersistMemory) -> Result<LaunchStats, LaunchError> {
+        match self.launch_inner(kernel, mem, None)? {
+            LaunchOutcome::Completed(s) => Ok(s),
+            LaunchOutcome::Crashed(_) => unreachable!("no crash was requested"),
+        }
+    }
+
+    /// Launches `kernel` with an injected power loss.
+    ///
+    /// If the crash point is reached, all stores after it are dropped, the
+    /// remaining blocks never run, and the memory's volatile cache is
+    /// discarded (as a real power loss would), leaving only the durable
+    /// view. If the kernel finishes first, the launch completes normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::EmptyLaunch`] for an empty grid/block.
+    pub fn launch_with_crash(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        crash: CrashSpec,
+    ) -> Result<LaunchOutcome, LaunchError> {
+        self.launch_inner(kernel, mem, Some(crash))
+    }
+
+    /// Re-executes a single thread block of `kernel` in isolation and
+    /// returns its cost.
+    ///
+    /// This is the recovery path: Lazy Persistency re-runs exactly the
+    /// blocks whose checksums failed validation. Blocks must be associative
+    /// (independent), so running one alone is legal by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_id` is outside the kernel's grid.
+    pub fn run_single_block(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        block_id: u64,
+    ) -> crate::BlockCost {
+        let lc = kernel.config();
+        assert!(block_id < lc.num_blocks(), "block id outside grid");
+        let line = mem.config().line_size as u64;
+        let mut dev = DeviceState::new(&self.cfg, 1, line);
+        let mut ctx = BlockCtx::new(lc, block_id, mem, &mut dev, &self.cfg);
+        kernel.run_block(&mut ctx);
+        ctx.finish()
+    }
+
+    fn launch_inner(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        crash: Option<CrashSpec>,
+    ) -> Result<LaunchOutcome, LaunchError> {
+        let lc = kernel.config();
+        if lc.num_blocks() == 0 || lc.threads_per_block() == 0 {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        let nvm_before = mem.stats();
+        let line = mem.config().line_size as u64;
+        let mut dev = DeviceState::new(&self.cfg, lc.num_blocks(), line);
+        dev.crash_after_stores = crash.map(|c| c.after_global_stores);
+
+        let mut sm_busy = vec![0.0f64; self.cfg.num_sms as usize];
+        let mut total_parallel = 0.0;
+        let mut total_serial = 0.0;
+        let mut global_bytes = 0u64;
+        let mut atomic_ops = 0u64;
+        let mut blocks_executed = 0u64;
+
+        for b in 0..lc.num_blocks() {
+            let ctx = BlockCtx::new(lc, b, mem, &mut dev, &self.cfg);
+            let mut ctx = ctx;
+            kernel.run_block(&mut ctx);
+            let cost = ctx.finish();
+            let sm = (b % self.cfg.num_sms as u64) as usize;
+            sm_busy[sm] += cost.time_ns(self.cfg.sm_width, self.cfg.clock_ghz);
+            total_parallel += cost.parallel_cycles;
+            total_serial += cost.serial_cycles;
+            global_bytes += cost.global_bytes;
+            atomic_ops += cost.atomic_ops;
+            if dev.crashed {
+                break;
+            }
+            blocks_executed += 1;
+        }
+
+        let compute_ns = sm_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        let bandwidth_ns = global_bytes as f64 / self.cfg.mem_bandwidth_gbps;
+        let atomic_ns = dev.max_channel_ns();
+        // Atomics and bulk traffic share the memory partitions: an atomic
+        // RMW occupies its partition's pipeline, so the two serialise
+        // *with each other* (additive), while compute can overlap either.
+        let memory_ns = bandwidth_ns + atomic_ns;
+        let kernel_ns = self.cfg.cost.launch_overhead_ns
+            + compute_ns.max(memory_ns)
+            + dev.lock_serial_ns;
+
+        let stats = LaunchStats {
+            kernel: kernel.name().to_string(),
+            num_blocks: lc.num_blocks(),
+            threads_per_block: lc.threads_per_block(),
+            compute_ns,
+            bandwidth_ns,
+            atomic_ns,
+            lock_serial_ns: dev.lock_serial_ns,
+            kernel_ns,
+            total_parallel_cycles: total_parallel,
+            total_serial_cycles: total_serial,
+            global_bytes,
+            atomic_ops,
+            contended_atomics: dev.contended_atomics,
+            blocks_executed,
+            crashed: dev.crashed,
+            nvm: mem.stats() - nvm_before,
+        };
+
+        if dev.crashed {
+            mem.crash();
+            Ok(LaunchOutcome::Crashed(stats))
+        } else {
+            Ok(LaunchOutcome::Completed(stats))
+        }
+    }
+}
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Self::new(DeviceConfig::v100())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+    use nvm::{Addr, NvmConfig};
+
+    /// out[i] = i * mult for i < n.
+    struct Scale {
+        out: Addr,
+        n: u64,
+        mult: u64,
+    }
+
+    impl Kernel for Scale {
+        fn name(&self) -> &str {
+            "scale"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::linear(self.n, 64)
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            for t in 0..ctx.threads_per_block() {
+                let gid = ctx.global_thread_id(t);
+                if gid < self.n {
+                    ctx.charge_alu(1);
+                    ctx.store_u64(self.out.index(gid, 8), gid * self.mult);
+                }
+            }
+        }
+    }
+
+    fn setup(n: u64) -> (Gpu, PersistMemory, Addr) {
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let out = mem.alloc(8 * n, 8);
+        (Gpu::new(DeviceConfig::test_gpu()), mem, out)
+    }
+
+    #[test]
+    fn kernel_computes_correct_results() {
+        let (gpu, mut mem, out) = setup(1000);
+        let k = Scale { out, n: 1000, mult: 7 };
+        let stats = gpu.launch(&k, &mut mem).unwrap();
+        for i in [0u64, 1, 999] {
+            assert_eq!(mem.read_u64(out.index(i, 8)), i * 7);
+        }
+        assert_eq!(stats.blocks_executed, stats.num_blocks);
+        assert!(!stats.crashed);
+        assert!(stats.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn timing_scales_with_work() {
+        let (gpu, mut mem, out) = setup(100_000);
+        let small = Scale { out, n: 1000, mult: 1 };
+        let large = Scale { out, n: 100_000, mult: 1 };
+        let t_small = gpu.launch(&small, &mut mem).unwrap().kernel_ns;
+        let t_large = gpu.launch(&large, &mut mem).unwrap().kernel_ns;
+        assert!(t_large > t_small, "more work must take longer");
+    }
+
+    #[test]
+    fn determinism() {
+        let (gpu, mut mem1, out1) = setup(5000);
+        let (_, mut mem2, out2) = setup(5000);
+        let s1 = gpu.launch(&Scale { out: out1, n: 5000, mult: 3 }, &mut mem1).unwrap();
+        let s2 = gpu.launch(&Scale { out: out2, n: 5000, mult: 3 }, &mut mem2).unwrap();
+        assert_eq!(s1.kernel_ns, s2.kernel_ns);
+        assert_eq!(s1.nvm, s2.nvm);
+    }
+
+    #[test]
+    fn crash_truncates_execution_and_discards_cache() {
+        let (gpu, mut mem, out) = setup(10_000);
+        let k = Scale { out, n: 10_000, mult: 1 };
+        let outcome = gpu
+            .launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 500 })
+            .unwrap();
+        assert!(outcome.crashed());
+        let stats = outcome.stats();
+        assert!(stats.blocks_executed < stats.num_blocks);
+        // Late elements were never written and early ones may have been lost
+        // with the cache: every surviving value must be correct (i*1) or 0.
+        for i in 0..10_000u64 {
+            let v = mem.read_u64(out.index(i, 8));
+            assert!(v == i || v == 0, "corrupted value {v} at {i}");
+        }
+    }
+
+    #[test]
+    fn crash_after_kernel_end_completes_normally() {
+        let (gpu, mut mem, out) = setup(100);
+        let k = Scale { out, n: 100, mult: 2 };
+        let outcome = gpu
+            .launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 1_000_000 })
+            .unwrap();
+        assert!(!outcome.crashed());
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        struct Empty;
+        impl Kernel for Empty {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn config(&self) -> LaunchConfig {
+                LaunchConfig {
+                    grid: crate::Dim3::x(0),
+                    block: crate::Dim3::x(64),
+                }
+            }
+            fn run_block(&self, _: &mut BlockCtx<'_>) {}
+        }
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let gpu = Gpu::default();
+        assert_eq!(gpu.launch(&Empty, &mut mem), Err(LaunchError::EmptyLaunch));
+    }
+
+    #[test]
+    fn bandwidth_floor_applies() {
+        // A kernel that moves lots of bytes with almost no compute should be
+        // bandwidth-bound: kernel_ns ≈ launch_overhead + bandwidth_ns.
+        struct Stream {
+            src: Addr,
+            dst: Addr,
+            n: u64,
+        }
+        impl Kernel for Stream {
+            fn name(&self) -> &str {
+                "stream"
+            }
+            fn config(&self) -> LaunchConfig {
+                LaunchConfig::linear(self.n, 256)
+            }
+            fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+                for t in 0..ctx.threads_per_block() {
+                    let gid = ctx.global_thread_id(t);
+                    if gid < self.n {
+                        let v = ctx.load_u64(self.src.index(gid, 8));
+                        ctx.store_u64(self.dst.index(gid, 8), v);
+                    }
+                }
+            }
+        }
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let n = 1 << 16;
+        let src = mem.alloc(8 * n, 8);
+        let dst = mem.alloc(8 * n, 8);
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let stats = gpu.launch(&Stream { src, dst, n }, &mut mem).unwrap();
+        assert_eq!(stats.global_bytes, 16 * n);
+        assert!(stats.bandwidth_ns > 0.0);
+    }
+
+    #[test]
+    fn atomic_hotspot_shows_in_atomic_component() {
+        struct Hot {
+            ctr: Addr,
+        }
+        impl Kernel for Hot {
+            fn name(&self) -> &str {
+                "hot"
+            }
+            fn config(&self) -> LaunchConfig {
+                LaunchConfig::linear(64 * 64, 64)
+            }
+            fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+                for _ in 0..ctx.threads_per_block() {
+                    ctx.atomic_add_u32(self.ctr, 1);
+                }
+            }
+        }
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let ctr = mem.alloc(4, 4);
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let stats = gpu.launch(&Hot { ctr }, &mut mem).unwrap();
+        assert_eq!(mem.read_u32(ctr), 64 * 64);
+        assert!(stats.atomic_ns > 0.0);
+        assert_eq!(stats.atomic_ops, 64 * 64);
+    }
+}

@@ -1,0 +1,41 @@
+//! The kernel trait implemented by every GPU workload.
+
+use crate::block::BlockCtx;
+use crate::dim::LaunchConfig;
+
+/// A GPU kernel: a grid of thread blocks, each executed by
+/// [`Kernel::run_block`].
+///
+/// Thread blocks must be *independent* — the simulator executes them in flat
+/// index order, but a real GPU provides no ordering guarantee, and Lazy
+/// Persistency exploits exactly this associativity (§IV-A): any block can be
+/// re-executed in isolation during crash recovery.
+///
+/// Blocks observe their coordinates and dimensions through the
+/// [`BlockCtx`]; per-thread work is expressed as loops over
+/// `0..ctx.threads_per_block()` with warp-collective helpers for reductions.
+pub trait Kernel {
+    /// Human-readable kernel name (used in statistics and reports).
+    fn name(&self) -> &str;
+
+    /// Grid and block dimensions of the launch.
+    fn config(&self) -> LaunchConfig;
+
+    /// Executes one thread block. `ctx` identifies the block and provides
+    /// memory, shared memory, atomics, and cost accounting.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>);
+}
+
+impl<K: Kernel + ?Sized> Kernel for &K {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn config(&self) -> LaunchConfig {
+        (**self).config()
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        (**self).run_block(ctx)
+    }
+}

