@@ -7,8 +7,14 @@ use gpu_lp::checksum::{ChecksumKind, ChecksumSet};
 
 fn bench_updates(c: &mut Criterion) {
     let mut g = c.benchmark_group("checksum_update");
-    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
-    for kind in [ChecksumKind::Parity, ChecksumKind::Modular, ChecksumKind::Adler32] {
+    let values: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    for kind in [
+        ChecksumKind::Parity,
+        ChecksumKind::Modular,
+        ChecksumKind::Adler32,
+    ] {
         g.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| {
                 let mut acc = kind.init();

@@ -23,7 +23,13 @@ fn bench_reduce(c: &mut Criterion) {
             |mut mem| {
                 let mut dev = DeviceState::new(&cfg, 4, 128);
                 let mut ctx = BlockCtx::standalone(lc, 0, &mut mem, &mut dev, &cfg);
-                let out = block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+                let out = block_reduce(
+                    &mut ctx,
+                    &set,
+                    &per_thread,
+                    ReduceStrategy::ParallelShuffle,
+                    None,
+                );
                 (out, ctx.into_cost())
             },
             BatchSize::SmallInput,

@@ -49,7 +49,10 @@ fn main() {
             fmt_overhead(qr.overhead),
             fmt_overhead(ca.overhead),
             fmt_overhead(cr.overhead),
-            format!("{}/{}", qr.table_stats.racy_conflicts, cr.table_stats.racy_conflicts),
+            format!(
+                "{}/{}",
+                qr.table_stats.racy_conflicts, cr.table_stats.racy_conflicts
+            ),
         ]);
         for (col, m) in cols.iter_mut().zip([&qa, &qr, &ca, &cr]) {
             col.push(m.slowdown);
@@ -73,7 +76,9 @@ fn main() {
         ]);
     }
     println!("{}", table.to_markdown());
-    println!("(paper: without atomics, overheads *increase* — to 41.9% for Cuckoo and >16x for Quad)");
+    println!(
+        "(paper: without atomics, overheads *increase* — to 41.9% for Cuckoo and >16x for Quad)"
+    );
     if args.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
     }

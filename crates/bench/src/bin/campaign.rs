@@ -1,0 +1,219 @@
+//! E14 — the systematic crash-injection campaign.
+//!
+//! Sweeps `{workload} × {LP config} × {seed} × {crash site}` with the
+//! `lp-fault` engine: every trial crashes a fresh simulated machine at one
+//! taxonomy site, recovers, and is judged by three oracles (output
+//! correctness, no phantom validation failures, no false negatives).
+//! Failures are shrunk to minimal reproducers. `--sabotage` swaps in the
+//! deliberately-broken `broken-skip-recovery` config to demonstrate the
+//! campaign catching (and shrinking) a real persistency bug.
+//!
+//! This binary parses its own flags: its knobs (budget, threads, sabotage)
+//! don't exist in the shared `lp_bench::cli` surface.
+
+use lp_fault::SUBJECT_NAMES;
+use lp_fault::{run_campaign, CampaignReport, CampaignSpec, CrashSite, SABOTAGE_CONFIG};
+use lp_kernels::Scale;
+use std::io::Write;
+
+const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
+                     [--workload NAME] [--sabotage] [--json] [--quiet]";
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("campaign: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct CampaignArgs {
+    scale: Scale,
+    budget: Option<usize>,
+    threads: usize,
+    sabotage: bool,
+    json: bool,
+    workload: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> CampaignArgs {
+    let mut out = CampaignArgs {
+        scale: Scale::Test,
+        budget: None,
+        threads: 0,
+        sabotage: false,
+        json: false,
+        workload: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next()
+            .unwrap_or_else(|| usage_err(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = value(&mut it, "--scale");
+                out.scale = match v.to_ascii_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    "paper" => Scale::Paper,
+                    other => usage_err(&format!("unknown scale {other:?} (test|bench|paper)")),
+                };
+            }
+            "--budget" => {
+                let v = value(&mut it, "--budget");
+                out.budget = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_err(&format!("--budget {v:?}: not a count"))),
+                );
+            }
+            "--threads" => {
+                let v = value(&mut it, "--threads");
+                out.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_err(&format!("--threads {v:?}: not a count")));
+            }
+            "--workload" => {
+                let w = value(&mut it, "--workload").to_ascii_uppercase();
+                if !SUBJECT_NAMES.contains(&w.as_str()) {
+                    usage_err(&format!(
+                        "unknown workload {w:?} (one of {})",
+                        SUBJECT_NAMES.join(", ")
+                    ));
+                }
+                out.workload = Some(w);
+            }
+            "--sabotage" => out.sabotage = true,
+            "--json" => out.json = true,
+            "--quiet" => out.quiet = true,
+            "--seed" => {
+                // Accepted for run_all compatibility: campaigns sweep their
+                // own seed set, so a single seed flag is a no-op.
+                let _ = value(&mut it, "--seed");
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_err(&format!("unknown argument {other:?}")),
+        }
+    }
+    out
+}
+
+fn print_report(report: &CampaignReport) {
+    println!(
+        "\n{} trials, {} crashed, {} passed, {} loss-oracle skips, {} failures",
+        report.trials,
+        report.crashed,
+        report.passed,
+        report.oracle_skips,
+        report.failures.len()
+    );
+    println!(
+        "\n{:<24} {:>7} {:>8} {:>7}",
+        "site", "trials", "crashed", "failed"
+    );
+    for t in &report.by_site {
+        println!(
+            "{:<24} {:>7} {:>8} {:>7}",
+            t.label, t.trials, t.crashed, t.failed
+        );
+    }
+    println!(
+        "\n{:<24} {:>7} {:>8} {:>7}",
+        "workload", "trials", "crashed", "failed"
+    );
+    for t in &report.by_workload {
+        println!(
+            "{:<24} {:>7} {:>8} {:>7}",
+            t.label, t.trials, t.crashed, t.failed
+        );
+    }
+    for f in &report.failures {
+        println!("\nFAILURE {}", f.result.id.label());
+        println!("  detail: {}", f.result.detail);
+        if let Some(s) = &f.shrunk {
+            println!(
+                "  shrunk to {} ({} simplifications in {} attempts)",
+                s.minimal.label(),
+                s.accepted,
+                s.attempts
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = CampaignSpec::default_sweep(args.scale);
+    spec.budget = args.budget;
+    spec.threads = args.threads;
+    if let Some(w) = &args.workload {
+        spec.workloads = vec![w.to_ascii_uppercase()];
+    }
+    if args.sabotage {
+        spec.configs = vec![SABOTAGE_CONFIG.to_string()];
+        // Sabotage demo: sites that reliably lose mid-stream data, so the
+        // broken config fails fast and the shrinker has work to do.
+        spec.sites = CrashSite::catalog()
+            .into_iter()
+            .filter(|s| matches!(s, CrashSite::AfterStores { pct } if *pct > 0))
+            .collect();
+    }
+
+    eprintln!(
+        "# campaign: {} workloads x {} configs x {} seeds x {} sites{}",
+        spec.workloads.len(),
+        spec.configs.len(),
+        spec.seeds.len(),
+        spec.sites.len(),
+        spec.budget
+            .map(|b| format!(", budget {b}"))
+            .unwrap_or_default()
+    );
+    let quiet = args.quiet;
+    let report = run_campaign(&spec, move |done, total| {
+        if !quiet && (done % 50 == 0 || done == total) {
+            eprint!("\r  {done}/{total} trials");
+            let _ = std::io::stderr().flush();
+        }
+    });
+    if !quiet {
+        eprintln!();
+    }
+
+    if args.json {
+        // JSON mode keeps stdout machine-readable: the document and nothing
+        // else; the human-readable tables are suppressed.
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        print_report(&report);
+    }
+    if args.sabotage {
+        // The demo *succeeds* when the broken config is caught.
+        if report.all_passed() {
+            eprintln!("sabotage demo failed: broken config went undetected");
+            std::process::exit(1);
+        }
+        let shrunk = report
+            .failures
+            .iter()
+            .filter(|f| f.shrunk.is_some())
+            .count();
+        let caught = format!(
+            "\nsabotage caught: {} failures, {shrunk} shrunk reproducers",
+            report.failures.len()
+        );
+        if args.json {
+            eprintln!("{caught}");
+        } else {
+            println!("{caught}");
+        }
+    } else if !report.all_passed() {
+        std::process::exit(1);
+    }
+}

@@ -48,7 +48,9 @@ fn main() {
         _ => 2_000_000,
     };
 
-    println!("# §IV-B — false-negative rates under random error injection ({trials} trials each)\n");
+    println!(
+        "# §IV-B — false-negative rates under random error injection ({trials} trials each)\n"
+    );
     let sets: [(&str, ChecksumSet); 4] = [
         ("parity", ChecksumSet::parity_only()),
         ("modular", ChecksumSet::modular_only()),

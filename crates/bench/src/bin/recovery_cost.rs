@@ -34,14 +34,21 @@ fn main() {
     let mut w = workload_by_name(name, args.scale, args.seed).expect("unknown workload");
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
     let clean = gpu.launch(kernel.as_ref(), &mut mem).expect("launch");
     let total_stores = clean.nvm.store_ops;
     drop(kernel);
 
-    println!("# Recovery cost vs. crash point — {name} ({} blocks, {} stores, clean run {:.0} ns)\n",
-        clean.num_blocks, total_stores, clean.kernel_ns);
+    println!(
+        "# Recovery cost vs. crash point — {name} ({} blocks, {} stores, clean run {:.0} ns)\n",
+        clean.num_blocks, total_stores, clean.kernel_ns
+    );
 
     let mut table = Table::new(&[
         "Crash point",
@@ -57,16 +64,30 @@ fn main() {
         let (gpu, mut mem) = small_cache_world();
         let mut w = workload_by_name(name, args.scale, args.seed).unwrap();
         w.setup(&mut mem);
-        let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+        let rt = LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            LpConfig::recommended(),
+        );
         let kernel = w.kernel(Some(&rt));
         let outcome = gpu
-            .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: crash_after })
+            .launch_with_crash(
+                kernel.as_ref(),
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: crash_after,
+                },
+            )
             .unwrap();
         if !outcome.crashed() {
             mem.flush_all();
         }
         let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
-        assert!(report.recovered && w.verify(&mut mem), "{name}: recovery failed at {pct}%");
+        assert!(
+            report.recovered && w.verify(&mut mem),
+            "{name}: recovery failed at {pct}%"
+        );
         let recovery_ns = report.reexecution_ns_x1000 as f64 / 1000.0;
         table.row(&[
             format!("{pct}% of stores"),
@@ -99,7 +120,10 @@ fn main() {
     }
     println!("\n(Recovery (ns) sums per-block re-execution serially — a worst-case upper bound.");
     println!(" A real recovery kernel re-runs failed blocks in parallel across all SMs, dividing");
-    println!(" this by ~{}x; either way the cost is paid only after a crash, while eager", gpu.config().num_sms);
+    println!(
+        " this by ~{}x; either way the cost is paid only after a crash, while eager",
+        gpu.config().num_sms
+    );
     println!(" persistency pays its overhead on every single run.)");
     if args.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());

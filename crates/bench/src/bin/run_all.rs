@@ -37,6 +37,19 @@ fn main() {
             failed.push(*bin);
         }
     }
+    // E14: the crash-injection campaign has its own flag surface, so it
+    // gets a fixed, bounded invocation instead of the forwarded args.
+    println!("\n================================================================");
+    println!("== E14 / crash-injection campaign  (campaign)");
+    println!("================================================================\n");
+    let status = Command::new(bin_dir.join("campaign"))
+        .args(["--scale", "test", "--budget", "200", "--quiet"])
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn campaign: {e}"));
+    if !status.success() {
+        failed.push("campaign");
+    }
+
     if failed.is_empty() {
         println!("\nAll experiments completed.");
     } else {

@@ -14,7 +14,13 @@ fn main() {
     };
 
     println!("# Table II — checksum-table collisions\n");
-    let mut table = Table::new(&["Benchmark", "Blocks", "Quadratic Probing", "Cuckoo Hashing", "Cuckoo rehashes"]);
+    let mut table = Table::new(&[
+        "Benchmark",
+        "Blocks",
+        "Quadratic Probing",
+        "Cuckoo Hashing",
+        "Cuckoo rehashes",
+    ]);
     let mut json_rows = Vec::new();
     for name in names {
         let quad = measure_workload(name, args.scale, args.seed, &LpConfig::quad(), false);

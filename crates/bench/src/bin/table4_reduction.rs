@@ -14,7 +14,13 @@ fn main() {
     };
 
     println!("# Table IV — overhead with (shfl) and without (no) parallel reduction\n");
-    let mut table = Table::new(&["Benchmark", "Quad+shfl", "Quad+no", "Cuckoo+shfl", "Cuckoo+no"]);
+    let mut table = Table::new(&[
+        "Benchmark",
+        "Quad+shfl",
+        "Quad+no",
+        "Cuckoo+shfl",
+        "Cuckoo+no",
+    ]);
     let mut cols: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     let mut json_rows = Vec::new();
 

@@ -14,7 +14,14 @@ fn main() {
     };
 
     println!("# Table V — final design: global array + shuffle (array+shuffle)\n");
-    let mut table = Table::new(&["Benchmark", "Blocks", "array+shuffle", "Space overhead", "Collisions", "Atomics"]);
+    let mut table = Table::new(&[
+        "Benchmark",
+        "Blocks",
+        "array+shuffle",
+        "Space overhead",
+        "Collisions",
+        "Atomics",
+    ]);
     let (mut slowdowns, mut spaces) = (Vec::new(), Vec::new());
     let mut json_rows = Vec::new();
 

@@ -39,7 +39,9 @@ fn main() {
         }));
     }
     println!("{}", table.to_markdown());
-    println!("(paper: +0.5% for SPMV up to +2.2% for TMM — only the checksum stores are new writes)");
+    println!(
+        "(paper: +0.5% for SPMV up to +2.2% for TMM — only the checksum stores are new writes)"
+    );
     if args.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
     }

@@ -48,12 +48,18 @@ impl Args {
                     };
                 }
                 "--seed" => {
-                    out.seed = it.next().expect("--seed needs a value").parse().expect("seed must be u64");
+                    out.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("seed must be u64");
                 }
                 "--json" => out.json = true,
                 "--workload" => out.workload = Some(it.next().expect("--workload needs a value")),
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale test|bench|paper] [--seed N] [--json] [--workload NAME]");
+                    eprintln!(
+                        "usage: [--scale test|bench|paper] [--seed N] [--json] [--workload NAME]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?}"),
@@ -81,7 +87,15 @@ mod tests {
 
     #[test]
     fn parses_everything() {
-        let a = parse(&["--scale", "test", "--seed", "7", "--json", "--workload", "SPMV"]);
+        let a = parse(&[
+            "--scale",
+            "test",
+            "--seed",
+            "7",
+            "--json",
+            "--workload",
+            "SPMV",
+        ]);
         assert_eq!(a.scale, Scale::Test);
         assert_eq!(a.seed, 7);
         assert!(a.json);

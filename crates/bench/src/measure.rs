@@ -80,10 +80,17 @@ pub fn run_baseline(world: &mut World, w: &mut dyn Workload) -> (LaunchStats, Nv
     w.setup(&mut world.mem);
     world.mem.reset_stats();
     let kernel = w.kernel(None);
-    let stats = world.gpu.launch(kernel.as_ref(), &mut world.mem).expect("baseline launch");
+    let stats = world
+        .gpu
+        .launch(kernel.as_ref(), &mut world.mem)
+        .expect("baseline launch");
     world.mem.flush_all();
     let nvm = world.mem.stats();
-    assert!(w.verify(&mut world.mem), "{}: baseline verification failed", w.info().name);
+    assert!(
+        w.verify(&mut world.mem),
+        "{}: baseline verification failed",
+        w.info().name
+    );
     (stats, nvm)
 }
 
@@ -95,23 +102,47 @@ pub fn run_lp(
 ) -> (LaunchStats, NvmStats, LpRuntime) {
     w.setup(&mut world.mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut world.mem, lc.num_blocks(), lc.threads_per_block(), config.clone());
+    let rt = LpRuntime::setup(
+        &mut world.mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        config.clone(),
+    );
     world.mem.flush_all();
     world.mem.reset_stats();
     let stats = {
         let kernel = w.kernel(Some(&rt));
-        world.gpu.launch(kernel.as_ref(), &mut world.mem).expect("LP launch")
+        world
+            .gpu
+            .launch(kernel.as_ref(), &mut world.mem)
+            .expect("LP launch")
     };
     world.mem.flush_all();
     let nvm = world.mem.stats();
-    assert!(w.verify(&mut world.mem), "{}: LP verification failed", w.info().name);
+    assert!(
+        w.verify(&mut world.mem),
+        "{}: LP verification failed",
+        w.info().name
+    );
     (stats, nvm, rt)
 }
 
 /// Measures one workload at `scale` under `config`, with fresh worlds for
 /// baseline and LP runs (same seed, so identical inputs).
-pub fn measure_workload(name: &str, scale: Scale, seed: u64, config: &LpConfig, nvm_mode: bool) -> Measurement {
-    let build_world = || if nvm_mode { World::nvm_world() } else { World::default_world() };
+pub fn measure_workload(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    config: &LpConfig,
+    nvm_mode: bool,
+) -> Measurement {
+    let build_world = || {
+        if nvm_mode {
+            World::nvm_world()
+        } else {
+            World::default_world()
+        }
+    };
 
     let mut world = build_world();
     let mut w = workload_by_name(name, scale, seed).expect("unknown workload");
@@ -161,7 +192,11 @@ mod tests {
     fn measure_tmm_recommended_is_cheap() {
         let m = measure_workload("TMM", Scale::Test, 1, &LpConfig::recommended(), false);
         assert!(m.slowdown >= 1.0, "LP cannot be faster than baseline");
-        assert!(m.overhead < 0.5, "global array should be cheap, got {}", m.overhead);
+        assert!(
+            m.overhead < 0.5,
+            "global array should be cheap, got {}",
+            m.overhead
+        );
         assert_eq!(m.table_stats.collisions, 0);
     }
 
@@ -170,6 +205,9 @@ mod tests {
         let m = measure_workload("HISTO", Scale::Test, 1, &LpConfig::recommended(), false);
         assert!(m.space_overhead() > 0.0);
         assert!(m.write_amplification() >= 1.0);
-        assert!(m.write_amplification() < 1.5, "LP write amplification must be small");
+        assert!(
+            m.write_amplification() < 1.5,
+            "LP write amplification must be small"
+        );
     }
 }

@@ -20,7 +20,9 @@ pub struct CheckpointPolicy {
 impl CheckpointPolicy {
     /// Checkpoint after every launch (maximum durability, maximum cost).
     pub fn every_launch() -> Self {
-        Self { interval_launches: 1 }
+        Self {
+            interval_launches: 1,
+        }
     }
 
     /// Checkpoint every `n` launches.
@@ -30,7 +32,9 @@ impl CheckpointPolicy {
     /// Panics if `n` is zero.
     pub fn every(n: u32) -> Self {
         assert!(n > 0, "interval must be positive");
-        Self { interval_launches: n }
+        Self {
+            interval_launches: n,
+        }
     }
 }
 
@@ -102,7 +106,10 @@ impl CheckpointManager {
 ///
 /// Panics if either argument is non-positive.
 pub fn optimal_checkpoint_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
-    assert!(checkpoint_cost > 0.0 && mtbf > 0.0, "costs must be positive");
+    assert!(
+        checkpoint_cost > 0.0 && mtbf > 0.0,
+        "costs must be positive"
+    );
     (2.0 * checkpoint_cost * mtbf).sqrt()
 }
 
@@ -170,16 +177,20 @@ mod tests {
         let (delta, mtbf, rec) = (1.0, 10_000.0, 5.0);
         let opt = optimal_checkpoint_interval(delta, mtbf);
         let at_opt = availability(opt, delta, mtbf, rec);
-        assert!(at_opt > availability(opt / 20.0, delta, mtbf, rec), "too-frequent checkpoints hurt");
-        assert!(at_opt > availability(opt * 20.0, delta, mtbf, rec), "too-rare checkpoints hurt");
+        assert!(
+            at_opt > availability(opt / 20.0, delta, mtbf, rec),
+            "too-frequent checkpoints hurt"
+        );
+        assert!(
+            at_opt > availability(opt * 20.0, delta, mtbf, rec),
+            "too-rare checkpoints hurt"
+        );
         assert!(at_opt > 0.95 && at_opt < 1.0);
     }
 
     #[test]
     fn availability_degrades_with_flaky_hardware() {
-        assert!(
-            availability(10.0, 1.0, 100_000.0, 5.0) > availability(10.0, 1.0, 100.0, 5.0)
-        );
+        assert!(availability(10.0, 1.0, 100_000.0, 5.0) > availability(10.0, 1.0, 100.0, 5.0));
     }
 
     #[test]

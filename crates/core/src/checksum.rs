@@ -284,7 +284,9 @@ mod tests {
     #[test]
     fn parity_is_xor() {
         let k = ChecksumKind::Parity;
-        let acc = [3u64, 5, 3, 5, 9].iter().fold(k.init(), |a, &v| k.update(a, v));
+        let acc = [3u64, 5, 3, 5, 9]
+            .iter()
+            .fold(k.init(), |a, &v| k.update(a, v));
         assert_eq!(acc, 9);
     }
 
@@ -348,7 +350,10 @@ mod tests {
         let modular = ChecksumSet::modular_only();
         let vals = vec![10u64, 20, 30];
         let swapped = vec![11u64, 19, 30];
-        assert_eq!(modular.digest(vals.clone()), modular.digest(swapped.clone()));
+        assert_eq!(
+            modular.digest(vals.clone()),
+            modular.digest(swapped.clone())
+        );
         let pair = ChecksumSet::modular_parity();
         assert_ne!(pair.digest(vals), pair.digest(swapped));
     }

@@ -89,8 +89,12 @@ impl<'g> RecoveryEngine<'g> {
 
     /// Runs eager recovery to convergence: validate, re-execute failed
     /// regions, flush, re-validate. Returns the report; `recovered` is
-    /// `false` only if the pass budget ran out (which would indicate a
-    /// non-idempotent region).
+    /// `false` if the pass budget ran out (which would indicate a
+    /// non-idempotent region) or if power failed *during* recovery — the
+    /// double-crash case. A power failure aborts the run immediately with
+    /// `recovered = false`: the caller restores power and recovers again,
+    /// and forward progress is guaranteed because every completed pass
+    /// flushed its re-executions before the next validation.
     pub fn recover(
         &self,
         kernel: &dyn Recoverable,
@@ -113,6 +117,9 @@ impl<'g> RecoveryEngine<'g> {
                 return report;
             }
             for b in &failed {
+                if mem.power_failed() {
+                    return report;
+                }
                 let cost = self.gpu.run_single_block(kernel, mem, *b);
                 let cfg = self.gpu.config();
                 report.reexecution_ns_x1000 +=
@@ -123,6 +130,9 @@ impl<'g> RecoveryEngine<'g> {
             // never moves the system backwards (§II-A's forward-progress
             // argument).
             mem.flush_all();
+            if mem.power_failed() {
+                return report;
+            }
         }
         report.recovered = self.validate_all(kernel, rt, mem).is_empty();
         report
@@ -206,7 +216,11 @@ mod tests {
     fn clean_run_validates_clean() {
         let (gpu, mut mem, out) = world(2048);
         let rt = LpRuntime::setup(&mut mem, 32, 64, LpConfig::recommended());
-        let k = FillLp { out, n: 2048, rt: &rt };
+        let k = FillLp {
+            out,
+            n: 2048,
+            rt: &rt,
+        };
         gpu.launch(&k, &mut mem).unwrap();
         mem.flush_all();
         let eng = RecoveryEngine::new(&gpu);
@@ -217,9 +231,19 @@ mod tests {
     fn crash_then_recover_restores_everything() {
         let (gpu, mut mem, out) = world(2048);
         let rt = LpRuntime::setup(&mut mem, 32, 64, LpConfig::recommended());
-        let k = FillLp { out, n: 2048, rt: &rt };
+        let k = FillLp {
+            out,
+            n: 2048,
+            rt: &rt,
+        };
         let outcome = gpu
-            .launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 700 })
+            .launch_with_crash(
+                &k,
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 700,
+                },
+            )
             .unwrap();
         assert!(outcome.crashed());
 
@@ -237,9 +261,19 @@ mod tests {
     fn recovery_is_idempotent() {
         let (gpu, mut mem, out) = world(1024);
         let rt = LpRuntime::setup(&mut mem, 16, 64, LpConfig::recommended());
-        let k = FillLp { out, n: 1024, rt: &rt };
-        gpu.launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 300 })
-            .unwrap();
+        let k = FillLp {
+            out,
+            n: 1024,
+            rt: &rt,
+        };
+        gpu.launch_with_crash(
+            &k,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 300,
+            },
+        )
+        .unwrap();
         let eng = RecoveryEngine::new(&gpu);
         let r1 = eng.recover(&k, &rt, &mut mem);
         let r2 = eng.recover(&k, &rt, &mut mem);
@@ -252,9 +286,19 @@ mod tests {
     fn crash_at_zero_recovers_from_nothing() {
         let (gpu, mut mem, out) = world(512);
         let rt = LpRuntime::setup(&mut mem, 8, 64, LpConfig::recommended());
-        let k = FillLp { out, n: 512, rt: &rt };
-        gpu.launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 0 })
-            .unwrap();
+        let k = FillLp {
+            out,
+            n: 512,
+            rt: &rt,
+        };
+        gpu.launch_with_crash(
+            &k,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 0,
+            },
+        )
+        .unwrap();
         let eng = RecoveryEngine::new(&gpu);
         let report = eng.recover(&k, &rt, &mut mem);
         assert!(report.recovered);
@@ -267,9 +311,19 @@ mod tests {
         for config in [LpConfig::quad(), LpConfig::cuckoo()] {
             let (gpu, mut mem, out) = world(1024);
             let rt = LpRuntime::setup(&mut mem, 16, 64, config);
-            let k = FillLp { out, n: 1024, rt: &rt };
-            gpu.launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 400 })
-                .unwrap();
+            let k = FillLp {
+                out,
+                n: 1024,
+                rt: &rt,
+            };
+            gpu.launch_with_crash(
+                &k,
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 400,
+                },
+            )
+            .unwrap();
             let report = RecoveryEngine::new(&gpu).recover(&k, &rt, &mut mem);
             assert!(report.recovered, "{:?}", rt.config().table);
             verify_output(&mut mem, out, 1024);
@@ -277,12 +331,91 @@ mod tests {
     }
 
     #[test]
+    fn power_failure_during_recovery_aborts_then_second_recovery_converges() {
+        let (gpu, mut mem, out) = world(2048);
+        let rt = LpRuntime::setup(&mut mem, 32, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 2048,
+            rt: &rt,
+        };
+        gpu.launch_with_crash(
+            &k,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 700,
+            },
+        )
+        .unwrap();
+
+        // Second crash: power fails partway through the recovery
+        // re-executions themselves.
+        mem.arm_crash_after_evictions(2);
+        let eng = RecoveryEngine::new(&gpu);
+        let report = eng.recover(&k, &rt, &mut mem);
+        assert!(
+            !report.recovered,
+            "a mid-recovery power failure must not report success"
+        );
+        assert!(mem.power_failed());
+
+        // Reboot and recover again: eager recovery must converge from
+        // whatever the double crash left durable.
+        mem.power_on();
+        let report = eng.recover(&k, &rt, &mut mem);
+        assert!(
+            report.recovered,
+            "post-reboot recovery must converge: {report:?}"
+        );
+        verify_output(&mut mem, out, 2048);
+    }
+
+    #[test]
+    fn recovery_on_powered_off_memory_is_a_clean_no_progress_abort() {
+        let (gpu, mut mem, out) = world(512);
+        let rt = LpRuntime::setup(&mut mem, 8, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 512,
+            rt: &rt,
+        };
+        gpu.launch_with_crash(
+            &k,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 100,
+            },
+        )
+        .unwrap();
+        mem.arm_crash_after_evictions(0);
+        // Trip the trigger with a single store.
+        mem.write_u64(out, 0);
+        assert!(mem.power_failed());
+        let report = RecoveryEngine::new(&gpu).recover(&k, &rt, &mut mem);
+        assert!(!report.recovered);
+        assert_eq!(
+            report.reexecutions, 0,
+            "no re-execution can run without power"
+        );
+    }
+
+    #[test]
     fn flush_after_recovery_makes_state_durable() {
         let (gpu, mut mem, out) = world(512);
         let rt = LpRuntime::setup(&mut mem, 8, 64, LpConfig::recommended());
-        let k = FillLp { out, n: 512, rt: &rt };
-        gpu.launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 100 })
-            .unwrap();
+        let k = FillLp {
+            out,
+            n: 512,
+            rt: &rt,
+        };
+        gpu.launch_with_crash(
+            &k,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 100,
+            },
+        )
+        .unwrap();
         RecoveryEngine::new(&gpu).recover(&k, &rt, &mut mem);
         // A second crash right after recovery must lose nothing.
         mem.crash();

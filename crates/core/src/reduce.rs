@@ -56,7 +56,11 @@ pub fn block_reduce(
 ) -> Vec<u64> {
     let threads = ctx.threads_per_block() as usize;
     let arity = set.arity();
-    assert_eq!(per_thread.len(), threads * arity, "accumulator matrix shape mismatch");
+    assert_eq!(
+        per_thread.len(),
+        threads * arity,
+        "accumulator matrix shape mismatch"
+    );
     match strategy {
         ReduceStrategy::ParallelShuffle => shuffle_reduce(ctx, set, per_thread),
         ReduceStrategy::SequentialMemory => {
@@ -128,7 +132,10 @@ fn sequential_reduce(
     // measures.
     for t in 0..threads {
         for c in 0..arity {
-            ctx.store_u64(scratch.index((t * arity + c) as u64, 8), per_thread[t * arity + c]);
+            ctx.store_u64(
+                scratch.index((t * arity + c) as u64, 8),
+                per_thread[t * arity + c],
+            );
         }
     }
     ctx.sync_threads();
@@ -187,7 +194,13 @@ mod tests {
         let set = ChecksumSet::modular_parity();
         let per_thread = accumulate(&set, 64, |t| (t as u64) * 77 + 5);
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let got = block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+        let got = block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::ParallelShuffle,
+            None,
+        );
         let _ = ctx.into_cost();
         let want = set.digest((0..64u64).map(|t| t * 77 + 5));
         assert_eq!(got, want);
@@ -223,7 +236,13 @@ mod tests {
             block: simt::Dim3::x(128),
         };
         let mut ctx = simt::BlockCtx::standalone(lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let a = block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+        let a = block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::ParallelShuffle,
+            None,
+        );
         let b = block_reduce(
             &mut ctx,
             &set,
@@ -243,7 +262,13 @@ mod tests {
         let scratch = rig.mem.alloc(64 * 2 * 8, 8);
 
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+        block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::ParallelShuffle,
+            None,
+        );
         let shuffle_cost = ctx.into_cost();
 
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
@@ -257,7 +282,10 @@ mod tests {
         let seq_cost = ctx.into_cost();
 
         assert_eq!(shuffle_cost.global_bytes, 0, "shuffle stays on-chip");
-        assert!(seq_cost.global_bytes > 0, "sequential spills to global memory");
+        assert!(
+            seq_cost.global_bytes > 0,
+            "sequential spills to global memory"
+        );
         assert!(seq_cost.serial_cycles > 0.0, "sequential has a serial tail");
     }
 
@@ -272,7 +300,13 @@ mod tests {
         };
         let per_thread = accumulate(&set, 80, |t| t as u64 + 1);
         let mut ctx = simt::BlockCtx::standalone(lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let got = block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+        let got = block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::ParallelShuffle,
+            None,
+        );
         let _ = ctx.into_cost();
         assert_eq!(got, set.digest((0..80u64).map(|t| t + 1)));
     }
@@ -284,7 +318,13 @@ mod tests {
         let set = ChecksumSet::new(vec![ChecksumKind::Adler32]);
         let per_thread = vec![1u64; 64];
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::ParallelShuffle, None);
+        block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::ParallelShuffle,
+            None,
+        );
     }
 
     #[test]
@@ -294,7 +334,13 @@ mod tests {
         let set = ChecksumSet::modular_parity();
         let per_thread = vec![0u64; 64 * 2];
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        block_reduce(&mut ctx, &set, &per_thread, ReduceStrategy::SequentialMemory, None);
+        block_reduce(
+            &mut ctx,
+            &set,
+            &per_thread,
+            ReduceStrategy::SequentialMemory,
+            None,
+        );
     }
 
     #[test]

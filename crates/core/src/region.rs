@@ -9,8 +9,8 @@
 use crate::checksum::{f32_store_image, f64_store_image, ChecksumSet};
 use crate::reduce::{block_reduce, scratch_words, ReduceStrategy};
 use crate::table::{
-    AtomicPolicy, ChecksumTableOps, CuckooTable, GlobalArrayTable, LockPolicy,
-    QuadraticProbeTable, TableInstance, TableKind, TableStatsSnapshot,
+    AtomicPolicy, ChecksumTableOps, CuckooTable, GlobalArrayTable, LockPolicy, QuadraticProbeTable,
+    TableInstance, TableKind, TableStatsSnapshot,
 };
 use nvm::{Addr, PersistMemory};
 use serde::{Deserialize, Serialize};
@@ -206,8 +206,8 @@ impl LpRuntime {
         assert!(num_regions > 0 && threads_per_block > 0, "empty launch");
         let arity = config.checksums.arity();
         let table = match config.table {
-            TableKind::QuadraticProbing { load_factor } => TableInstance::Quad(
-                QuadraticProbeTable::create(
+            TableKind::QuadraticProbing { load_factor } => {
+                TableInstance::Quad(QuadraticProbeTable::create(
                     mem,
                     num_regions,
                     load_factor,
@@ -215,8 +215,8 @@ impl LpRuntime {
                     config.lock,
                     config.atomic,
                     0x1EAF_5EED,
-                ),
-            ),
+                ))
+            }
             TableKind::Cuckoo {
                 load_factor,
                 max_displacements,
@@ -287,6 +287,14 @@ impl LpRuntime {
         self.table.size_bytes()
     }
 
+    /// Byte ranges `(base, len)` of the checksum-table storage. A cache
+    /// line from these ranges lost in a crash shows up as a *validation*
+    /// failure of whichever regions' entries it held — it is accounted for
+    /// separately from lost workload data by crash-loss oracles.
+    pub fn table_ranges(&self) -> Vec<(u64, u64)> {
+        self.table.storage_ranges()
+    }
+
     /// Whether `recomputed` matches the published checksums of `key`.
     pub fn validate_region(&self, mem: &mut PersistMemory, key: u64, recomputed: &[u64]) -> bool {
         match self.lookup(mem, key) {
@@ -334,6 +342,26 @@ impl LpRuntime {
             // commit token is the proof of durability.
             PersistMode::Eager | PersistMode::EagerLogged => self.commit_token(key),
         }
+    }
+
+    /// Byte ranges `(base, len)` of device memory that hold *transient*
+    /// instrumentation state: the sequential-reduction scratch buffer and
+    /// the eager-logged undo log. Their contents are consumed within the
+    /// region that writes them, so cache lines from these ranges that are
+    /// lost in a crash do not represent lost program output. Crash-loss
+    /// oracles must exclude them when attributing lost lines to blocks.
+    pub fn transient_ranges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if let Some(base) = self.scratch {
+            let slots = self.num_regions.min(SCRATCH_SLOTS);
+            let words = scratch_words(self.threads_per_block, self.config.checksums.arity());
+            out.push((base.raw(), slots * words * 8));
+        }
+        if let Some(base) = self.undo_log {
+            let slots = self.num_regions.min(LOG_SLOTS);
+            out.push((base.raw(), slots * LOG_ENTRIES_PER_BLOCK * 128));
+        }
+        out
     }
 
     fn log_for_block(&self, block: u64) -> Option<Addr> {
@@ -582,7 +610,10 @@ mod tests {
         let bad = rt.digest_region(0, [1235u64]);
         assert!(rt.validate_region(&mut rig.mem, 0, &good));
         assert!(!rt.validate_region(&mut rig.mem, 0, &bad));
-        assert!(!rt.validate_region(&mut rig.mem, 5, &good), "never-published region");
+        assert!(
+            !rt.validate_region(&mut rig.mem, 5, &good),
+            "never-published region"
+        );
     }
 
     #[test]
@@ -600,7 +631,11 @@ mod tests {
 
     #[test]
     fn all_table_kinds_roundtrip() {
-        for config in [LpConfig::recommended(), LpConfig::quad(), LpConfig::cuckoo()] {
+        for config in [
+            LpConfig::recommended(),
+            LpConfig::quad(),
+            LpConfig::cuckoo(),
+        ] {
             let mut rig = Rig::new();
             let rt = runtime(&mut rig, config.clone());
             for b in 0..64u64 {
@@ -613,7 +648,12 @@ mod tests {
             }
             for b in 0..64u64 {
                 let want = rt.digest_region(b, [b * 31]);
-                assert_eq!(rt.lookup(&mut rig.mem, b), Some(want), "{:?} block {b}", config.table);
+                assert_eq!(
+                    rt.lookup(&mut rig.mem, b),
+                    Some(want),
+                    "{:?} block {b}",
+                    config.table
+                );
             }
         }
     }
@@ -643,6 +683,64 @@ mod tests {
         let bad = LpConfig::recommended()
             .with_checksums(ChecksumSet::new(vec![crate::ChecksumKind::Adler32]));
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn all_zero_data_cannot_vacuously_validate() {
+        // Regression: an all-zero store stream digests to the checksum
+        // identity, and a freshly-allocated table entry is also zero. The
+        // region seal must keep the two apart, for every region key.
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::recommended());
+        for key in 0..64u64 {
+            let digest = rt.digest_region(key, (0..64).map(|_| 0u64));
+            assert!(
+                digest.iter().any(|&v| v != 0),
+                "region {key}: all-zero data digested to the all-zero vector"
+            );
+            assert!(
+                !rt.validate_region(&mut rig.mem, key, &digest),
+                "region {key}: never-published region validated vacuously"
+            );
+        }
+    }
+
+    #[test]
+    fn seal_distinguishes_identical_payloads_across_regions() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::recommended());
+        let a = rt.digest_region(0, [42u64, 43]);
+        let b = rt.digest_region(1, [42u64, 43]);
+        assert_ne!(
+            a, b,
+            "two regions with identical stores must not share a digest"
+        );
+    }
+
+    #[test]
+    fn transient_ranges_cover_scratch_and_log() {
+        let mut rig = Rig::new();
+        let lean = runtime(&mut rig, LpConfig::recommended());
+        assert!(
+            lean.transient_ranges().is_empty(),
+            "shuffle+lazy has no transient state"
+        );
+
+        let mut rig2 = Rig::new();
+        let seq = runtime(
+            &mut rig2,
+            LpConfig::recommended().with_reduce(ReduceStrategy::SequentialMemory),
+        );
+        let ranges = seq.transient_ranges();
+        assert_eq!(ranges.len(), 1);
+        let scratch = seq.scratch_for_block(0).unwrap().raw();
+        assert!(ranges[0].0 <= scratch && scratch < ranges[0].0 + ranges[0].1);
+
+        let mut rig3 = Rig::new();
+        let logged = runtime(&mut rig3, LpConfig::eager_logged());
+        let ranges = logged.transient_ranges();
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].1 > 0);
     }
 
     #[test]

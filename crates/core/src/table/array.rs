@@ -86,6 +86,10 @@ impl GlobalArrayTable {
         self.entries * 8 * self.arity as u64
     }
 
+    pub(crate) fn storage_ranges(&self) -> Vec<(u64, u64)> {
+        vec![(self.base.raw(), self.entries * 8 * self.arity as u64)]
+    }
+
     pub(crate) fn stats(&self) -> &TableStats {
         &self.stats
     }
@@ -128,7 +132,10 @@ mod tests {
         }
         let _ = ctx.into_cost();
         for key in 0..64u64 {
-            assert_eq!(t.lookup(&mut rig.mem, key), Some(vec![key * 11, key ^ 0x55]));
+            assert_eq!(
+                t.lookup(&mut rig.mem, key),
+                Some(vec![key * 11, key ^ 0x55])
+            );
         }
     }
 

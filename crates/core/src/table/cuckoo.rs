@@ -47,7 +47,10 @@ impl CuckooTable {
         atomic: AtomicPolicy,
         seed: u64,
     ) -> Self {
-        assert!(load_factor > 0.0 && load_factor <= 1.0, "load factor out of range");
+        assert!(
+            load_factor > 0.0 && load_factor <= 1.0,
+            "load factor out of range"
+        );
         assert!(capacity > 0 && arity > 0, "empty table");
         let total_entries = ((capacity as f64 / load_factor).ceil() as u64).max(capacity);
         let entries_per_table = total_entries.div_ceil(2).max(1);
@@ -98,10 +101,12 @@ impl CuckooTable {
                 // atomics (see §IV-D3's finding).
                 ctx.charge_channel(slot, 3);
                 let concurrency = ctx.concurrency();
-                let draw =
-                    hash_with_seed(tag ^ slot.raw(), self.seeds.get()[0] ^ 0x51CA) % self.entries_per_table.max(1);
+                let draw = hash_with_seed(tag ^ slot.raw(), self.seeds.get()[0] ^ 0x51CA)
+                    % self.entries_per_table.max(1);
                 if draw < concurrency.saturating_sub(1) / 64 {
-                    self.stats.racy_conflicts.set(self.stats.racy_conflicts.get() + 1);
+                    self.stats
+                        .racy_conflicts
+                        .set(self.stats.racy_conflicts.get() + 1);
                     ctx.charge_alu(16 * concurrency);
                     // Redo the exchange after losing the race.
                     let old2 = ctx.load_u64(slot);
@@ -194,7 +199,8 @@ impl CuckooTable {
         }
         // New seed pair derived from the old one.
         let [s1, s2] = self.seeds.get();
-        self.seeds.set([hash_with_seed(s1, 0xF00D), hash_with_seed(s2, 0xFEED)]);
+        self.seeds
+            .set([hash_with_seed(s1, 0xF00D), hash_with_seed(s2, 0xFEED)]);
         for (tag, cs) in resident {
             self.insert_inner(ctx, tag - 1, &cs);
         }
@@ -239,6 +245,15 @@ impl CuckooTable {
 
     pub(crate) fn size_bytes(&self) -> u64 {
         2 * self.entries_per_table * super::entry_stride(self.arity) + 8
+    }
+
+    pub(crate) fn storage_ranges(&self) -> Vec<(u64, u64)> {
+        let per = self.entries_per_table * super::entry_stride(self.arity);
+        vec![
+            (self.bases[0].raw(), per),
+            (self.bases[1].raw(), per),
+            (self.lock_addr.raw(), 8),
+        ]
     }
 
     pub(crate) fn stats(&self) -> &TableStats {
@@ -296,7 +311,11 @@ mod tests {
         }
         let _ = ctx.into_cost();
         for key in 0..64u64 {
-            assert_eq!(t.lookup(&mut rig.mem, key), Some(vec![key * 7, key ^ 0xAB]), "key {key}");
+            assert_eq!(
+                t.lookup(&mut rig.mem, key),
+                Some(vec![key * 7, key ^ 0xAB]),
+                "key {key}"
+            );
         }
     }
 
@@ -312,7 +331,11 @@ mod tests {
         let _ = ctx.into_cost();
         assert!(t.stats().collisions.get() > 0, "expected displacements");
         for key in 0..60u64 {
-            assert_eq!(t.lookup(&mut rig.mem, key), Some(vec![key + 100, key + 200]), "key {key}");
+            assert_eq!(
+                t.lookup(&mut rig.mem, key),
+                Some(vec![key + 100, key + 200]),
+                "key {key}"
+            );
         }
     }
 
@@ -337,7 +360,11 @@ mod tests {
         let _ = ctx.into_cost();
         assert!(t.stats().rehashes.get() > 0, "expected a rehash");
         for key in 0..100u64 {
-            assert_eq!(t.lookup(&mut rig.mem, key), Some(vec![key, !key]), "key {key}");
+            assert_eq!(
+                t.lookup(&mut rig.mem, key),
+                Some(vec![key, !key]),
+                "key {key}"
+            );
         }
     }
 

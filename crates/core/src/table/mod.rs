@@ -194,6 +194,17 @@ impl TableInstance {
         }
     }
 
+    /// Byte ranges `(base, len)` of device memory backing the table
+    /// (entry storage plus any lock word). Crash-loss oracles use these to
+    /// tell table lines apart from workload data lines.
+    pub fn storage_ranges(&self) -> Vec<(u64, u64)> {
+        match self {
+            TableInstance::Quad(t) => t.storage_ranges(),
+            TableInstance::Cuckoo(t) => t.storage_ranges(),
+            TableInstance::Array(t) => t.storage_ranges(),
+        }
+    }
+
     /// The instrumentation counters of whichever variant this is.
     pub fn stats(&self) -> &TableStats {
         match self {

@@ -47,7 +47,10 @@ impl QuadraticProbeTable {
         atomic: AtomicPolicy,
         seed: u64,
     ) -> Self {
-        assert!(load_factor > 0.0 && load_factor <= 1.0, "load factor out of range");
+        assert!(
+            load_factor > 0.0 && load_factor <= 1.0,
+            "load factor out of range"
+        );
         assert!(capacity > 0 && arity > 0, "empty table");
         // Power-of-two sizing + triangular probing guarantees the probe
         // sequence visits every slot exactly once, so a non-full table can
@@ -109,9 +112,12 @@ impl QuadraticProbeTable {
                 // lifetime — so the collision probability is scaled down
                 // accordingly.
                 let concurrency = ctx.concurrency();
-                let draw = hash_with_seed(tag ^ slot.raw(), self.seed ^ 0xACE1) % self.entries.max(1);
+                let draw =
+                    hash_with_seed(tag ^ slot.raw(), self.seed ^ 0xACE1) % self.entries.max(1);
                 if draw < concurrency.saturating_sub(1) / 32 {
-                    self.stats.racy_conflicts.set(self.stats.racy_conflicts.get() + 1);
+                    self.stats
+                        .racy_conflicts
+                        .set(self.stats.racy_conflicts.get() + 1);
                     ctx.store_u64(slot, tag | RACY_WINNER_BIT);
                     ctx.charge_alu(32 * concurrency);
                     return tag | RACY_WINNER_BIT;
@@ -187,6 +193,16 @@ impl QuadraticProbeTable {
 
     pub(crate) fn size_bytes(&self) -> u64 {
         self.entries * super::entry_stride(self.arity) + 8
+    }
+
+    pub(crate) fn storage_ranges(&self) -> Vec<(u64, u64)> {
+        vec![
+            (
+                self.base.raw(),
+                self.entries * super::entry_stride(self.arity),
+            ),
+            (self.lock_addr.raw(), 8),
+        ]
     }
 
     pub(crate) fn stats(&self) -> &TableStats {
@@ -318,7 +334,10 @@ mod tests {
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
         t.insert(&mut ctx, 1, &[1, 1]);
         let _ = ctx.into_cost();
-        assert!(rig.dev.lock_serial_ns > 0.0, "global-lock insert must serialise");
+        assert!(
+            rig.dev.lock_serial_ns > 0.0,
+            "global-lock insert must serialise"
+        );
     }
 
     #[test]

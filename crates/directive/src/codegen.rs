@@ -67,7 +67,10 @@ pub fn recovery_kernel(p: &LpPlan) -> String {
         keys = p.keys.join(", ")
     ));
     let args: String = param_names(&p.kernel_params).join(", ");
-    out.push_str(&format!("        recovery_{name}({args});\n", name = p.kernel));
+    out.push_str(&format!(
+        "        recovery_{name}({args});\n",
+        name = p.kernel
+    ));
     out.push_str("}\n");
     out
 }
@@ -115,7 +118,8 @@ mod tests {
         let src = recovery_kernel(&mm_plan());
         assert!(src.starts_with("__global__ void crMatrixMulCUDA(float *C"));
         assert!(src.contains("int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;"));
-        assert!(src.contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y)"));
+        assert!(src
+            .contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y)"));
         assert!(src.contains("recovery_MatrixMulCUDA(C, A, B, wA, wB);"));
         assert!(src.trim_end().ends_with('}'));
     }

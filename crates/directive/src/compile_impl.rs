@@ -111,14 +111,28 @@ pub fn compile(source: &str) -> Result<CompiledLp, CompileError> {
         }
         let pragma = parse_pragma(idx + 1, raw)?;
         match pragma {
-            Pragma::Init { table, nelems, selem, .. } => {
-                let plan = InitPlan { table, nelems, selem };
+            Pragma::Init {
+                table,
+                nelems,
+                selem,
+                ..
+            } => {
+                let plan = InitPlan {
+                    table,
+                    nelems,
+                    selem,
+                };
                 let call = codegen::host_init_call(&plan);
                 replace[idx] = Some(format!("{indent}{call}", indent = indent_of(raw)));
                 host_init_calls.push(call);
                 init_plans.push(plan);
             }
-            Pragma::Checksum { line, ops, table, keys } => {
+            Pragma::Checksum {
+                line,
+                ops,
+                table,
+                keys,
+            } => {
                 let kernel = kernels
                     .iter()
                     .enumerate()
@@ -130,11 +144,12 @@ pub fn compile(source: &str) -> Result<CompiledLp, CompileError> {
                 let (lhs, rhs) =
                     split_assignment(&stmt).ok_or(CompileError::MissingProtectedStore { line })?;
                 // Backward slice over the statements before the store.
-                let stmts_before: Vec<String> = body_statements(&lines, kspan.body_open_line, kspan.body_close_line)
-                    .into_iter()
-                    .filter(|(l, _)| *l < idx)
-                    .map(|(_, s)| s)
-                    .collect();
+                let stmts_before: Vec<String> =
+                    body_statements(&lines, kspan.body_open_line, kspan.body_close_line)
+                        .into_iter()
+                        .filter(|(l, _)| *l < idx)
+                        .map(|(_, s)| s)
+                        .collect();
                 let targets = used_identifiers(&tokenize(&lhs));
                 let slice = backward_slice(&stmts_before, &targets);
                 let plan = LpPlan {
@@ -281,8 +296,12 @@ __global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
         assert_eq!(out.recovery_kernels.len(), 1);
         let rk = &out.recovery_kernels[0];
         assert_eq!(rk.name, "crMatrixMulCUDA");
-        assert!(rk.source.contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM"));
-        assert!(rk.source.contains("recovery_MatrixMulCUDA(C, A, B, wA, wB);"));
+        assert!(rk
+            .source
+            .contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM"));
+        assert!(rk
+            .source
+            .contains("recovery_MatrixMulCUDA(C, A, B, wA, wB);"));
     }
 
     #[test]
@@ -305,7 +324,8 @@ __global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
 
     #[test]
     fn checksum_without_store_rejected() {
-        let src = "__global__ void k(int *p) {\n#pragma nvm lpcuda_checksum(+, tab, blockIdx.x)\n}\n";
+        let src =
+            "__global__ void k(int *p) {\n#pragma nvm lpcuda_checksum(+, tab, blockIdx.x)\n}\n";
         assert!(matches!(
             compile(src),
             Err(CompileError::MissingProtectedStore { .. })
@@ -341,7 +361,10 @@ __global__ void k(float *a, float *b) {
         let out = compile(src).unwrap();
         assert_eq!(out.plans.len(), 2, "one plan per protected store");
         let begins = out.instrumented.matches("lpcuda_region_begin").count();
-        let ends = out.instrumented.matches("lpcuda_block_reduce_and_store").count();
+        let ends = out
+            .instrumented
+            .matches("lpcuda_block_reduce_and_store")
+            .count();
         assert_eq!(begins, 1, "one region prologue per kernel");
         assert_eq!(ends, 1, "one region epilogue per kernel");
         let updates = out.instrumented.matches("lpcuda_update_checksum").count();

@@ -43,13 +43,22 @@ impl fmt::Display for CompileError {
                 write!(f, "line {line}: malformed #pragma nvm: {reason}")
             }
             CompileError::MissingProtectedStore { line } => {
-                write!(f, "line {line}: lpcuda_checksum must precede an assignment statement")
+                write!(
+                    f,
+                    "line {line}: lpcuda_checksum must precede an assignment statement"
+                )
             }
             CompileError::ChecksumOutsideKernel { line } => {
-                write!(f, "line {line}: lpcuda_checksum outside a __global__ kernel")
+                write!(
+                    f,
+                    "line {line}: lpcuda_checksum outside a __global__ kernel"
+                )
             }
             CompileError::UnknownChecksumOp { line, op } => {
-                write!(f, "line {line}: unknown checksum operator {op:?} (expected \"+\" or \"^\")")
+                write!(
+                    f,
+                    "line {line}: unknown checksum operator {op:?} (expected \"+\" or \"^\")"
+                )
             }
             CompileError::UnbalancedBraces { kernel } => {
                 write!(f, "kernel {kernel}: unbalanced braces")
@@ -68,7 +77,10 @@ mod tests {
     fn display_messages_carry_line_numbers() {
         let e = CompileError::MissingProtectedStore { line: 12 };
         assert!(e.to_string().contains("line 12"));
-        let e = CompileError::UnknownChecksumOp { line: 3, op: "%".into() };
+        let e = CompileError::UnknownChecksumOp {
+            line: 3,
+            op: "%".into(),
+        };
         assert!(e.to_string().contains('%'));
     }
 }

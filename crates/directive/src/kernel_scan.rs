@@ -116,7 +116,11 @@ pub fn find_kernels(lines: &[&str]) -> Result<Vec<KernelSpan>, CompileError> {
 /// braces' lines' outer parts) into `;`-terminated statements, tracking the
 /// first line of each. Brace-delimited compound statements are kept
 /// per-line (good enough for slicing simple declarations).
-pub fn body_statements(lines: &[&str], open_line: usize, close_line: usize) -> Vec<(usize, String)> {
+pub fn body_statements(
+    lines: &[&str],
+    open_line: usize,
+    close_line: usize,
+) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut cur = String::new();
     let mut cur_start = None;

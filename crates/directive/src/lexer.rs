@@ -83,7 +83,10 @@ pub fn tokenize(src: &str) -> Vec<Token> {
         if c.is_ascii_digit() {
             let start = i;
             while i < bytes.len()
-                && (bytes[i].is_alphanumeric() || bytes[i] == '.' || bytes[i] == 'x' || bytes[i] == 'X')
+                && (bytes[i].is_alphanumeric()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'x'
+                    || bytes[i] == 'X')
             {
                 i += 1;
             }
@@ -142,20 +145,28 @@ pub fn used_identifiers(tokens: &[Token]) -> Vec<String> {
 }
 
 /// Re-emits tokens as compact source text.
+///
+/// A space is inserted between two tokens whenever gluing them would lex
+/// differently — e.g. `=` `=` would merge into `==`, `5` `.` into the
+/// number `5.`, and `/` `/` into a comment that swallows the rest of the
+/// line. The check is exact: the pair is re-lexed and the first token must
+/// come back unchanged.
 pub fn detokenize(tokens: &[Token]) -> String {
     let mut s = String::new();
     for (i, t) in tokens.iter().enumerate() {
-        if i > 0 {
-            let prev = &tokens[i - 1];
-            let need_space = matches!(prev, Token::Ident(_) | Token::Number(_))
-                && matches!(t, Token::Ident(_) | Token::Number(_));
-            if need_space {
-                s.push(' ');
-            }
+        if i > 0 && !glues_cleanly(&tokens[i - 1], t) {
+            s.push(' ');
         }
         s.push_str(t.text());
     }
     s
+}
+
+/// Whether `prev` immediately followed by `next` re-lexes with `prev`
+/// intact as the first token.
+fn glues_cleanly(prev: &Token, next: &Token) -> bool {
+    let joined = format!("{}{}", prev.text(), next.text());
+    matches!(tokenize(&joined).first(), Some(first) if first == prev)
 }
 
 #[cfg(test)]

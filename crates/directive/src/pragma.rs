@@ -182,11 +182,15 @@ mod tests {
     #[test]
     fn parses_checksum_with_keys() {
         // Listing 6 of the paper.
-        let p =
-            parse_pragma(9, r#"#pragma nvm lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y)"#)
-                .unwrap();
+        let p = parse_pragma(
+            9,
+            r#"#pragma nvm lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y)"#,
+        )
+        .unwrap();
         match p {
-            Pragma::Checksum { ops, table, keys, .. } => {
+            Pragma::Checksum {
+                ops, table, keys, ..
+            } => {
                 assert_eq!(ops, vec![ChecksumOp::Modular]);
                 assert_eq!(table, "checksumMM");
                 assert_eq!(keys, vec!["blockIdx.x", "blockIdx.y"]);

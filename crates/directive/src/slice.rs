@@ -69,7 +69,15 @@ fn is_type_word(s: &str) -> bool {
 /// Intrinsic CUDA identifiers (`blockIdx`, `threadIdx`, `blockDim`,
 /// `gridDim`) and kernel parameters need no defining statement.
 pub fn backward_slice(stmts: &[String], targets: &[String]) -> Vec<String> {
-    let intrinsics = ["blockIdx", "threadIdx", "blockDim", "gridDim", "x", "y", "z"];
+    let intrinsics = [
+        "blockIdx",
+        "threadIdx",
+        "blockDim",
+        "gridDim",
+        "x",
+        "y",
+        "z",
+    ];
     let summaries: Vec<DefUse> = stmts.iter().map(|s| def_use(s)).collect();
     let mut needed: Vec<String> = targets
         .iter()
@@ -143,14 +151,22 @@ mod tests {
     fn slice_pulls_transitive_deps() {
         // The paper's Listing 7 slice: address of C[c + wB*ty + tx] needs
         // c (which needs bx, by), tx, ty — but not Csub.
-        let targets = vec!["c".to_string(), "wB".to_string(), "ty".to_string(), "tx".to_string()];
+        let targets = vec![
+            "c".to_string(),
+            "wB".to_string(),
+            "ty".to_string(),
+            "tx".to_string(),
+        ];
         let slice = backward_slice(&stmts(), &targets);
         assert!(slice.iter().any(|s| s.starts_with("int c")));
         assert!(slice.iter().any(|s| s.starts_with("int bx")));
         assert!(slice.iter().any(|s| s.starts_with("int by")));
         assert!(slice.iter().any(|s| s.starts_with("int tx")));
         assert!(slice.iter().any(|s| s.starts_with("int ty")));
-        assert!(!slice.iter().any(|s| s.contains("Csub")), "value expr not in address slice");
+        assert!(
+            !slice.iter().any(|s| s.contains("Csub")),
+            "value expr not in address slice"
+        );
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! parser must be total (never panic) on arbitrary input, and compilation
 //! must be idempotent in the ways the §VI contract promises.
 
+use lp_directive::compile;
 use lp_directive::lexer::{detokenize, tokenize};
 use lp_directive::pragma::{is_nvm_pragma, parse_pragma};
-use lp_directive::compile;
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,309 @@
+//! Campaign orchestration: enumerate, fan out, judge, shrink, report.
+//!
+//! A campaign is the cross product `{workload} × {config} × {seed} ×
+//! {crash site}`, optionally down-sampled to a trial budget by
+//! deterministic striding (so two runs of the same spec execute the same
+//! trials). Trials are independent full-machine simulations, so the runner
+//! fans them out over OS threads; each trial is wrapped in
+//! `catch_unwind` so a panicking simulation is recorded as a failure
+//! instead of killing the campaign. Every failure is then shrunk
+//! ([`crate::shrink`]) to a minimal reproducer, and the whole thing is
+//! serialized as a JSON [`CampaignReport`].
+
+use crate::shrink::{shrink, ShrinkOutcome};
+use crate::site::CrashSite;
+use crate::trial::{run_trial, TrialId, TrialResult, CONFIG_NAMES, SUBJECT_NAMES};
+use lp_kernels::Scale;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What to sweep. Build with [`CampaignSpec::default_sweep`] and adjust.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Problem-size preset for every trial.
+    pub scale: Scale,
+    /// Subject names ([`SUBJECT_NAMES`] by default).
+    pub workloads: Vec<String>,
+    /// Config names resolvable by [`crate::trial_config`].
+    pub configs: Vec<String>,
+    /// Input seeds.
+    pub seeds: Vec<u64>,
+    /// Crash sites ([`CrashSite::catalog`] by default).
+    pub sites: Vec<CrashSite>,
+    /// Optional cap on executed trials (deterministic stride sampling).
+    pub budget: Option<usize>,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Verification-trial budget per failure shrink.
+    pub shrink_attempts: u32,
+    /// Cap on failures that get shrunk (shrinking re-runs trials).
+    pub max_shrinks: usize,
+}
+
+impl CampaignSpec {
+    /// The default sweep: every subject, the two most interesting design
+    /// points, two seeds, the full site catalog — 11 × 2 × 2 × 16 = 704
+    /// trials at `scale`.
+    pub fn default_sweep(scale: Scale) -> Self {
+        CampaignSpec {
+            scale,
+            workloads: SUBJECT_NAMES.iter().map(|s| s.to_string()).collect(),
+            configs: vec![CONFIG_NAMES[0].to_string(), CONFIG_NAMES[1].to_string()],
+            seeds: vec![1, 2],
+            sites: CrashSite::catalog(),
+            budget: None,
+            threads: 0,
+            shrink_attempts: 12,
+            max_shrinks: 5,
+        }
+    }
+
+    /// Enumerates the trial IDs this spec executes, budget applied.
+    pub fn enumerate(&self) -> Vec<TrialId> {
+        let mut all = Vec::new();
+        for workload in &self.workloads {
+            for config in &self.configs {
+                for &seed in &self.seeds {
+                    for &site in &self.sites {
+                        all.push(TrialId {
+                            workload: workload.clone(),
+                            config: config.clone(),
+                            seed,
+                            site,
+                        });
+                    }
+                }
+            }
+        }
+        match self.budget {
+            // `Some(0)` means zero trials, not "unlimited".
+            Some(budget) if budget < all.len() => {
+                // Deterministic stride sampling keeps coverage spread
+                // across the whole cross product instead of truncating it.
+                let stride = all.len() as f64 / budget as f64;
+                (0..budget)
+                    .map(|i| all[(i as f64 * stride) as usize].clone())
+                    .collect()
+            }
+            _ => all,
+        }
+    }
+}
+
+/// Per-key tallies for the report's summary tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tally {
+    /// The key being tallied (a site label or a workload name).
+    pub label: String,
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials whose injected crash actually fired.
+    pub crashed: u64,
+    /// Trials failing at least one oracle.
+    pub failed: u64,
+}
+
+/// One oracle failure, with its shrunk reproducer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The failing trial as the sweep found it.
+    pub result: TrialResult,
+    /// The shrunk minimal reproducer (when shrinking was budgeted).
+    pub shrunk: Option<ShrinkOutcome>,
+}
+
+/// The full campaign outcome (serialized to JSON by the campaign binary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The spec that produced this report.
+    pub spec: CampaignSpec,
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials whose crash fired.
+    pub crashed: u64,
+    /// Trials passing every applicable oracle.
+    pub passed: u64,
+    /// Trials with O2/O3 reported not-applicable (skipped loss oracles).
+    pub oracle_skips: u64,
+    /// Tallies keyed by crash-site label, sorted by label.
+    pub by_site: Vec<Tally>,
+    /// Tallies keyed by workload, sorted by name.
+    pub by_workload: Vec<Tally>,
+    /// Every failure, shrunk where budget allowed.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl CampaignReport {
+    /// `true` iff every executed trial passed its oracles.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty() && self.passed == self.trials
+    }
+}
+
+/// A panicking trial still yields a (failing) result.
+fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
+    catch_unwind(AssertUnwindSafe(|| run_trial(id, scale))).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload");
+        TrialResult {
+            id: id.clone(),
+            crashed: false,
+            failed_regions: 0,
+            reexecutions: 0,
+            o1_output: false,
+            o2: None,
+            o3: None,
+            passed: false,
+            detail: format!("panic: {msg}"),
+        }
+    })
+}
+
+/// Runs every trial of `spec`, fanned out over threads, and assembles the
+/// report. `progress` is called after each finished trial with
+/// `(done, total)` — pass `|_, _| {}` when no live feedback is wanted.
+pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync) -> CampaignReport {
+    let ids = spec.enumerate();
+    let total = ids.len();
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.threads
+    }
+    .max(1);
+
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<(usize, TrialResult)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let ids = &ids;
+            let done = &done;
+            let progress = &progress;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                for (i, id) in ids.iter().enumerate() {
+                    if i % threads != t {
+                        continue;
+                    }
+                    mine.push((i, run_one(id, spec.scale)));
+                    let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    progress(n, total);
+                }
+                mine
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+
+    let mut report = CampaignReport {
+        spec: spec.clone(),
+        trials: total as u64,
+        crashed: 0,
+        passed: 0,
+        oracle_skips: 0,
+        by_site: Vec::new(),
+        by_workload: Vec::new(),
+        failures: Vec::new(),
+    };
+    let mut by_site: BTreeMap<String, Tally> = BTreeMap::new();
+    let mut by_workload: BTreeMap<String, Tally> = BTreeMap::new();
+    for (_, r) in &results {
+        let site_tally = by_site.entry(r.id.site.label()).or_default();
+        let wl_tally = by_workload.entry(r.id.workload.clone()).or_default();
+        for tally in [site_tally, wl_tally] {
+            tally.trials += 1;
+            tally.crashed += r.crashed as u64;
+            tally.failed += !r.passed as u64;
+        }
+        report.crashed += r.crashed as u64;
+        report.passed += r.passed as u64;
+        report.oracle_skips += (r.o2.is_none() || r.o3.is_none()) as u64;
+    }
+    let labelled = |m: BTreeMap<String, Tally>| {
+        m.into_iter()
+            .map(|(label, t)| Tally { label, ..t })
+            .collect()
+    };
+    report.by_site = labelled(by_site);
+    report.by_workload = labelled(by_workload);
+    for (_, r) in results {
+        if r.passed {
+            continue;
+        }
+        let shrunk = (report.failures.len() < spec.max_shrinks)
+            .then(|| shrink(&r.id, spec.scale, spec.shrink_attempts));
+        report.failures.push(FailureRecord { result: r, shrunk });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::SABOTAGE_CONFIG;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            workloads: vec!["SPMV".to_string(), "TMM".to_string()],
+            configs: vec!["recommended".to_string()],
+            seeds: vec![1],
+            sites: vec![
+                CrashSite::AfterStores { pct: 50 },
+                CrashSite::BetweenKernels,
+                CrashSite::MidCheckpoint { pct: 50 },
+            ],
+            ..CampaignSpec::default_sweep(Scale::Test)
+        }
+    }
+
+    #[test]
+    fn enumeration_is_the_full_cross_product() {
+        let spec = CampaignSpec::default_sweep(Scale::Test);
+        assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 16);
+    }
+
+    #[test]
+    fn budget_stride_samples_deterministically_across_the_product() {
+        let mut spec = CampaignSpec::default_sweep(Scale::Test);
+        spec.budget = Some(100);
+        let a = spec.enumerate();
+        let b = spec.enumerate();
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        // Striding must reach past the front of the product.
+        assert!(a.iter().any(|id| id.workload != a[0].workload));
+    }
+
+    #[test]
+    fn tiny_campaign_passes_all_oracles() {
+        let report = run_campaign(&tiny_spec(), |_, _| {});
+        assert_eq!(report.trials, 6);
+        assert!(report.all_passed(), "{:#?}", report.failures);
+        assert!(report.crashed >= 4, "most sites should fire: {report:#?}");
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("by_site"));
+    }
+
+    #[test]
+    fn sabotaged_campaign_reports_shrunk_failures() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["SPMV".to_string()];
+        spec.configs = vec![SABOTAGE_CONFIG.to_string()];
+        spec.sites = vec![CrashSite::AfterStores { pct: 75 }];
+        spec.seeds = vec![2];
+        let report = run_campaign(&spec, |_, _| {});
+        assert!(!report.all_passed(), "sabotage must be caught");
+        let failure = &report.failures[0];
+        let shrunk = failure.shrunk.as_ref().expect("first failure gets shrunk");
+        assert_eq!(shrunk.minimal.config, SABOTAGE_CONFIG);
+        assert_eq!(shrunk.minimal.seed, 1);
+    }
+}

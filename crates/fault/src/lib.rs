@@ -1,0 +1,49 @@
+//! `lp-fault` — a systematic crash-injection campaign engine for the Lazy
+//! Persistency stack.
+//!
+//! The paper's correctness story (§IV-A, §VI) rests on a claim that is
+//! easy to state and hard to trust: *whenever* power is lost — mid-kernel,
+//! at a block boundary, between launches, halfway through a checkpoint
+//! flush, even during recovery itself — validation finds exactly the
+//! regions whose data did not persist, and eager re-execution restores a
+//! correct output. This crate tests that claim exhaustively instead of
+//! anecdotally:
+//!
+//! * [`CrashSite`] is a taxonomy of power-loss instants, parameterised and
+//!   serializable, covering every phase of the LP pipeline (including the
+//!   double-crash during recovery);
+//! * [`TrialId`] = `(workload, config, seed, site)` fully determines one
+//!   trial, so every result in a report is replayable bit-for-bit;
+//! * [`run_trial`] executes one trial on a fresh simulated machine and
+//!   judges it with three oracles: **O1** the recovered output matches the
+//!   CPU reference, **O2** no region failed validation that the crash
+//!   cannot explain (no phantom failures), **O3** no region validated
+//!   despite demonstrably losing its own data (no false negatives) — the
+//!   last two powered by the NVM's crash-loss forensics
+//!   ([`nvm::CrashLoss`]);
+//! * [`run_campaign`] fans the cross product over worker threads, tallies
+//!   by site and workload, and emits a JSON [`CampaignReport`];
+//! * [`shrink`] reduces every failure to a minimal reproducer by re-running
+//!   progressively simpler trials.
+//!
+//! The `lp-bench` crate exposes all of this as the `campaign` binary;
+//! `--sabotage` runs a deliberately-broken config (recovery skipped) to
+//! demonstrate the engine catching and shrinking a real persistency bug.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod oracle;
+pub mod shrink;
+pub mod site;
+pub mod trial;
+
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, Tally};
+pub use oracle::{OracleInput, OracleVerdict};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use site::CrashSite;
+pub use trial::{
+    fault_world, run_trial, trial_config, TrialConfig, TrialId, TrialResult, CONFIG_NAMES,
+    SABOTAGE_CONFIG, SUBJECT_NAMES,
+};

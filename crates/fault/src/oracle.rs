@@ -1,0 +1,269 @@
+//! The three trial oracles.
+//!
+//! Every trial checks up to three properties against ground truth:
+//!
+//! * **O1 — output correctness**: after recovery, the workload's output
+//!   equals the crash-free reference (the CPU model), and the recovery
+//!   engine reported convergence.
+//! * **O2 — no phantom failures**: every region that *failed* validation
+//!   can be explained by the crash — it wrote a lost cache line, or it
+//!   never finished executing. Validation must not condemn regions the
+//!   crash did not touch.
+//! * **O3 — no false negatives**: every region that demonstrably lost
+//!   *changed* data must fail validation (or be incomplete). A region
+//!   that validates despite losing its own stores would silently corrupt
+//!   the output — the failure mode the region seal exists to prevent.
+//!
+//! O2/O3 reason about the [`nvm::CrashLoss`] record: which cache lines
+//! were dirty at the power loss, which GPU blocks wrote them, and whether
+//! their contents actually differed from the durable image. Lines holding
+//! *transient* instrumentation state (reduction scratch, undo log) are
+//! excluded — losing them loses no program output. Checksum-table lines
+//! are handled specially: for hash-table organisations an insert may
+//! displace *other* regions' entries (cuckoo), so writer attribution on
+//! table lines is unreliable and O2 is reported as not-applicable when a
+//! table line is lost; O3 skips table lines entirely because a lost table
+//! entry shows up as a (safe) validation failure, never as a false
+//! negative. Multi-writer data lines are skipped by O3: `changed` is
+//! line-granular, so with several writers the changed bytes cannot be
+//! attributed to one region.
+
+use nvm::CrashLoss;
+
+/// Everything the oracles need to judge one crash.
+#[derive(Debug)]
+pub struct OracleInput<'a> {
+    /// The crash-loss record; `None` when the site never fired.
+    pub loss: Option<&'a CrashLoss>,
+    /// Region IDs that failed the first validation pass.
+    pub failed: &'a [u64],
+    /// Blocks `incomplete_from..num_blocks` never completed execution.
+    pub incomplete_from: u64,
+    /// Total blocks in the grid.
+    pub num_blocks: u64,
+    /// Transient ranges `(base, len)` — scratch, undo log.
+    pub transient: Vec<(u64, u64)>,
+    /// Checksum-table storage ranges `(base, len)`.
+    pub table: Vec<(u64, u64)>,
+    /// Cache-line size in bytes.
+    pub line_size: u64,
+    /// Whether the table organisation can move other regions' entries
+    /// during insert (quadratic probing / cuckoo).
+    pub hash_table: bool,
+}
+
+/// The oracle verdicts for one trial. `None` means not applicable.
+#[derive(Debug, Clone, Default)]
+pub struct OracleVerdict {
+    /// O2: no phantom validation failures.
+    pub o2: Option<bool>,
+    /// O3: no false-negative validations.
+    pub o3: Option<bool>,
+    /// Human-readable explanation of any violation.
+    pub detail: String,
+}
+
+impl OracleVerdict {
+    /// Whether no applicable oracle was violated.
+    pub fn ok(&self) -> bool {
+        self.o2 != Some(false) && self.o3 != Some(false)
+    }
+}
+
+fn intersects(line_base: u64, line_size: u64, ranges: &[(u64, u64)]) -> bool {
+    ranges
+        .iter()
+        .any(|&(base, len)| line_base < base + len && base < line_base + line_size)
+}
+
+/// Runs O2 and O3 over one crash record.
+pub fn check(inp: &OracleInput<'_>) -> OracleVerdict {
+    let incomplete = |b: u64| b >= inp.incomplete_from && b < inp.num_blocks;
+    let Some(loss) = inp.loss else {
+        // No crash fired: validation must find nothing at all.
+        let clean = inp.failed.is_empty();
+        return OracleVerdict {
+            o2: Some(clean),
+            o3: Some(true),
+            detail: if clean {
+                String::new()
+            } else {
+                format!("{} regions failed with no crash", inp.failed.len())
+            },
+        };
+    };
+
+    let mut detail = String::new();
+
+    // O2: failed ⊆ writers-of-lost-lines ∪ incomplete.
+    let mut allowed: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut table_line_lost = false;
+    for line in &loss.lines {
+        allowed.extend(line.writers.iter().copied());
+        if intersects(line.base, inp.line_size, &inp.table) {
+            table_line_lost = true;
+        }
+    }
+    let o2 = if inp.hash_table && table_line_lost {
+        // An insert can displace other regions' entries; writer tags on
+        // table lines then under-approximate the affected set.
+        None
+    } else {
+        let phantoms: Vec<u64> = inp
+            .failed
+            .iter()
+            .copied()
+            .filter(|&b| !allowed.contains(&b) && !incomplete(b))
+            .collect();
+        if !phantoms.is_empty() {
+            detail.push_str(&format!("O2: phantom failures {phantoms:?}; "));
+        }
+        Some(phantoms.is_empty())
+    };
+
+    // O3: single-writer changed data lines must belong to a failed or
+    // incomplete region.
+    let mut false_negatives = Vec::new();
+    for line in &loss.lines {
+        if !line.changed
+            || intersects(line.base, inp.line_size, &inp.transient)
+            || intersects(line.base, inp.line_size, &inp.table)
+        {
+            continue;
+        }
+        if let [w] = line.writers.as_slice() {
+            if !inp.failed.contains(w) && !incomplete(*w) {
+                false_negatives.push((line.base, *w));
+            }
+        }
+    }
+    if !false_negatives.is_empty() {
+        detail.push_str(&format!(
+            "O3: validated despite lost data {false_negatives:?}; "
+        ));
+    }
+
+    OracleVerdict {
+        o2,
+        o3: Some(false_negatives.is_empty()),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::LostLine;
+
+    fn loss(lines: Vec<LostLine>) -> CrashLoss {
+        CrashLoss {
+            lines,
+            at_store_ops: 0,
+            at_evictions: 0,
+        }
+    }
+
+    fn line(base: u64, writers: Vec<u64>, changed: bool) -> LostLine {
+        LostLine {
+            base,
+            writers,
+            changed,
+        }
+    }
+
+    fn base_input<'a>(l: Option<&'a CrashLoss>, failed: &'a [u64]) -> OracleInput<'a> {
+        OracleInput {
+            loss: l,
+            failed,
+            incomplete_from: 100,
+            num_blocks: 100,
+            transient: Vec::new(),
+            table: Vec::new(),
+            line_size: 128,
+            hash_table: false,
+        }
+    }
+
+    #[test]
+    fn no_crash_and_no_failures_is_clean() {
+        let v = check(&base_input(None, &[]));
+        assert_eq!(v.o2, Some(true));
+        assert_eq!(v.o3, Some(true));
+        assert!(v.ok());
+    }
+
+    #[test]
+    fn failures_without_a_crash_violate_o2() {
+        let v = check(&base_input(None, &[3]));
+        assert_eq!(v.o2, Some(false));
+        assert!(!v.ok());
+    }
+
+    #[test]
+    fn failed_writer_of_lost_line_is_explained() {
+        let l = loss(vec![line(0, vec![3], true)]);
+        let v = check(&base_input(Some(&l), &[3]));
+        assert_eq!(v.o2, Some(true));
+        assert_eq!(v.o3, Some(true));
+    }
+
+    #[test]
+    fn phantom_failure_violates_o2() {
+        let l = loss(vec![line(0, vec![3], true)]);
+        let v = check(&base_input(Some(&l), &[3, 7]));
+        assert_eq!(v.o2, Some(false));
+        assert!(v.detail.contains("7"));
+    }
+
+    #[test]
+    fn incomplete_blocks_may_fail_without_losing_lines() {
+        let l = loss(vec![]);
+        let mut inp = base_input(Some(&l), &[98, 99]);
+        inp.incomplete_from = 98;
+        let v = check(&inp);
+        assert_eq!(v.o2, Some(true));
+    }
+
+    #[test]
+    fn validated_block_that_lost_changed_data_violates_o3() {
+        let l = loss(vec![line(0, vec![5], true)]);
+        let v = check(&base_input(Some(&l), &[]));
+        assert_eq!(v.o3, Some(false));
+        assert!(v.detail.contains("O3"));
+    }
+
+    #[test]
+    fn unchanged_lost_line_is_a_harmless_loss() {
+        let l = loss(vec![line(0, vec![5], false)]);
+        let v = check(&base_input(Some(&l), &[]));
+        assert_eq!(v.o3, Some(true));
+    }
+
+    #[test]
+    fn transient_lines_are_excluded_from_o3() {
+        let l = loss(vec![line(4096, vec![5], true)]);
+        let mut inp = base_input(Some(&l), &[]);
+        inp.transient = vec![(4096, 1024)];
+        let v = check(&inp);
+        assert_eq!(v.o3, Some(true));
+    }
+
+    #[test]
+    fn multi_writer_lines_are_ambiguous_for_o3() {
+        let l = loss(vec![line(0, vec![5, 6], true)]);
+        let v = check(&base_input(Some(&l), &[5]));
+        // Block 6 cannot be condemned from a shared changed line.
+        assert_eq!(v.o3, Some(true));
+    }
+
+    #[test]
+    fn hash_table_loss_makes_o2_not_applicable() {
+        let l = loss(vec![line(8192, vec![1], true)]);
+        let mut inp = base_input(Some(&l), &[1, 2]);
+        inp.table = vec![(8192, 4096)];
+        inp.hash_table = true;
+        let v = check(&inp);
+        assert_eq!(v.o2, None, "cuckoo displacement defeats writer attribution");
+        assert!(v.ok());
+    }
+}

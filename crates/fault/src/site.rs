@@ -1,0 +1,176 @@
+//! The crash-injection site taxonomy.
+//!
+//! Each [`CrashSite`] names one *class* of power-loss instant relative to
+//! the LP execution pipeline: mid-kernel (by store count, eviction count,
+//! or block boundary), between kernel launches, inside the checkpoint
+//! flush, or during recovery itself (the double-crash case). Sites are
+//! parameterised so a campaign can sweep intensity, and every variant is
+//! plain data — serializable, comparable, and cheap to copy — so a
+//! [`crate::TrialId`] fully determines the trial.
+
+use serde::{Deserialize, Serialize};
+
+/// Where in the execution pipeline the trial loses power.
+///
+/// Percentages are relative to the clean run: `AfterStores { pct }` crashes
+/// after `pct`% of the clean run's global stores, `BlockBoundary { pct }`
+/// after `pct`% of the grid's thread blocks, and `MidCheckpoint { pct }`
+/// after `pct`% of the dirty cache lines have been written back by the
+/// checkpoint's `flush_all`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashSite {
+    /// Power loss after a fraction of the clean run's global stores — the
+    /// classic mid-kernel crash of the paper's §VI recovery study.
+    AfterStores {
+        /// Percent of the clean run's store stream to execute first.
+        pct: u64,
+    },
+    /// Power loss when the `nth` natural cache eviction after launch
+    /// happens — ties the crash instant to the persistence mechanism
+    /// itself rather than to execution progress.
+    AfterEvictions {
+        /// Which eviction (1 = the first) trips the failure.
+        nth: u64,
+    },
+    /// Power loss at a thread-block boundary: a fraction of the grid
+    /// completes fully, the rest never starts. `pct = 0` crashes before
+    /// any block runs.
+    BlockBoundary {
+        /// Percent of the grid's blocks to complete first.
+        pct: u64,
+    },
+    /// Power loss after the kernel completes but before any checkpoint
+    /// flush — everything still volatile is lost, everything naturally
+    /// evicted survives.
+    BetweenKernels,
+    /// Power loss in the middle of the checkpoint `flush_all`: a fraction
+    /// of the dirty lines is written back, the remainder is lost.
+    MidCheckpoint {
+        /// Percent of the dirty lines the flush persists before dying.
+        pct: u64,
+    },
+    /// The double crash: a first crash mid-kernel, then a second power
+    /// loss (at the `nth` eviction) while the recovery engine is
+    /// re-executing failed regions. Recovery must abort cleanly and a
+    /// post-reboot recovery must still converge.
+    DuringRecovery {
+        /// Which eviction during recovery trips the second failure.
+        nth: u64,
+    },
+}
+
+impl CrashSite {
+    /// Short human-readable label (used in trial listings and reports).
+    pub fn label(&self) -> String {
+        match self {
+            CrashSite::AfterStores { pct } => format!("stores@{pct}%"),
+            CrashSite::AfterEvictions { nth } => format!("eviction#{nth}"),
+            CrashSite::BlockBoundary { pct } => format!("blocks@{pct}%"),
+            CrashSite::BetweenKernels => "between-kernels".to_string(),
+            CrashSite::MidCheckpoint { pct } => format!("checkpoint@{pct}%"),
+            CrashSite::DuringRecovery { nth } => format!("recovery-eviction#{nth}"),
+        }
+    }
+
+    /// Whether this site needs the clean run's total store count.
+    pub fn needs_store_count(&self) -> bool {
+        matches!(
+            self,
+            CrashSite::AfterStores { .. } | CrashSite::DuringRecovery { .. }
+        )
+    }
+
+    /// The default site sweep a campaign enumerates per (workload, config,
+    /// seed) cell: every taxonomy class at a few intensities.
+    pub fn catalog() -> Vec<CrashSite> {
+        let mut sites = Vec::new();
+        for pct in [0u64, 10, 25, 50, 75, 90] {
+            sites.push(CrashSite::AfterStores { pct });
+        }
+        for nth in [1u64, 8] {
+            sites.push(CrashSite::AfterEvictions { nth });
+        }
+        for pct in [10u64, 50, 90] {
+            sites.push(CrashSite::BlockBoundary { pct });
+        }
+        sites.push(CrashSite::BetweenKernels);
+        for pct in [0u64, 50] {
+            sites.push(CrashSite::MidCheckpoint { pct });
+        }
+        for nth in [1u64, 4] {
+            sites.push(CrashSite::DuringRecovery { nth });
+        }
+        sites
+    }
+
+    /// A *less intense* variant of this site, for shrinking: halves the
+    /// sweep parameter. Returns `None` when already minimal.
+    pub fn weakened(&self) -> Option<CrashSite> {
+        match *self {
+            CrashSite::AfterStores { pct } if pct > 0 => {
+                Some(CrashSite::AfterStores { pct: pct / 2 })
+            }
+            CrashSite::AfterEvictions { nth } if nth > 1 => {
+                Some(CrashSite::AfterEvictions { nth: nth / 2 })
+            }
+            CrashSite::BlockBoundary { pct } if pct > 0 => {
+                Some(CrashSite::BlockBoundary { pct: pct / 2 })
+            }
+            CrashSite::MidCheckpoint { pct } if pct > 0 => {
+                Some(CrashSite::MidCheckpoint { pct: pct / 2 })
+            }
+            CrashSite::DuringRecovery { nth } if nth > 1 => {
+                Some(CrashSite::DuringRecovery { nth: nth / 2 })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_taxonomy_class() {
+        let sites = CrashSite::catalog();
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::AfterStores { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::AfterEvictions { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::BlockBoundary { .. })));
+        assert!(sites.iter().any(|s| matches!(s, CrashSite::BetweenKernels)));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::MidCheckpoint { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::DuringRecovery { .. })));
+        assert_eq!(sites.len(), 16);
+    }
+
+    #[test]
+    fn sites_roundtrip_through_json() {
+        for site in CrashSite::catalog() {
+            let s = serde_json::to_string(&site).unwrap();
+            let back: CrashSite = serde_json::from_str(&s).unwrap();
+            assert_eq!(site, back, "{s}");
+        }
+    }
+
+    #[test]
+    fn weakening_terminates() {
+        for mut site in CrashSite::catalog() {
+            let mut steps = 0;
+            while let Some(weaker) = site.weakened() {
+                site = weaker;
+                steps += 1;
+                assert!(steps < 16, "weakening must terminate, stuck at {site:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! One crash-injection trial: identity, construction, execution.
+//!
+//! A [`TrialId`] is a compact, serializable coordinate — `(workload,
+//! config, seed, site)` — that *fully determines* a trial: the simulated
+//! machine, inputs, crash instant and recovery path are all derived from it
+//! deterministically. Campaign reports carry `TrialId`s so any failure can
+//! be replayed (and shrunk) in isolation.
+//!
+//! [`run_trial`] executes one trial end to end: build a fresh world, run
+//! the subject under Lazy Persistency, lose power at the requested
+//! [`CrashSite`], recover, and judge the outcome with the three oracles of
+//! [`crate::oracle`].
+
+use crate::oracle::{self, OracleInput};
+use crate::site::CrashSite;
+use gpu_lp::{
+    LpConfig, LpRuntime, Recoverable, RecoveryEngine, RecoveryReport, ReduceStrategy, TableKind,
+};
+use lp_kernels::{workload_by_name, Scale, WORKLOAD_NAMES};
+use megakv::app::OpKind;
+use megakv::MegaKv;
+use nvm::{CrashLoss, NvmConfig, PersistMemory};
+use serde::{Deserialize, Serialize};
+use simt::{CrashPlan, DeviceConfig, Gpu};
+
+/// Every subject a campaign can crash: the 8 suite kernels plus the three
+/// MEGA-KV batch operations.
+pub const SUBJECT_NAMES: [&str; 11] = [
+    "TMM",
+    "TPACF",
+    "MRI-GRIDDING",
+    "SPMV",
+    "SAD",
+    "HISTO",
+    "CUTCP",
+    "MRI-Q",
+    "MEGAKV-INSERT",
+    "MEGAKV-SEARCH",
+    "MEGAKV-DELETE",
+];
+
+/// LP design points a campaign sweeps by default.
+pub const CONFIG_NAMES: [&str; 4] = ["recommended", "quad", "cuckoo", "seq-reduce"];
+
+/// The deliberately-broken design point: validation runs but failed
+/// regions are never re-executed. Exists to prove the campaign catches
+/// real persistency bugs and shrinks them.
+pub const SABOTAGE_CONFIG: &str = "broken-skip-recovery";
+
+/// The full coordinate of one trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialId {
+    /// Subject name from [`SUBJECT_NAMES`].
+    pub workload: String,
+    /// Config name resolvable by [`trial_config`].
+    pub config: String,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Where the trial loses power.
+    pub site: CrashSite,
+}
+
+impl TrialId {
+    /// Compact human-readable label, e.g. `SPMV/recommended/s1/stores@50%`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/s{}/{}",
+            self.workload,
+            self.config,
+            self.seed,
+            self.site.label()
+        )
+    }
+}
+
+/// A named LP design point plus any deliberate sabotage flags.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// The name this config resolves from.
+    pub name: String,
+    /// The LP design point.
+    pub lp: LpConfig,
+    /// Sabotage: validate after the crash but never re-execute failed
+    /// regions (so lost data stays lost and the output oracle must fire).
+    pub skip_recovery: bool,
+}
+
+/// Resolves a config name from [`CONFIG_NAMES`] or [`SABOTAGE_CONFIG`].
+pub fn trial_config(name: &str) -> Option<TrialConfig> {
+    let (lp, skip_recovery) = match name {
+        "recommended" => (LpConfig::recommended(), false),
+        "quad" => (LpConfig::quad(), false),
+        "cuckoo" => (LpConfig::cuckoo(), false),
+        "seq-reduce" => (
+            LpConfig::recommended().with_reduce(ReduceStrategy::SequentialMemory),
+            false,
+        ),
+        SABOTAGE_CONFIG => (LpConfig::recommended(), true),
+        _ => return None,
+    };
+    Some(TrialConfig {
+        name: name.to_string(),
+        lp,
+        skip_recovery,
+    })
+}
+
+/// The judged outcome of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The trial's coordinate (replayable).
+    pub id: TrialId,
+    /// Whether the injected crash actually fired. Sites can miss (e.g. a
+    /// tiny working set never evicts); a missed site degenerates to a
+    /// clean run, which the oracles still check.
+    pub crashed: bool,
+    /// Regions failing the post-crash validation pass.
+    pub failed_regions: u64,
+    /// Region re-executions recovery performed.
+    pub reexecutions: u64,
+    /// O1: recovery converged and the output matches the CPU reference.
+    pub o1_output: bool,
+    /// O2: no phantom validation failures (`None` = not applicable).
+    pub o2: Option<bool>,
+    /// O3: no false-negative validations (`None` = not applicable).
+    pub o3: Option<bool>,
+    /// All applicable oracles passed.
+    pub passed: bool,
+    /// Diagnostics for failures and skipped oracles.
+    pub detail: String,
+}
+
+/// The simulated machine every trial runs on: the test GPU and a small
+/// (256-line) cache so natural evictions — the mechanism under test —
+/// happen even at test scale.
+pub fn fault_world() -> (Gpu, PersistMemory) {
+    let mem = PersistMemory::new(NvmConfig {
+        cache_lines: 256,
+        associativity: 8,
+        ..NvmConfig::default()
+    });
+    (Gpu::new(DeviceConfig::test_gpu()), mem)
+}
+
+/// MEGA-KV record count per scale (kept small: trials run by the hundred).
+fn megakv_records(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 1024,
+        Scale::Bench => 4096,
+        Scale::Paper => 16384,
+    }
+}
+
+enum SubjectKind {
+    Suite(String),
+    Kv(OpKind),
+}
+
+fn subject_kind(name: &str) -> Option<SubjectKind> {
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "MEGAKV-INSERT" => Some(SubjectKind::Kv(OpKind::Insert)),
+        "MEGAKV-SEARCH" => Some(SubjectKind::Kv(OpKind::Search)),
+        "MEGAKV-DELETE" => Some(SubjectKind::Kv(OpKind::Delete)),
+        _ if WORKLOAD_NAMES.contains(&upper.as_str()) => Some(SubjectKind::Suite(upper)),
+        _ => None,
+    }
+}
+
+/// Builds a fresh instance of `kind` (world + inputs + LP runtime + kernel)
+/// and hands it to `f`. Everything in the instance is derived from
+/// `(kind, scale, seed, lp)`, so two calls see identical machines.
+fn with_instance<R>(
+    kind: &SubjectKind,
+    scale: Scale,
+    seed: u64,
+    lp: &LpConfig,
+    f: impl FnOnce(
+        &Gpu,
+        &mut PersistMemory,
+        &dyn Recoverable,
+        &LpRuntime,
+        &mut dyn FnMut(&mut PersistMemory) -> bool,
+    ) -> R,
+) -> R {
+    let (gpu, mut mem) = fault_world();
+    match kind {
+        SubjectKind::Suite(name) => {
+            let mut w = workload_by_name(name, scale, seed).expect("known workload");
+            w.setup(&mut mem);
+            let lc = w.launch_config();
+            let rt = LpRuntime::setup(
+                &mut mem,
+                lc.num_blocks(),
+                lc.threads_per_block(),
+                lp.clone(),
+            );
+            mem.flush_all();
+            mem.reset_stats();
+            let kernel = w.kernel(Some(&rt));
+            let mut verify = |m: &mut PersistMemory| w.verify(m);
+            f(&gpu, &mut mem, kernel.as_ref(), &rt, &mut verify)
+        }
+        SubjectKind::Kv(op) => {
+            let app = MegaKv::new(&mut mem, megakv_records(scale), seed);
+            if *op != OpKind::Insert {
+                // Search/delete operate on a populated, durable store.
+                app.run(&gpu, &mut mem, OpKind::Insert, None);
+                mem.flush_all();
+            }
+            let rt = app.lp_runtime(&mut mem, *op, lp.clone());
+            mem.flush_all();
+            mem.reset_stats();
+            let kernel = app.kernel(*op, Some(&rt));
+            let mut verify = |m: &mut PersistMemory| match op {
+                OpKind::Insert => app.verify_inserts(m),
+                OpKind::Search => app.verify_searches(m),
+                OpKind::Delete => app.verify_deletes(m),
+            };
+            f(&gpu, &mut mem, kernel.as_ref(), &rt, &mut verify)
+        }
+    }
+}
+
+/// What the injection phase of a trial produced.
+struct Injected {
+    crashed: bool,
+    blocks_executed: u64,
+    loss: Option<CrashLoss>,
+    /// O2/O3 are only meaningful when exactly one crash-loss record
+    /// explains the validation failures (not in the double-crash case).
+    loss_oracles: bool,
+    note: String,
+}
+
+/// Restores power if it is off and collects the loss inventory.
+fn reboot(mem: &mut PersistMemory) -> Option<CrashLoss> {
+    if mem.power_failed() {
+        mem.power_on();
+    }
+    mem.take_crash_loss()
+}
+
+fn inject(
+    site: CrashSite,
+    gpu: &Gpu,
+    mem: &mut PersistMemory,
+    kernel: &dyn Recoverable,
+    rt: &LpRuntime,
+    clean_stores: Option<u64>,
+) -> Injected {
+    let num_blocks = kernel.config().num_blocks();
+    let mut note = String::new();
+    let (crashed, blocks_executed, loss, loss_oracles) = match site {
+        CrashSite::AfterStores { pct } => {
+            let total = clean_stores.expect("AfterStores needs the clean store count");
+            let plan = CrashPlan {
+                after_global_stores: Some(total * pct / 100),
+                after_blocks: None,
+            };
+            let out = gpu.launch_with_plan(kernel, mem, plan).expect("launch");
+            let crashed = out.crashed();
+            if !crashed {
+                mem.flush_all();
+            }
+            (crashed, out.stats().blocks_executed, reboot(mem), true)
+        }
+        CrashSite::AfterEvictions { nth } => {
+            mem.arm_crash_after_evictions(nth);
+            let out = gpu.launch(kernel, mem).expect("launch");
+            mem.disarm_crash();
+            if !out.crashed {
+                note.push_str("site missed: kernel finished without enough evictions; ");
+                mem.flush_all();
+            }
+            (out.crashed, out.blocks_executed, reboot(mem), true)
+        }
+        CrashSite::BlockBoundary { pct } => {
+            let plan = CrashPlan {
+                after_global_stores: None,
+                after_blocks: Some(num_blocks * pct / 100),
+            };
+            let out = gpu.launch_with_plan(kernel, mem, plan).expect("launch");
+            let crashed = out.crashed();
+            if !crashed {
+                mem.flush_all();
+            }
+            (crashed, out.stats().blocks_executed, reboot(mem), true)
+        }
+        CrashSite::BetweenKernels => {
+            let out = gpu.launch(kernel, mem).expect("launch");
+            // The kernel finished but no checkpoint ran: whatever is still
+            // in cache vanishes. `crash()` models the instant reboot.
+            mem.crash();
+            (true, out.blocks_executed, reboot(mem), true)
+        }
+        CrashSite::MidCheckpoint { pct } => {
+            let out = gpu.launch(kernel, mem).expect("launch");
+            let dirty = mem.dirty_lines() as u64;
+            if dirty == 0 {
+                note.push_str("site missed: nothing dirty at checkpoint; ");
+                (false, out.blocks_executed, None, true)
+            } else {
+                mem.arm_crash_during_flush(dirty * pct / 100);
+                mem.flush_all();
+                mem.disarm_crash();
+                let crashed = mem.power_failed();
+                (crashed, out.blocks_executed, reboot(mem), true)
+            }
+        }
+        CrashSite::DuringRecovery { nth } => {
+            // First crash mid-kernel, then a second power loss while the
+            // recovery engine is re-executing. Only the output oracle is
+            // checked: two overlapping loss records defeat line-level
+            // attribution.
+            let total = clean_stores.expect("DuringRecovery needs the clean store count");
+            let plan = CrashPlan {
+                after_global_stores: Some(total * 2 / 5),
+                after_blocks: None,
+            };
+            let out = gpu.launch_with_plan(kernel, mem, plan).expect("launch");
+            let crashed = out.crashed();
+            if crashed {
+                let _first = reboot(mem);
+                mem.arm_crash_after_evictions(nth);
+                let r1 = RecoveryEngine::new(gpu).recover(kernel, rt, mem);
+                mem.disarm_crash();
+                if mem.power_failed() {
+                    assert!(
+                        !r1.recovered,
+                        "recovery reported success despite a mid-recovery power loss"
+                    );
+                    note.push_str("double crash hit recovery; ");
+                } else {
+                    note.push_str("second crash missed (recovery evicted too little); ");
+                }
+                let _second = reboot(mem);
+            } else {
+                mem.flush_all();
+            }
+            (crashed, out.stats().blocks_executed, None, false)
+        }
+    };
+    Injected {
+        crashed,
+        blocks_executed,
+        loss,
+        loss_oracles,
+        note,
+    }
+}
+
+/// Runs one trial end to end at `scale`.
+///
+/// # Panics
+///
+/// Panics on unknown workload/config names and on simulator-level launch
+/// failures — campaign drivers catch panics and record them as failures.
+pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
+    let kind =
+        subject_kind(&id.workload).unwrap_or_else(|| panic!("unknown workload {:?}", id.workload));
+    let cfg = trial_config(&id.config).unwrap_or_else(|| panic!("unknown config {:?}", id.config));
+
+    // Sites defined relative to the store stream need the clean run's
+    // length, measured on an identical (fresh) instance.
+    let clean_stores = if id.site.needs_store_count() {
+        Some(with_instance(
+            &kind,
+            scale,
+            id.seed,
+            &cfg.lp,
+            |gpu, mem, kernel, _rt, _v| {
+                let out = gpu.launch(kernel, mem).expect("clean launch");
+                out.nvm.store_ops
+            },
+        ))
+    } else {
+        None
+    };
+
+    with_instance(
+        &kind,
+        scale,
+        id.seed,
+        &cfg.lp,
+        |gpu, mem, kernel, rt, verify| {
+            let num_blocks = kernel.config().num_blocks();
+            let injected = inject(id.site, gpu, mem, kernel, rt, clean_stores);
+            let mut detail = injected.note.clone();
+
+            let engine = RecoveryEngine::new(gpu);
+            let failed = engine.validate_all(kernel, rt, mem);
+            let report = if cfg.skip_recovery {
+                detail.push_str("sabotage: recovery skipped; ");
+                RecoveryReport {
+                    regions: num_blocks,
+                    failed_first_pass: failed.len() as u64,
+                    recovered: true,
+                    ..RecoveryReport::default()
+                }
+            } else {
+                engine.recover(kernel, rt, mem)
+            };
+
+            let verdict = if injected.loss_oracles {
+                oracle::check(&OracleInput {
+                    loss: injected.loss.as_ref(),
+                    failed: &failed,
+                    incomplete_from: injected.blocks_executed,
+                    num_blocks,
+                    transient: rt.transient_ranges(),
+                    table: rt.table_ranges(),
+                    line_size: mem.config().line_size as u64,
+                    hash_table: !matches!(rt.config().table, TableKind::GlobalArray),
+                })
+            } else {
+                detail.push_str("loss oracles skipped (double crash); ");
+                Default::default()
+            };
+            detail.push_str(&verdict.detail);
+
+            let o1 = report.recovered && verify(mem);
+            if !o1 {
+                detail.push_str("O1: output wrong after recovery; ");
+            }
+            TrialResult {
+                id: id.clone(),
+                crashed: injected.crashed,
+                failed_regions: failed.len() as u64,
+                reexecutions: report.reexecutions,
+                o1_output: o1,
+                o2: verdict.o2,
+                o3: verdict.o3,
+                passed: o1 && verdict.ok(),
+                detail,
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(workload: &str, config: &str, site: CrashSite) -> TrialId {
+        TrialId {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            seed: 1,
+            site,
+        }
+    }
+
+    #[test]
+    fn every_config_name_resolves() {
+        for name in CONFIG_NAMES {
+            assert!(trial_config(name).is_some(), "{name}");
+        }
+        assert!(trial_config(SABOTAGE_CONFIG).unwrap().skip_recovery);
+        assert!(trial_config("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_subject_name_resolves() {
+        for name in SUBJECT_NAMES {
+            assert!(subject_kind(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn spmv_mid_store_crash_trial_passes() {
+        let r = run_trial(
+            &id("SPMV", "recommended", CrashSite::AfterStores { pct: 50 }),
+            Scale::Test,
+        );
+        assert!(r.crashed, "{r:?}");
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn trial_results_are_reproducible() {
+        let tid = id("TMM", "recommended", CrashSite::AfterStores { pct: 25 });
+        let a = run_trial(&tid, Scale::Test);
+        let b = run_trial(&tid, Scale::Test);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(a.failed_regions, b.failed_regions);
+        assert_eq!(a.reexecutions, b.reexecutions);
+        assert_eq!(a.passed, b.passed);
+    }
+
+    #[test]
+    fn block_boundary_zero_loses_everything_and_recovers() {
+        let r = run_trial(
+            &id("TMM", "recommended", CrashSite::BlockBoundary { pct: 0 }),
+            Scale::Test,
+        );
+        assert!(r.crashed);
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn megakv_insert_between_kernels_crash_passes() {
+        let r = run_trial(
+            &id("MEGAKV-INSERT", "recommended", CrashSite::BetweenKernels),
+            Scale::Test,
+        );
+        assert!(r.crashed);
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn double_crash_trial_still_restores_output() {
+        let r = run_trial(
+            &id("SPMV", "recommended", CrashSite::DuringRecovery { nth: 1 }),
+            Scale::Test,
+        );
+        assert!(r.o1_output, "{r:?}");
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn sabotaged_config_fails_the_output_oracle() {
+        let r = run_trial(
+            &id("SPMV", SABOTAGE_CONFIG, CrashSite::AfterStores { pct: 50 }),
+            Scale::Test,
+        );
+        assert!(r.crashed, "sabotage demo needs a crash that loses data");
+        assert!(
+            !r.o1_output,
+            "skipping recovery must corrupt the output: {r:?}"
+        );
+        assert!(!r.passed);
+    }
+}

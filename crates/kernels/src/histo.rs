@@ -154,7 +154,12 @@ impl Kernel for HistoKernel<'_> {
                 let count = ctx.shm_read(bins, bin) as u32;
                 let sat = count.min(SAT);
                 ctx.charge_alu(1);
-                lp.store_u32(ctx, t, self.w.partials.index(b * BINS as u64 + bin as u64, 4), sat);
+                lp.store_u32(
+                    ctx,
+                    t,
+                    self.w.partials.index(b * BINS as u64 + bin as u64, 4),
+                    sat,
+                );
             }
         }
         lp.finalize(ctx);

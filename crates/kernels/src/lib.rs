@@ -35,5 +35,5 @@ pub mod tmm;
 pub mod tpacf;
 pub mod workload;
 
-pub use suite::{all_workloads, workload_by_name};
+pub use suite::{all_workloads, workload_by_name, WORKLOAD_NAMES};
 pub use workload::{Bottleneck, LpKernel, Scale, Workload, WorkloadInfo};

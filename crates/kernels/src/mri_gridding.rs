@@ -271,7 +271,9 @@ mod tests {
 
     #[test]
     fn gridding_is_second_largest_launch() {
-        let g = MriGridding::new(Scale::Bench, 0).launch_config().num_blocks();
+        let g = MriGridding::new(Scale::Bench, 0)
+            .launch_config()
+            .num_blocks();
         assert!(g >= 4096);
     }
 }

@@ -155,7 +155,8 @@ impl Workload for MriQ {
         let (qr_ref, qi_ref) = self.reference();
         let qr = common::download_f32s(mem, self.qr, n);
         let qi = common::download_f32s(mem, self.qi, n);
-        common::slices_match(&qr, &qr_ref, 1e-3).is_ok() && common::slices_match(&qi, &qi_ref, 1e-3).is_ok()
+        common::slices_match(&qr, &qr_ref, 1e-3).is_ok()
+            && common::slices_match(&qi, &qi_ref, 1e-3).is_ok()
     }
 }
 

@@ -35,9 +35,9 @@ impl Sad {
     /// Creates the workload at the given scale. `setup` must follow.
     pub fn new(scale: Scale, seed: u64) -> Self {
         let (width, height, mb, offset_groups) = match scale {
-            Scale::Test => (32, 32, 4, 2),          // 8×8 mbs × 2 = 128 blocks
-            Scale::Bench => (128, 128, 2, 2),       // 64×64 mbs × 2 = 8 192 blocks
-            Scale::Paper => (256, 256, 4, 32),      // 64×64 mbs × 32 = 131 072 blocks
+            Scale::Test => (32, 32, 4, 2),     // 8×8 mbs × 2 = 128 blocks
+            Scale::Bench => (128, 128, 2, 2),  // 64×64 mbs × 2 = 8 192 blocks
+            Scale::Paper => (256, 256, 4, 32), // 64×64 mbs × 32 = 131 072 blocks
         };
         Self {
             width,

@@ -33,7 +33,7 @@ impl Spmv {
     /// Creates the workload at the given scale. `setup` must follow.
     pub fn new(scale: Scale, seed: u64) -> Self {
         let rows = match scale {
-            Scale::Test => 1024,                  // 16 blocks
+            Scale::Test => 1024,                   // 16 blocks
             Scale::Bench | Scale::Paper => 98_304, // 1 536 blocks (Table III)
         };
         Self {
@@ -55,7 +55,10 @@ impl Spmv {
     fn reference(&self) -> Vec<f32> {
         (0..self.rows)
             .map(|r| {
-                let (lo, hi) = (self.host_row_ptr[r] as usize, self.host_row_ptr[r + 1] as usize);
+                let (lo, hi) = (
+                    self.host_row_ptr[r] as usize,
+                    self.host_row_ptr[r + 1] as usize,
+                );
                 let mut acc = 0.0f32;
                 for k in lo..hi {
                     acc += self.host_vals[k] * self.host_x[self.host_col_idx[k] as usize];

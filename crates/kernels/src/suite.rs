@@ -66,7 +66,16 @@ mod tests {
     fn block_count_ordering_matches_paper() {
         // Table III ordering: SAD > MRI-GRIDDING > TMM > SPMV > MRI-Q >
         // TPACF > CUTCP > HISTO must hold at Bench scale.
-        let order = ["SAD", "MRI-GRIDDING", "TMM", "SPMV", "MRI-Q", "TPACF", "CUTCP", "HISTO"];
+        let order = [
+            "SAD",
+            "MRI-GRIDDING",
+            "TMM",
+            "SPMV",
+            "MRI-Q",
+            "TPACF",
+            "CUTCP",
+            "HISTO",
+        ];
         let mut prev = u64::MAX;
         for name in order {
             let w = workload_by_name(name, Scale::Bench, 0).unwrap();

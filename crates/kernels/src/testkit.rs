@@ -24,8 +24,13 @@ pub fn assert_baseline_correct(w: &mut dyn Workload) {
     let (gpu, mut mem) = world();
     w.setup(&mut mem);
     let kernel = w.kernel(None);
-    gpu.launch(kernel.as_ref(), &mut mem).expect("launch failed");
-    assert!(w.verify(&mut mem), "{}: baseline output wrong", w.info().name);
+    gpu.launch(kernel.as_ref(), &mut mem)
+        .expect("launch failed");
+    assert!(
+        w.verify(&mut mem),
+        "{}: baseline output wrong",
+        w.info().name
+    );
 }
 
 /// Launches the LP-instrumented kernel (recommended config) and checks both
@@ -34,9 +39,15 @@ pub fn assert_lp_correct(w: &mut dyn Workload) {
     let (gpu, mut mem) = world();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
-    gpu.launch(kernel.as_ref(), &mut mem).expect("launch failed");
+    gpu.launch(kernel.as_ref(), &mut mem)
+        .expect("launch failed");
     assert!(w.verify(&mut mem), "{}: LP output wrong", w.info().name);
 }
 
@@ -46,9 +57,15 @@ pub fn assert_clean_validation(w: &mut dyn Workload) {
     let (gpu, mut mem) = world();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
-    gpu.launch(kernel.as_ref(), &mut mem).expect("launch failed");
+    gpu.launch(kernel.as_ref(), &mut mem)
+        .expect("launch failed");
     mem.flush_all();
     let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
     assert!(
@@ -64,10 +81,21 @@ pub fn assert_crash_recovery(w: &mut dyn Workload, crash_after_stores: u64) {
     let (gpu, mut mem) = world();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
     let outcome = gpu
-        .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: crash_after_stores })
+        .launch_with_crash(
+            kernel.as_ref(),
+            &mut mem,
+            CrashSpec {
+                after_global_stores: crash_after_stores,
+            },
+        )
         .expect("launch failed");
     if !outcome.crashed() {
         // Crash point beyond the kernel: nothing to recover, output must
@@ -76,7 +104,11 @@ pub fn assert_crash_recovery(w: &mut dyn Workload, crash_after_stores: u64) {
         return;
     }
     let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
-    assert!(report.recovered, "{}: recovery did not converge: {report:?}", w.info().name);
+    assert!(
+        report.recovered,
+        "{}: recovery did not converge: {report:?}",
+        w.info().name
+    );
     assert!(
         w.verify(&mut mem),
         "{}: output wrong after recovery ({} re-executions)",
@@ -87,7 +119,10 @@ pub fn assert_crash_recovery(w: &mut dyn Workload, crash_after_stores: u64) {
 
 /// Crash/recovery sweep across several crash points (cheap property-style
 /// coverage for a workload).
-pub fn assert_crash_recovery_sweep(w_factory: &mut dyn FnMut() -> Box<dyn Workload>, points: &[u64]) {
+pub fn assert_crash_recovery_sweep(
+    w_factory: &mut dyn FnMut() -> Box<dyn Workload>,
+    points: &[u64],
+) {
     for &p in points {
         let mut w = w_factory();
         assert_crash_recovery(w.as_mut(), p);

@@ -173,7 +173,12 @@ impl Kernel for TmmKernel<'_> {
         // Persistent stores, LP-protected.
         for t in 0..tpb {
             let (row, col, _, _) = self.coords(ctx, t);
-            lp.store_f32(ctx, t, self.w.c.index((row * n + col) as u64, 4), acc[t as usize]);
+            lp.store_f32(
+                ctx,
+                t,
+                self.w.c.index((row * n + col) as u64, 4),
+                acc[t as usize],
+            );
         }
         lp.finalize(ctx);
     }
@@ -191,7 +196,9 @@ impl Recoverable for TmmKernel<'_> {
             let (tx, ty, _) = lc.block.unflatten(t);
             let row = by as usize * tile + ty as usize;
             let col = bx as usize * tile + tx as usize;
-            images.push(f32_store_image(mem.read_f32(self.w.c.index((row * n + col) as u64, 4))));
+            images.push(f32_store_image(
+                mem.read_f32(self.w.c.index((row * n + col) as u64, 4)),
+            ));
         }
         rt.digest_region(block, images)
     }

@@ -198,7 +198,12 @@ impl Kernel for TpacfKernel<'_> {
             let bin = t as usize;
             if bin < BINS {
                 let count = ctx.shm_read(bins, bin) as u32;
-                lp.store_u32(ctx, t, self.w.partials.index(b * BINS as u64 + bin as u64, 4), count);
+                lp.store_u32(
+                    ctx,
+                    t,
+                    self.w.partials.index(b * BINS as u64 + bin as u64, 4),
+                    count,
+                );
             }
         }
         lp.finalize(ctx);

@@ -83,16 +83,38 @@ impl MegaKv {
     }
 
     /// Builds the kernel for `op`.
-    pub fn kernel<'a>(&'a self, op: OpKind, lp: Option<&'a LpRuntime>) -> Box<dyn Recoverable + 'a> {
+    pub fn kernel<'a>(
+        &'a self,
+        op: OpKind,
+        lp: Option<&'a LpRuntime>,
+    ) -> Box<dyn Recoverable + 'a> {
         match op {
-            OpKind::Insert => Box::new(InsertKernel { store: &self.store, batch: &self.insert, lp }),
-            OpKind::Search => Box::new(SearchKernel { store: &self.store, batch: &self.search, lp }),
-            OpKind::Delete => Box::new(DeleteKernel { store: &self.store, batch: &self.delete, lp }),
+            OpKind::Insert => Box::new(InsertKernel {
+                store: &self.store,
+                batch: &self.insert,
+                lp,
+            }),
+            OpKind::Search => Box::new(SearchKernel {
+                store: &self.store,
+                batch: &self.search,
+                lp,
+            }),
+            OpKind::Delete => Box::new(DeleteKernel {
+                store: &self.store,
+                batch: &self.delete,
+                lp,
+            }),
         }
     }
 
     /// Runs `op` to completion and returns its launch stats.
-    pub fn run(&self, gpu: &Gpu, mem: &mut PersistMemory, op: OpKind, lp: Option<&LpRuntime>) -> LaunchStats {
+    pub fn run(
+        &self,
+        gpu: &Gpu,
+        mem: &mut PersistMemory,
+        op: OpKind,
+        lp: Option<&LpRuntime>,
+    ) -> LaunchStats {
         let k = self.kernel(op, lp);
         gpu.launch(k.as_ref(), mem).expect("launch failed")
     }
@@ -109,7 +131,13 @@ impl MegaKv {
     ) -> RecoveryReport {
         let k = self.kernel(op, Some(lp));
         let outcome = gpu
-            .launch_with_crash(k.as_ref(), mem, CrashSpec { after_global_stores: crash_after_stores })
+            .launch_with_crash(
+                k.as_ref(),
+                mem,
+                CrashSpec {
+                    after_global_stores: crash_after_stores,
+                },
+            )
             .expect("launch failed");
         if !outcome.crashed() {
             mem.flush_all();
@@ -135,7 +163,8 @@ impl MegaKv {
 
     /// After the delete batch: deleted keys absent, the rest intact.
     pub fn verify_deletes(&self, mem: &mut PersistMemory) -> bool {
-        let deleted: std::collections::HashSet<u64> = self.delete.host_keys.iter().copied().collect();
+        let deleted: std::collections::HashSet<u64> =
+            self.delete.host_keys.iter().copied().collect();
         self.insert.host_keys.iter().all(|&k| {
             let found = self.store.lookup_host(mem, k);
             if deleted.contains(&k) {

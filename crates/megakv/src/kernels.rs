@@ -86,7 +86,10 @@ impl Kernel for InsertKernel<'_> {
             // Dropping a record silently would corrupt the store (and was
             // caught by the crash-property suite at an unlucky seed): the
             // probe window must never be exhausted at this load factor.
-            assert!(placed, "KV store probe window exhausted for key {key}: resize the store");
+            assert!(
+                placed,
+                "KV store probe window exhausted for key {key}: resize the store"
+            );
         }
         lp.finalize(ctx);
     }
@@ -275,13 +278,31 @@ mod tests {
         let (gpu, mut mem, store) = world(512);
         let keys: Vec<u64> = (1..=512).collect();
         let ins = Batch::upload(&mut mem, keys.clone());
-        gpu.launch(&InsertKernel { store: &store, batch: &ins, lp: None }, &mut mem)
-            .unwrap();
+        gpu.launch(
+            &InsertKernel {
+                store: &store,
+                batch: &ins,
+                lp: None,
+            },
+            &mut mem,
+        )
+        .unwrap();
         let se = Batch::upload(&mut mem, keys.clone());
-        gpu.launch(&SearchKernel { store: &store, batch: &se, lp: None }, &mut mem)
-            .unwrap();
+        gpu.launch(
+            &SearchKernel {
+                store: &store,
+                batch: &se,
+                lp: None,
+            },
+            &mut mem,
+        )
+        .unwrap();
         for (i, &k) in keys.iter().enumerate() {
-            assert_eq!(mem.read_u64(se.out.index(i as u64, 8)), value_of(k), "key {k}");
+            assert_eq!(
+                mem.read_u64(se.out.index(i as u64, 8)),
+                value_of(k),
+                "key {k}"
+            );
         }
     }
 
@@ -289,8 +310,15 @@ mod tests {
     fn search_missing_reports_not_found() {
         let (gpu, mut mem, store) = world(64);
         let se = Batch::upload(&mut mem, vec![9999]);
-        gpu.launch(&SearchKernel { store: &store, batch: &se, lp: None }, &mut mem)
-            .unwrap();
+        gpu.launch(
+            &SearchKernel {
+                store: &store,
+                batch: &se,
+                lp: None,
+            },
+            &mut mem,
+        )
+        .unwrap();
         assert_eq!(mem.read_u64(se.out.index(0, 8)), NOT_FOUND);
     }
 
@@ -299,12 +327,26 @@ mod tests {
         let (gpu, mut mem, store) = world(128);
         let keys: Vec<u64> = (1..=128).collect();
         let ins = Batch::upload(&mut mem, keys.clone());
-        gpu.launch(&InsertKernel { store: &store, batch: &ins, lp: None }, &mut mem)
-            .unwrap();
+        gpu.launch(
+            &InsertKernel {
+                store: &store,
+                batch: &ins,
+                lp: None,
+            },
+            &mut mem,
+        )
+        .unwrap();
         let dels: Vec<u64> = keys.iter().copied().filter(|k| k % 2 == 0).collect();
         let del = Batch::upload(&mut mem, dels.clone());
-        gpu.launch(&DeleteKernel { store: &store, batch: &del, lp: None }, &mut mem)
-            .unwrap();
+        gpu.launch(
+            &DeleteKernel {
+                store: &store,
+                batch: &del,
+                lp: None,
+            },
+            &mut mem,
+        )
+        .unwrap();
         for k in keys {
             let found = store.lookup_host(&mut mem, k);
             if k % 2 == 0 {
@@ -319,7 +361,11 @@ mod tests {
     fn insert_is_idempotent() {
         let (gpu, mut mem, store) = world(64);
         let ins = Batch::upload(&mut mem, (1..=64).collect());
-        let k = InsertKernel { store: &store, batch: &ins, lp: None };
+        let k = InsertKernel {
+            store: &store,
+            batch: &ins,
+            lp: None,
+        };
         gpu.launch(&k, &mut mem).unwrap();
         gpu.launch(&k, &mut mem).unwrap(); // re-execution must not duplicate
         assert_eq!(store.live_entries(&mut mem), 64);

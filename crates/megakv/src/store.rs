@@ -37,7 +37,11 @@ impl KvStore {
     pub fn create(mem: &mut PersistMemory, buckets: u64, slots: u64) -> Self {
         assert!(buckets > 0 && slots > 0, "empty store");
         let base = mem.alloc(buckets * slots * 16, 8);
-        Self { base, buckets, slots }
+        Self {
+            base,
+            buckets,
+            slots,
+        }
     }
 
     /// Number of buckets.

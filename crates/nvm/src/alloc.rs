@@ -15,7 +15,9 @@ use std::fmt;
 /// let a = Addr::new(0x100);
 /// assert_eq!(a.offset(8).raw(), 0x108);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {

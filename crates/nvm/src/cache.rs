@@ -19,6 +19,10 @@ pub struct CacheLine {
     pub dirty: bool,
     /// LRU timestamp (monotone access tick).
     pub last_use: u64,
+    /// Writer tags (e.g. GPU block IDs) whose stores dirtied this line and
+    /// are not yet durable. Cleared when the line becomes clean. Used by
+    /// crash-injection oracles to attribute lost lines to blocks.
+    pub writers: Vec<u64>,
 }
 
 /// A set-associative write-back cache in front of the NVM backing store.
@@ -124,8 +128,16 @@ impl WriteBackCache {
     /// Eviction of a dirty victim performs the write-back into `backing`
     /// and counts an NVM write — this is the "natural eviction" persist
     /// mechanism of Lazy Persistency. The write must not cross a line
-    /// boundary.
-    pub fn write(&mut self, addr: u64, buf: &[u8], backing: &mut [u8], stats: &mut NvmStats) {
+    /// boundary. `writer` optionally tags the line with the block that
+    /// issued the store, for crash-loss attribution.
+    pub fn write(
+        &mut self,
+        addr: u64,
+        buf: &[u8],
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        writer: Option<u64>,
+    ) {
         let base = self.line_base(addr);
         debug_assert!(
             self.line_base(addr + buf.len() as u64 - 1) == base,
@@ -138,6 +150,11 @@ impl WriteBackCache {
         if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.base == base) {
             line.last_use = tick;
             line.dirty = true;
+            if let Some(w) = writer {
+                if !line.writers.contains(&w) {
+                    line.writers.push(w);
+                }
+            }
             let off = (addr - base) as usize;
             line.data[off..off + buf.len()].copy_from_slice(buf);
             stats.cache_hits += 1;
@@ -160,6 +177,7 @@ impl WriteBackCache {
             data,
             dirty: true,
             last_use: tick,
+            writers: writer.into_iter().collect(),
         });
     }
 
@@ -186,6 +204,7 @@ impl WriteBackCache {
             data,
             dirty: false,
             last_use: tick,
+            writers: Vec::new(),
         });
         set.last().unwrap()
     }
@@ -248,9 +267,38 @@ impl WriteBackCache {
                     Self::write_back(line, backing, stats);
                     stats.explicit_flushes += 1;
                     line.dirty = false;
+                    line.writers.clear();
                 }
             }
         }
+    }
+
+    /// Writes back at most `budget` dirty lines, in deterministic
+    /// (set-major) order, then stops. Returns how many lines were written
+    /// back. Used to model a crash landing in the middle of a checkpoint
+    /// `flush_all`.
+    pub fn flush_upto(&mut self, budget: u64, backing: &mut [u8], stats: &mut NvmStats) -> u64 {
+        let mut done = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if done >= budget {
+                    return done;
+                }
+                if line.dirty {
+                    Self::write_back(line, backing, stats);
+                    stats.explicit_flushes += 1;
+                    line.dirty = false;
+                    line.writers.clear();
+                    done += 1;
+                }
+            }
+        }
+        done
+    }
+
+    /// Iterates over the currently dirty (non-durable) lines.
+    pub fn dirty_line_views(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().flat_map(|s| s.iter()).filter(|l| l.dirty)
     }
 
     /// Writes back the single line containing `addr` if it is resident and
@@ -265,6 +313,7 @@ impl WriteBackCache {
                 Self::write_back(line, backing, stats);
                 stats.explicit_flushes += 1;
                 line.dirty = false;
+                line.writers.clear();
                 return true;
             }
         }
@@ -291,13 +340,17 @@ mod tests {
             associativity: 2,
             ..NvmConfig::default()
         };
-        (WriteBackCache::new(&cfg), vec![0u8; 4096], NvmStats::default())
+        (
+            WriteBackCache::new(&cfg),
+            vec![0u8; 4096],
+            NvmStats::default(),
+        )
     }
 
     #[test]
     fn write_then_read_hits() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(32, &[1, 2, 3, 4], &mut back, &mut st);
+        c.write(32, &[1, 2, 3, 4], &mut back, &mut st, None);
         let mut buf = [0u8; 4];
         c.read(32, &mut buf, &back, &mut st);
         assert_eq!(buf, [1, 2, 3, 4]);
@@ -307,7 +360,7 @@ mod tests {
     #[test]
     fn dirty_line_not_in_backing_until_evicted() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[9; 8], &mut back, &mut st);
+        c.write(0, &[9; 8], &mut back, &mut st, None);
         assert_eq!(&back[0..8], &[0; 8]);
         assert!(c.is_dirty(0));
     }
@@ -316,9 +369,9 @@ mod tests {
     fn eviction_writes_back() {
         let (mut c, mut back, mut st) = tiny();
         // 2 sets, 2 ways, 16B lines: addresses 0, 32, 64 map to set 0.
-        c.write(0, &[1; 8], &mut back, &mut st);
-        c.write(32, &[2; 8], &mut back, &mut st);
-        c.write(64, &[3; 8], &mut back, &mut st); // evicts line 0
+        c.write(0, &[1; 8], &mut back, &mut st, None);
+        c.write(32, &[2; 8], &mut back, &mut st, None);
+        c.write(64, &[3; 8], &mut back, &mut st, None); // evicts line 0
         assert_eq!(&back[0..8], &[1; 8]);
         assert_eq!(st.natural_evictions, 1);
         assert!(st.nvm_writes >= 1);
@@ -327,7 +380,7 @@ mod tests {
     #[test]
     fn crash_loses_dirty_data() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st);
+        c.write(0, &[7; 8], &mut back, &mut st, None);
         c.crash();
         let mut buf = [0u8; 8];
         c.read(0, &mut buf, &back, &mut st);
@@ -337,7 +390,7 @@ mod tests {
     #[test]
     fn flush_makes_data_durable() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st);
+        c.write(0, &[7; 8], &mut back, &mut st, None);
         c.flush_all(&mut back, &mut st);
         assert!(!c.is_dirty(0));
         c.crash();
@@ -349,7 +402,7 @@ mod tests {
     #[test]
     fn flush_is_idempotent() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st);
+        c.write(0, &[7; 8], &mut back, &mut st, None);
         c.flush_all(&mut back, &mut st);
         let w = st.nvm_writes;
         c.flush_all(&mut back, &mut st);
@@ -359,12 +412,12 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[1; 4], &mut back, &mut st);
-        c.write(32, &[2; 4], &mut back, &mut st);
+        c.write(0, &[1; 4], &mut back, &mut st, None);
+        c.write(32, &[2; 4], &mut back, &mut st, None);
         // Touch line 0 so line 32 becomes LRU.
         let mut buf = [0u8; 4];
         c.read(0, &mut buf, &back, &mut st);
-        c.write(64, &[3; 4], &mut back, &mut st);
+        c.write(64, &[3; 4], &mut back, &mut st, None);
         // Line 32 should be the victim.
         assert_eq!(&back[32..36], &[2; 4]);
         assert_eq!(&back[0..4], &[0; 4]);
@@ -387,7 +440,7 @@ mod tests {
     fn partial_line_write_preserves_other_bytes() {
         let (mut c, mut back, mut st) = tiny();
         back[16..32].copy_from_slice(&[5; 16]);
-        c.write(20, &[9, 9], &mut back, &mut st);
+        c.write(20, &[9, 9], &mut back, &mut st, None);
         let mut buf = [0u8; 16];
         c.read(16, &mut buf, &back, &mut st);
         let mut expect = [5u8; 16];

@@ -72,7 +72,10 @@ impl NvmConfig {
     /// count, or non-positive latency/bandwidth).
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_size.is_power_of_two() {
-            return Err(format!("line_size {} is not a power of two", self.line_size));
+            return Err(format!(
+                "line_size {} is not a power of two",
+                self.line_size
+            ));
         }
         if self.associativity == 0 || self.cache_lines == 0 {
             return Err("cache geometry must be non-zero".to_string());

@@ -43,5 +43,5 @@ mod stats;
 pub use alloc::{Addr, BumpAllocator};
 pub use cache::{CacheLine, WriteBackCache};
 pub use config::NvmConfig;
-pub use memory::PersistMemory;
+pub use memory::{CrashLoss, CrashPredicate, LostLine, PersistMemory};
 pub use stats::NvmStats;

@@ -6,6 +6,78 @@ use crate::cache::WriteBackCache;
 use crate::config::NvmConfig;
 use crate::stats::NvmStats;
 
+/// A crash predicate over the live traffic statistics. Plain function
+/// pointer (not a boxed closure) so [`PersistMemory`] stays `Clone`.
+pub type CrashPredicate = fn(&NvmStats) -> bool;
+
+/// An armed power-failure trigger. Checked after every store operation.
+#[derive(Debug, Clone, Copy)]
+enum CrashTrigger {
+    /// No trigger armed.
+    None,
+    /// Trip once `natural_evictions` reaches this absolute count.
+    AtEvictionCount(u64),
+    /// Trip once the predicate over the live stats first returns true.
+    When(CrashPredicate),
+    /// Trip mid-`flush_all` after this many lines have been written back.
+    DuringFlush(u64),
+}
+
+/// One cache line lost (or partially lost) to a crash.
+#[derive(Debug, Clone)]
+pub struct LostLine {
+    /// Line-aligned base address of the lost line.
+    pub base: u64,
+    /// Writer tags (GPU block IDs) whose un-persisted stores were on it.
+    pub writers: Vec<u64>,
+    /// Whether the lost volatile content actually differed from the
+    /// durable copy. A line can be dirty-but-equal (e.g. a value was
+    /// rewritten identically); losing it changes nothing observable.
+    pub changed: bool,
+}
+
+/// Everything a crash destroyed, captured at the instant of power failure.
+/// Consumed by crash-injection oracles via
+/// [`PersistMemory::take_crash_loss`].
+#[derive(Debug, Clone, Default)]
+pub struct CrashLoss {
+    /// The dirty lines that were discarded.
+    pub lines: Vec<LostLine>,
+    /// `store_ops` at the instant of the crash.
+    pub at_store_ops: u64,
+    /// `natural_evictions` at the instant of the crash.
+    pub at_evictions: u64,
+}
+
+impl CrashLoss {
+    /// Deduplicated writer tags across every lost line whose content
+    /// actually differed from the durable copy — the blocks that *must*
+    /// fail validation.
+    pub fn changed_writers(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .lines
+            .iter()
+            .filter(|l| l.changed)
+            .flat_map(|l| l.writers.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Deduplicated writer tags across all lost lines (changed or not).
+    pub fn all_writers(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .lines
+            .iter()
+            .flat_map(|l| l.writers.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 /// A simulated persistent main memory as seen by the GPU.
 ///
 /// All program loads and stores go through a volatile write-back cache; the
@@ -36,6 +108,11 @@ pub struct PersistMemory {
     cache: WriteBackCache,
     bump: BumpAllocator,
     stats: NvmStats,
+    trigger: CrashTrigger,
+    power_failed: bool,
+    crash_loss: Option<CrashLoss>,
+    writer: Option<u64>,
+    dropped_stores: u64,
 }
 
 impl PersistMemory {
@@ -53,6 +130,11 @@ impl PersistMemory {
             cache,
             bump: BumpAllocator::new(),
             stats: NvmStats::default(),
+            trigger: CrashTrigger::None,
+            power_failed: false,
+            crash_loss: None,
+            writer: None,
+            dropped_stores: 0,
         }
     }
 
@@ -112,15 +194,27 @@ impl PersistMemory {
             let a = addr.raw() + off as u64;
             let in_line = (line - (a % line)) as usize;
             let chunk = in_line.min(buf.len() - off);
-            self.cache
-                .read(a, &mut buf[off..off + chunk], &self.backing, &mut self.stats);
+            self.cache.read(
+                a,
+                &mut buf[off..off + chunk],
+                &self.backing,
+                &mut self.stats,
+            );
             off += chunk;
         }
     }
 
     /// Writes raw bytes through the cache (volatile until evicted/flushed).
+    ///
+    /// If an armed crash trigger fires during or after this store, the
+    /// memory powers off: the write may be (partially) lost with the rest
+    /// of the volatile state. While powered off, stores are dropped.
     pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) {
         self.check(addr, buf.len());
+        if self.power_failed {
+            self.dropped_stores += 1;
+            return;
+        }
         self.stats.store_ops += 1;
         let line = self.cfg.line_size as u64;
         let mut off = 0usize;
@@ -128,10 +222,16 @@ impl PersistMemory {
             let a = addr.raw() + off as u64;
             let in_line = (line - (a % line)) as usize;
             let chunk = in_line.min(buf.len() - off);
-            self.cache
-                .write(a, &buf[off..off + chunk], &mut self.backing, &mut self.stats);
+            self.cache.write(
+                a,
+                &buf[off..off + chunk],
+                &mut self.backing,
+                &mut self.stats,
+                self.writer,
+            );
             off += chunk;
         }
+        self.check_trigger();
     }
 
     /// Reads bytes from the durable view only (what a crash would preserve).
@@ -153,14 +253,139 @@ impl PersistMemory {
     }
 
     /// Simulates power loss: all volatile state is discarded. The program's
-    /// view afterwards equals the durable view.
+    /// view afterwards equals the durable view. The lost-line inventory is
+    /// captured and retrievable via [`Self::take_crash_loss`].
+    ///
+    /// Unlike a *triggered* crash, calling this directly models an instant
+    /// crash-and-reboot: the memory stays powered on afterwards.
     pub fn crash(&mut self) {
+        self.capture_loss();
         self.cache.crash();
     }
 
+    // ---- crash triggers -----------------------------------------------
+
+    /// Arms a power failure after `n` more natural (capacity) evictions.
+    /// The trigger fires at the end of the store operation whose eviction
+    /// crossed the threshold.
+    pub fn arm_crash_after_evictions(&mut self, n: u64) {
+        self.trigger = CrashTrigger::AtEvictionCount(self.stats.natural_evictions + n);
+    }
+
+    /// Arms a power failure the first time `pred` returns true over the
+    /// live statistics (checked after every store operation).
+    pub fn arm_crash_when(&mut self, pred: CrashPredicate) {
+        self.trigger = CrashTrigger::When(pred);
+    }
+
+    /// Arms a power failure in the middle of the next [`Self::flush_all`]:
+    /// the flush writes back `after_lines` dirty lines, then power fails
+    /// with the remainder still volatile.
+    pub fn arm_crash_during_flush(&mut self, after_lines: u64) {
+        self.trigger = CrashTrigger::DuringFlush(after_lines);
+    }
+
+    /// Disarms any armed crash trigger.
+    pub fn disarm_crash(&mut self) {
+        self.trigger = CrashTrigger::None;
+    }
+
+    /// Whether a triggered power failure has occurred and the memory is
+    /// still powered off (stores are being dropped).
+    pub fn power_failed(&self) -> bool {
+        self.power_failed
+    }
+
+    /// Restores power after a triggered failure. The volatile state is
+    /// already gone; the program sees the durable view, exactly as after
+    /// a reboot. Any armed trigger stays disarmed.
+    pub fn power_on(&mut self) {
+        self.power_failed = false;
+    }
+
+    /// Number of store operations dropped while powered off.
+    pub fn dropped_stores(&self) -> u64 {
+        self.dropped_stores
+    }
+
+    /// Sets the writer tag (e.g. the executing GPU block ID) attached to
+    /// subsequent stores, for crash-loss attribution.
+    pub fn set_writer(&mut self, writer: Option<u64>) {
+        self.writer = writer;
+    }
+
+    /// Takes the inventory of what the most recent crash destroyed.
+    pub fn take_crash_loss(&mut self) -> Option<CrashLoss> {
+        self.crash_loss.take()
+    }
+
+    fn check_trigger(&mut self) {
+        let fire = match self.trigger {
+            CrashTrigger::None | CrashTrigger::DuringFlush(_) => false,
+            CrashTrigger::AtEvictionCount(target) => self.stats.natural_evictions >= target,
+            CrashTrigger::When(pred) => pred(&self.stats),
+        };
+        if fire {
+            self.trip();
+        }
+    }
+
+    /// Power failure: capture the loss, discard volatile state, drop
+    /// subsequent stores until [`Self::power_on`].
+    fn trip(&mut self) {
+        self.trigger = CrashTrigger::None;
+        self.capture_loss();
+        self.cache.crash();
+        self.power_failed = true;
+    }
+
+    /// Records every dirty line (with writers and changed-content flag)
+    /// into `crash_loss`, replacing any earlier capture.
+    fn capture_loss(&mut self) {
+        let line_size = self.cache.line_size();
+        let lines = self
+            .cache
+            .dirty_line_views()
+            .map(|l| {
+                let b = l.base as usize;
+                let changed = match self.backing.get(b..b + line_size) {
+                    Some(durable) => durable != &l.data[..],
+                    None => true,
+                };
+                LostLine {
+                    base: l.base,
+                    writers: l.writers.clone(),
+                    changed,
+                }
+            })
+            .collect();
+        self.crash_loss = Some(CrashLoss {
+            lines,
+            at_store_ops: self.stats.store_ops,
+            at_evictions: self.stats.natural_evictions,
+        });
+    }
+
     /// Writes back every dirty line (whole-cache flush / checkpoint
-    /// boundary, §IV-A of the paper).
+    /// boundary, §IV-A of the paper). If a mid-flush crash is armed, only
+    /// the armed number of lines persists before power fails.
     pub fn flush_all(&mut self) {
+        if self.power_failed {
+            return;
+        }
+        if let CrashTrigger::DuringFlush(budget) = self.trigger {
+            let flushed = self
+                .cache
+                .flush_upto(budget, &mut self.backing, &mut self.stats);
+            if flushed >= budget {
+                self.trip();
+                return;
+            }
+            // Fewer dirty lines than the budget: the flush completed
+            // before the crash point — the trigger stays armed.
+            self.trigger = CrashTrigger::DuringFlush(budget - flushed);
+            return;
+        }
         self.cache.flush_all(&mut self.backing, &mut self.stats);
     }
 
@@ -169,7 +394,11 @@ impl PersistMemory {
     /// actually written back.
     pub fn flush_line(&mut self, addr: Addr) -> bool {
         self.check(addr, 1);
-        self.cache.flush_line(addr.raw(), &mut self.backing, &mut self.stats)
+        if self.power_failed {
+            return false;
+        }
+        self.cache
+            .flush_line(addr.raw(), &mut self.backing, &mut self.stats)
     }
 
     // ---- typed volatile accessors ------------------------------------
@@ -361,5 +590,151 @@ mod tests {
         for i in 0..32 {
             assert_eq!(m.read_u64(a.offset(i * 8)), 0);
         }
+    }
+
+    /// Small cache so a stream of line-stride stores forces evictions.
+    fn evicting_mem() -> PersistMemory {
+        PersistMemory::new(NvmConfig {
+            line_size: 32,
+            cache_lines: 4,
+            associativity: 2,
+            ..NvmConfig::default()
+        })
+    }
+
+    #[test]
+    fn eviction_trigger_trips_at_exact_count() {
+        let mut m = evicting_mem();
+        let a = m.alloc(32 * 64, 32);
+        m.arm_crash_after_evictions(3);
+        let mut wrote = 0;
+        for i in 0..64 {
+            m.write_u64(a.offset(i * 32), i + 1);
+            if m.power_failed() {
+                break;
+            }
+            wrote += 1;
+        }
+        assert!(m.power_failed(), "trigger never fired");
+        assert!(wrote < 64, "all stores landed despite the crash");
+        assert_eq!(m.stats().natural_evictions, 3);
+        // The 3 evicted lines are durable; everything else is gone.
+        let loss = m.take_crash_loss().expect("loss captured");
+        assert!(!loss.lines.is_empty());
+        assert_eq!(loss.at_evictions, 3);
+    }
+
+    #[test]
+    fn predicate_trigger_fires_on_stats_condition() {
+        let mut m = evicting_mem();
+        let a = m.alloc(32 * 16, 32);
+        m.arm_crash_when(|st| st.store_ops >= 5);
+        for i in 0..16 {
+            m.write_u64(a.offset(i * 32), i);
+        }
+        assert!(m.power_failed());
+        assert_eq!(m.stats().store_ops, 5);
+        // Later stores were dropped, not cached.
+        assert!(m.dropped_stores() > 0);
+    }
+
+    #[test]
+    fn stores_dropped_while_powered_off_then_power_on_restores() {
+        let mut m = mem();
+        let a = m.alloc(64, 8);
+        m.write_u64(a, 7);
+        m.flush_all();
+        m.arm_crash_when(|st| st.store_ops >= 2);
+        m.write_u64(a, 8); // store_ops hits 2 -> power fails, 8 is lost
+        assert!(m.power_failed());
+        m.write_u64(a, 9); // dropped
+        m.power_on();
+        assert_eq!(m.read_u64(a), 7, "only the flushed value survives");
+        m.write_u64(a, 10);
+        assert_eq!(m.read_u64(a), 10, "memory works normally after power_on");
+    }
+
+    #[test]
+    fn mid_flush_crash_persists_only_budgeted_lines() {
+        let mut m = mem(); // 32B lines, roomy enough to keep 4 dirty lines
+        let a = m.alloc(32 * 4, 32);
+        for i in 0..4 {
+            m.write_u64(a.offset(i * 32), 0xAB + i);
+        }
+        assert_eq!(m.dirty_lines(), 4);
+        m.arm_crash_during_flush(2);
+        m.flush_all();
+        assert!(m.power_failed());
+        m.power_on();
+        let durable = (0..4)
+            .filter(|&i| m.read_u64(a.offset(i * 32)) == 0xAB + i)
+            .count();
+        assert_eq!(durable, 2, "exactly the flush budget persisted");
+        let loss = m.take_crash_loss().expect("loss captured");
+        assert_eq!(loss.lines.len(), 2, "the other two lines were lost");
+    }
+
+    #[test]
+    fn flush_completing_under_budget_keeps_trigger_armed() {
+        let mut m = mem();
+        let a = m.alloc(32 * 4, 32);
+        m.write_u64(a, 1);
+        m.arm_crash_during_flush(5);
+        m.flush_all(); // only 1 dirty line: completes, no crash
+        assert!(!m.power_failed());
+        assert_eq!(m.read_durable_u64(a), 1);
+        for i in 0..4 {
+            m.write_u64(a.offset(i * 32), 9);
+        }
+        m.flush_all(); // 4 more dirty lines cross the remaining budget of 4
+        assert!(m.power_failed());
+    }
+
+    #[test]
+    fn crash_loss_records_writers_and_changed() {
+        let mut m = mem();
+        let a = m.alloc(128, 32);
+        m.write_u64(a, 5);
+        m.flush_all();
+        // Rewrite the same value (dirty but unchanged), tagged block 3.
+        m.set_writer(Some(3));
+        m.write_u64(a, 5);
+        // A genuinely new value on another line, tagged block 4.
+        m.set_writer(Some(4));
+        m.write_u64(a.offset(64), 17);
+        m.set_writer(None);
+        m.crash();
+        let loss = m.take_crash_loss().expect("loss captured");
+        assert_eq!(loss.all_writers(), vec![3, 4]);
+        assert_eq!(
+            loss.changed_writers(),
+            vec![4],
+            "dirty-but-equal line is not 'changed'"
+        );
+    }
+
+    #[test]
+    fn disarm_prevents_the_crash() {
+        let mut m = evicting_mem();
+        let a = m.alloc(32 * 64, 32);
+        m.arm_crash_after_evictions(1);
+        m.disarm_crash();
+        for i in 0..64 {
+            m.write_u64(a.offset(i * 32), i);
+        }
+        assert!(!m.power_failed());
+    }
+
+    #[test]
+    fn manual_crash_still_behaves_as_before() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 1);
+        m.flush_all();
+        m.write_u64(a, 2);
+        m.crash();
+        assert!(!m.power_failed(), "manual crash models instant reboot");
+        assert_eq!(m.read_u64(a), 1);
+        assert!(m.take_crash_loss().is_some());
     }
 }

@@ -88,6 +88,9 @@ impl<'a> BlockCtx<'a> {
         dev: &'a mut DeviceState,
         cfg: &'a DeviceConfig,
     ) -> Self {
+        // Tag every store this block issues so the NVM can attribute lost
+        // cache lines to the blocks that wrote them (crash-loss forensics).
+        mem.set_writer(Some(flat_block));
         Self {
             launch,
             flat_block,
@@ -101,6 +104,7 @@ impl<'a> BlockCtx<'a> {
     }
 
     pub(crate) fn finish(self) -> BlockCost {
+        self.mem.set_writer(None);
         assert!(
             self.lock_snapshot.is_none(),
             "block {} ended while holding a global lock",
@@ -255,6 +259,15 @@ impl<'a> BlockCtx<'a> {
         self.cost.global_bytes += bytes;
     }
 
+    /// Propagates a power failure tripped inside the memory (an armed
+    /// eviction/predicate/flush trigger) to the device crash flag so the
+    /// launch loop stops scheduling blocks.
+    fn sync_power(&mut self) {
+        if self.mem.power_failed() {
+            self.dev.crashed = true;
+        }
+    }
+
     /// Loads a `u32` from global memory.
     pub fn load_u32(&mut self, addr: Addr) -> u32 {
         self.charge_global(4);
@@ -284,6 +297,7 @@ impl<'a> BlockCtx<'a> {
         self.charge_global(4);
         if self.dev.store_tick() {
             self.mem.write_u32(addr, v);
+            self.sync_power();
         }
     }
 
@@ -292,6 +306,7 @@ impl<'a> BlockCtx<'a> {
         self.charge_global(8);
         if self.dev.store_tick() {
             self.mem.write_u64(addr, v);
+            self.sync_power();
         }
     }
 
@@ -300,6 +315,7 @@ impl<'a> BlockCtx<'a> {
         self.charge_global(4);
         if self.dev.store_tick() {
             self.mem.write_f32(addr, v);
+            self.sync_power();
         }
     }
 
@@ -308,6 +324,7 @@ impl<'a> BlockCtx<'a> {
         self.charge_global(8);
         if self.dev.store_tick() {
             self.mem.write_f64(addr, v);
+            self.sync_power();
         }
     }
 
@@ -320,7 +337,8 @@ impl<'a> BlockCtx<'a> {
     /// why removing atomics makes the checksum tables slower, not faster.
     pub fn charge_channel(&mut self, addr: Addr, events: u64) {
         for _ in 0..events {
-            self.dev.record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
+            self.dev
+                .record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
             // record_atomic counts it as an atomic op; undo that part of
             // the accounting — these are plain transactions.
             self.dev.atomic_ops -= 1;
@@ -340,6 +358,7 @@ impl<'a> BlockCtx<'a> {
         if self.mem.flush_line(addr) {
             self.cost.global_bytes += self.mem.config().line_size as u64;
         }
+        self.sync_power();
     }
 
     /// Persist barrier (`sfence`-equivalent): stalls the block until all
@@ -355,7 +374,8 @@ impl<'a> BlockCtx<'a> {
         self.cost.parallel_cycles += self.cfg.cost.atomic_op;
         self.cost.atomic_ops += 1;
         self.cost.global_bytes += bytes;
-        self.dev.record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
+        self.dev
+            .record_atomic(addr.raw(), self.cfg.cost.atomic_channel_ns);
     }
 
     /// `atomicCAS` on a `u64` word: if the current value equals `compare`,
@@ -365,6 +385,7 @@ impl<'a> BlockCtx<'a> {
         let old = self.mem.read_u64(addr);
         if old == compare && self.dev.store_tick() {
             self.mem.write_u64(addr, new);
+            self.sync_power();
         }
         old
     }
@@ -375,6 +396,7 @@ impl<'a> BlockCtx<'a> {
         let old = self.mem.read_u64(addr);
         if self.dev.store_tick() {
             self.mem.write_u64(addr, new);
+            self.sync_power();
         }
         old
     }
@@ -385,6 +407,7 @@ impl<'a> BlockCtx<'a> {
         let old = self.mem.read_u32(addr);
         if self.dev.store_tick() {
             self.mem.write_u32(addr, old.wrapping_add(v));
+            self.sync_power();
         }
         old
     }
@@ -395,6 +418,7 @@ impl<'a> BlockCtx<'a> {
         let old = self.mem.read_f32(addr);
         if self.dev.store_tick() {
             self.mem.write_f32(addr, old + v);
+            self.sync_power();
         }
         old
     }
@@ -405,6 +429,7 @@ impl<'a> BlockCtx<'a> {
         let old = self.mem.read_u32(addr);
         if v < old && self.dev.store_tick() {
             self.mem.write_u32(addr, v);
+            self.sync_power();
         }
         old
     }
@@ -423,7 +448,10 @@ impl<'a> BlockCtx<'a> {
     /// Panics if this block already holds a lock (the model supports one
     /// outstanding lock per block, which is all the paper's LP code needs).
     pub fn lock_global(&mut self, lock_addr: Addr) {
-        assert!(self.lock_snapshot.is_none(), "nested global locks not supported");
+        assert!(
+            self.lock_snapshot.is_none(),
+            "nested global locks not supported"
+        );
         self.charge_atomic(lock_addr, 4);
         let now = self.cost.parallel_cycles + self.cost.serial_cycles;
         self.lock_snapshot = Some((lock_addr.raw(), now));

@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn nvm_mode_lowers_bandwidth() {
-        assert!(DeviceConfig::v100_nvm().mem_bandwidth_gbps < DeviceConfig::v100().mem_bandwidth_gbps);
+        assert!(
+            DeviceConfig::v100_nvm().mem_bandwidth_gbps < DeviceConfig::v100().mem_bandwidth_gbps
+        );
     }
 
     #[test]

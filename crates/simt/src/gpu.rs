@@ -18,6 +18,44 @@ pub struct CrashSpec {
     pub after_global_stores: u64,
 }
 
+/// A richer crash-injection plan than [`CrashSpec`]: power can be lost
+/// either after a number of global stores (mid-block), after a number of
+/// completed thread blocks (a kernel-boundary-like point inside the grid),
+/// or whenever an armed trigger in the [`PersistMemory`] itself fires
+/// (eviction counts, stat predicates, mid-flush budgets).
+///
+/// The first condition reached wins. An empty plan never crashes, which
+/// makes a plan-driven launch loop uniform for campaign runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Lose power after this many global stores (`CrashSpec` semantics).
+    pub after_global_stores: Option<u64>,
+    /// Lose power at the boundary after this many thread blocks complete.
+    /// `Some(0)` crashes before any block runs.
+    pub after_blocks: Option<u64>,
+}
+
+impl CrashPlan {
+    /// A plan that never fires (useful with memory-armed triggers).
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan has no device-side crash condition.
+    pub fn is_empty(&self) -> bool {
+        self.after_global_stores.is_none() && self.after_blocks.is_none()
+    }
+}
+
+impl From<CrashSpec> for CrashPlan {
+    fn from(spec: CrashSpec) -> Self {
+        Self {
+            after_global_stores: Some(spec.after_global_stores),
+            after_blocks: None,
+        }
+    }
+}
+
 /// Result of a launch that may have been cut short by a crash.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LaunchOutcome {
@@ -93,10 +131,18 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns [`LaunchError::EmptyLaunch`] for an empty grid/block.
-    pub fn launch(&self, kernel: &dyn Kernel, mem: &mut PersistMemory) -> Result<LaunchStats, LaunchError> {
-        match self.launch_inner(kernel, mem, None)? {
+    pub fn launch(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+    ) -> Result<LaunchStats, LaunchError> {
+        match self.launch_inner(kernel, mem, CrashPlan::never())? {
             LaunchOutcome::Completed(s) => Ok(s),
-            LaunchOutcome::Crashed(_) => unreachable!("no crash was requested"),
+            LaunchOutcome::Crashed(s) => {
+                // No device-side crash was requested, but a trigger armed on
+                // the memory itself can still cut the launch short.
+                Ok(s)
+            }
         }
     }
 
@@ -116,7 +162,28 @@ impl Gpu {
         mem: &mut PersistMemory,
         crash: CrashSpec,
     ) -> Result<LaunchOutcome, LaunchError> {
-        self.launch_inner(kernel, mem, Some(crash))
+        self.launch_inner(kernel, mem, crash.into())
+    }
+
+    /// Launches `kernel` under a [`CrashPlan`].
+    ///
+    /// Unlike [`Gpu::launch_with_crash`] this also reports `Crashed` when a
+    /// trigger armed on the memory itself (see
+    /// [`PersistMemory::arm_crash_after_evictions`] and friends) trips the
+    /// power mid-launch, and it supports crashing at a block boundary. An
+    /// empty plan with no armed trigger behaves exactly like
+    /// [`Gpu::launch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::EmptyLaunch`] for an empty grid/block.
+    pub fn launch_with_plan(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        plan: CrashPlan,
+    ) -> Result<LaunchOutcome, LaunchError> {
+        self.launch_inner(kernel, mem, plan)
     }
 
     /// Re-executes a single thread block of `kernel` in isolation and
@@ -148,7 +215,7 @@ impl Gpu {
         &self,
         kernel: &dyn Kernel,
         mem: &mut PersistMemory,
-        crash: Option<CrashSpec>,
+        plan: CrashPlan,
     ) -> Result<LaunchOutcome, LaunchError> {
         let lc = kernel.config();
         if lc.num_blocks() == 0 || lc.threads_per_block() == 0 {
@@ -157,7 +224,7 @@ impl Gpu {
         let nvm_before = mem.stats();
         let line = mem.config().line_size as u64;
         let mut dev = DeviceState::new(&self.cfg, lc.num_blocks(), line);
-        dev.crash_after_stores = crash.map(|c| c.after_global_stores);
+        dev.crash_after_stores = plan.after_global_stores;
 
         let mut sm_busy = vec![0.0f64; self.cfg.num_sms as usize];
         let mut total_parallel = 0.0;
@@ -166,9 +233,15 @@ impl Gpu {
         let mut atomic_ops = 0u64;
         let mut blocks_executed = 0u64;
 
+        if plan.after_blocks == Some(0) {
+            dev.crashed = true;
+        }
+
         for b in 0..lc.num_blocks() {
-            let ctx = BlockCtx::new(lc, b, mem, &mut dev, &self.cfg);
-            let mut ctx = ctx;
+            if dev.crashed {
+                break;
+            }
+            let mut ctx = BlockCtx::new(lc, b, mem, &mut dev, &self.cfg);
             kernel.run_block(&mut ctx);
             let cost = ctx.finish();
             let sm = (b % self.cfg.num_sms as u64) as usize;
@@ -181,6 +254,9 @@ impl Gpu {
                 break;
             }
             blocks_executed += 1;
+            if plan.after_blocks == Some(blocks_executed) {
+                dev.crashed = true;
+            }
         }
 
         let compute_ns = sm_busy.iter().fold(0.0f64, |a, &b| a.max(b));
@@ -190,9 +266,8 @@ impl Gpu {
         // RMW occupies its partition's pipeline, so the two serialise
         // *with each other* (additive), while compute can overlap either.
         let memory_ns = bandwidth_ns + atomic_ns;
-        let kernel_ns = self.cfg.cost.launch_overhead_ns
-            + compute_ns.max(memory_ns)
-            + dev.lock_serial_ns;
+        let kernel_ns =
+            self.cfg.cost.launch_overhead_ns + compute_ns.max(memory_ns) + dev.lock_serial_ns;
 
         let stats = LaunchStats {
             kernel: kernel.name().to_string(),
@@ -214,7 +289,12 @@ impl Gpu {
         };
 
         if dev.crashed {
-            mem.crash();
+            // A memory-armed trigger has already powered the NVM off and
+            // captured its loss record; only a device-side crash (store
+            // clock or block boundary) still needs to discard the cache.
+            if !mem.power_failed() {
+                mem.crash();
+            }
             Ok(LaunchOutcome::Crashed(stats))
         } else {
             Ok(LaunchOutcome::Completed(stats))
@@ -270,7 +350,11 @@ mod tests {
     #[test]
     fn kernel_computes_correct_results() {
         let (gpu, mut mem, out) = setup(1000);
-        let k = Scale { out, n: 1000, mult: 7 };
+        let k = Scale {
+            out,
+            n: 1000,
+            mult: 7,
+        };
         let stats = gpu.launch(&k, &mut mem).unwrap();
         for i in [0u64, 1, 999] {
             assert_eq!(mem.read_u64(out.index(i, 8)), i * 7);
@@ -283,8 +367,16 @@ mod tests {
     #[test]
     fn timing_scales_with_work() {
         let (gpu, mut mem, out) = setup(100_000);
-        let small = Scale { out, n: 1000, mult: 1 };
-        let large = Scale { out, n: 100_000, mult: 1 };
+        let small = Scale {
+            out,
+            n: 1000,
+            mult: 1,
+        };
+        let large = Scale {
+            out,
+            n: 100_000,
+            mult: 1,
+        };
         let t_small = gpu.launch(&small, &mut mem).unwrap().kernel_ns;
         let t_large = gpu.launch(&large, &mut mem).unwrap().kernel_ns;
         assert!(t_large > t_small, "more work must take longer");
@@ -294,8 +386,26 @@ mod tests {
     fn determinism() {
         let (gpu, mut mem1, out1) = setup(5000);
         let (_, mut mem2, out2) = setup(5000);
-        let s1 = gpu.launch(&Scale { out: out1, n: 5000, mult: 3 }, &mut mem1).unwrap();
-        let s2 = gpu.launch(&Scale { out: out2, n: 5000, mult: 3 }, &mut mem2).unwrap();
+        let s1 = gpu
+            .launch(
+                &Scale {
+                    out: out1,
+                    n: 5000,
+                    mult: 3,
+                },
+                &mut mem1,
+            )
+            .unwrap();
+        let s2 = gpu
+            .launch(
+                &Scale {
+                    out: out2,
+                    n: 5000,
+                    mult: 3,
+                },
+                &mut mem2,
+            )
+            .unwrap();
         assert_eq!(s1.kernel_ns, s2.kernel_ns);
         assert_eq!(s1.nvm, s2.nvm);
     }
@@ -303,9 +413,19 @@ mod tests {
     #[test]
     fn crash_truncates_execution_and_discards_cache() {
         let (gpu, mut mem, out) = setup(10_000);
-        let k = Scale { out, n: 10_000, mult: 1 };
+        let k = Scale {
+            out,
+            n: 10_000,
+            mult: 1,
+        };
         let outcome = gpu
-            .launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 500 })
+            .launch_with_crash(
+                &k,
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 500,
+                },
+            )
             .unwrap();
         assert!(outcome.crashed());
         let stats = outcome.stats();
@@ -319,11 +439,134 @@ mod tests {
     }
 
     #[test]
+    fn block_boundary_crash_stops_after_exact_block_count() {
+        let (gpu, mut mem, out) = setup(10_000);
+        let k = Scale {
+            out,
+            n: 10_000,
+            mult: 1,
+        };
+        let plan = CrashPlan {
+            after_global_stores: None,
+            after_blocks: Some(3),
+        };
+        let outcome = gpu.launch_with_plan(&k, &mut mem, plan).unwrap();
+        assert!(outcome.crashed());
+        assert_eq!(outcome.stats().blocks_executed, 3);
+    }
+
+    #[test]
+    fn block_boundary_zero_crashes_before_any_block() {
+        let (gpu, mut mem, out) = setup(1000);
+        let k = Scale {
+            out,
+            n: 1000,
+            mult: 1,
+        };
+        let plan = CrashPlan {
+            after_global_stores: None,
+            after_blocks: Some(0),
+        };
+        let outcome = gpu.launch_with_plan(&k, &mut mem, plan).unwrap();
+        assert!(outcome.crashed());
+        assert_eq!(outcome.stats().blocks_executed, 0);
+        for i in 0..1000u64 {
+            assert_eq!(mem.read_u64(out.index(i, 8)), 0);
+        }
+    }
+
+    #[test]
+    fn empty_plan_behaves_like_plain_launch() {
+        let (gpu, mut mem, out) = setup(500);
+        let k = Scale {
+            out,
+            n: 500,
+            mult: 3,
+        };
+        let outcome = gpu
+            .launch_with_plan(&k, &mut mem, CrashPlan::never())
+            .unwrap();
+        assert!(!outcome.crashed());
+        assert_eq!(mem.read_u64(out.index(499, 8)), 499 * 3);
+    }
+
+    #[test]
+    fn memory_armed_trigger_cuts_launch_short() {
+        // A tiny cache so the store stream forces natural evictions.
+        let cfg = NvmConfig {
+            cache_lines: 64,
+            associativity: 4,
+            ..NvmConfig::default()
+        };
+        let mut mem = PersistMemory::new(cfg);
+        let out = mem.alloc(8 * 100_000, 8);
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        mem.arm_crash_after_evictions(4);
+        let k = Scale {
+            out,
+            n: 100_000,
+            mult: 1,
+        };
+        let outcome = gpu
+            .launch_with_plan(&k, &mut mem, CrashPlan::never())
+            .unwrap();
+        assert!(outcome.crashed());
+        assert!(outcome.stats().blocks_executed < outcome.stats().num_blocks);
+        assert!(mem.power_failed());
+        let loss = mem
+            .take_crash_loss()
+            .expect("trigger must capture a loss record");
+        assert_eq!(loss.at_evictions, 4);
+    }
+
+    #[test]
+    fn lost_lines_carry_writer_block_ids() {
+        let (gpu, mut mem, out) = setup(10_000);
+        let k = Scale {
+            out,
+            n: 10_000,
+            mult: 1,
+        };
+        let outcome = gpu
+            .launch_with_crash(
+                &k,
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 500,
+                },
+            )
+            .unwrap();
+        assert!(outcome.crashed());
+        let loss = mem
+            .take_crash_loss()
+            .expect("crash must capture a loss record");
+        let writers = loss.all_writers();
+        assert!(!writers.is_empty(), "some dirty lines must have been lost");
+        let executed = outcome.stats().blocks_executed;
+        for w in &writers {
+            assert!(
+                *w <= executed,
+                "writer {w} beyond executed prefix {executed}"
+            );
+        }
+    }
+
+    #[test]
     fn crash_after_kernel_end_completes_normally() {
         let (gpu, mut mem, out) = setup(100);
-        let k = Scale { out, n: 100, mult: 2 };
+        let k = Scale {
+            out,
+            n: 100,
+            mult: 2,
+        };
         let outcome = gpu
-            .launch_with_crash(&k, &mut mem, CrashSpec { after_global_stores: 1_000_000 })
+            .launch_with_crash(
+                &k,
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 1_000_000,
+                },
+            )
             .unwrap();
         assert!(!outcome.crashed());
     }

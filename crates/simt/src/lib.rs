@@ -65,6 +65,6 @@ pub use block::{BlockCtx, ShmHandle};
 pub use config::{CostModel, DeviceConfig};
 pub use device::DeviceState;
 pub use dim::{Dim3, LaunchConfig};
-pub use gpu::{CrashSpec, Gpu, LaunchError, LaunchOutcome};
+pub use gpu::{CrashPlan, CrashSpec, Gpu, LaunchError, LaunchOutcome};
 pub use kernel::Kernel;
 pub use stats::{BlockCost, LaunchStats};

@@ -26,7 +26,13 @@ pub fn shfl_down(lanes: &[u64], offset: usize) -> Vec<u64> {
     lanes
         .iter()
         .enumerate()
-        .map(|(i, &v)| if i + offset < lanes.len() { lanes[i + offset] } else { v })
+        .map(|(i, &v)| {
+            if i + offset < lanes.len() {
+                lanes[i + offset]
+            } else {
+                v
+            }
+        })
         .collect()
 }
 
@@ -69,7 +75,10 @@ pub fn reduction_steps() -> u32 {
 /// assert_eq!(total, (1..=32).sum::<u64>());
 /// ```
 pub fn warp_reduce(lanes: &[u64], op: impl Fn(u64, u64) -> u64) -> u64 {
-    assert!(!lanes.is_empty() && lanes.len() <= WARP_SIZE, "invalid warp width");
+    assert!(
+        !lanes.is_empty() && lanes.len() <= WARP_SIZE,
+        "invalid warp width"
+    );
     let mut vals = lanes.to_vec();
     let mut offset = WARP_SIZE / 2;
     while offset > 0 {
@@ -125,7 +134,9 @@ mod tests {
 
     #[test]
     fn reduce_xor_matches_direct_xor() {
-        let lanes: Vec<u64> = (0..32u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let lanes: Vec<u64> = (0..32u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let direct = lanes.iter().fold(0, |a, b| a ^ b);
         assert_eq!(warp_reduce_xor(&lanes), direct);
     }

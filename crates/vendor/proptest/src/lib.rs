@@ -1,0 +1,681 @@
+//! Vendored, registry-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]`, range and `any::<T>`
+//! strategies, tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::Index`, simple regex-pattern string strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Cases are generated from a seed derived deterministically from the test
+//! name, so failures reproduce exactly on re-run. There is no shrinking:
+//! a failure reports the generated inputs via the assertion message
+//! instead. Determinism and coverage matter more here than minimality.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` failed); try another.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator state for one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5bf0_3635_dce8_51b1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Derives the per-test base seed from the test path, deterministically.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t; // full-width range
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+// ------------------------------------------------------------- arbitrary
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Full bit-pattern floats: includes NaN/inf so `prop_assume!(finite)`
+// call sites are exercised, with a bias toward ordinary magnitudes.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 3 == 0 {
+            f32::from_bits(rng.next_u64() as u32)
+        } else {
+            ((rng.unit_f64() - 0.5) * 2e6) as f32
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 3 == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// -------------------------------------------------------- string patterns
+
+/// `&str` is interpreted as a (mini) regex pattern strategy, covering the
+/// shapes used in this workspace: `.`, `[...]` classes with ranges, and
+/// `*` / `{m,n}` quantifiers over single atoms, concatenated.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+fn class_pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+        .sum();
+    let mut k = rng.below(total.max(1));
+    for &(a, b) in ranges {
+        let span = (b as u64) - (a as u64) + 1;
+        if k < span {
+            return char::from_u32(a as u32 + k as u32).unwrap_or('a');
+        }
+        k -= span;
+    }
+    'a'
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    // The `.` atom draws from printable ASCII plus whitespace and a few
+    // multi-byte characters, to stress lexers without being pure noise.
+    const DOT_EXTRA: &[char] = &['\n', '\t', 'é', 'λ', '€'];
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new(); // atom, min, max
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let a = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((a, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((a, a));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing bracket
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                let close = close.expect("unclosed {} quantifier in pattern");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(32),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, min, max));
+    }
+
+    let mut out = String::new();
+    for (atom, min, max) in &atoms {
+        let n = *min as u64 + rng.below((*max - *min + 1) as u64);
+        for _ in 0..n {
+            let c = match atom {
+                Atom::AnyChar => {
+                    let k = rng.below(96 + DOT_EXTRA.len() as u64);
+                    if k < 95 {
+                        char::from_u32(0x20 + k as u32).unwrap()
+                    } else {
+                        DOT_EXTRA[(k - 95) as usize % DOT_EXTRA.len()]
+                    }
+                }
+                Atom::Class(ranges) => class_pick(ranges, rng),
+                Atom::Literal(c) => *c,
+            };
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ collections
+
+/// Size argument for collection strategies.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeSet;
+
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub struct BTreeSetStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            R: SizeRange,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S, R> Strategy for BTreeSetStrategy<S, R>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            R: SizeRange,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.pick(rng);
+                let mut out = BTreeSet::new();
+                // The element domain may be smaller than the target size;
+                // bound the attempts rather than spin.
+                for _ in 0..target.saturating_mul(16).max(16) {
+                    if out.len() >= target {
+                        break;
+                    }
+                    out.insert(self.element.generate(rng));
+                }
+                out
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// An index into a collection whose length is only known at use
+        /// time, as in upstream proptest.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(f64);
+
+        impl Index {
+            /// Maps this index onto `0..len`; `len` must be non-zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                ((self.0 * len as f64) as usize).min(len - 1)
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.unit_f64())
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+pub use prop::sample;
+
+// ---------------------------------------------------------------- macros
+
+/// Asserts a condition inside a property body, reporting (not panicking
+/// past) the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                left, right, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({}) at {}:{}",
+                left, right, format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                left, right, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}) at {}:{}",
+                left, right, format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// The property-test entry point: expands each `fn name(arg in strategy)`
+/// item into a `#[test]` that runs `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    // NOTE: the `@items` rules must precede the public entry rules — the
+    // trailing catch-all would otherwise re-wrap recursive calls forever.
+    (@items ($cfg:expr)) => {};
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while accepted < config.cases && attempts < max_attempts {
+                let case_seed = base_seed ^ (attempts as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                attempts += 1;
+                let mut __rng = $crate::TestRng::new(case_seed);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed (case seed {:#x}): {}",
+                            stringify!($name), case_seed, msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                accepted >= config.cases.min(1),
+                "property `{}` rejected every generated case",
+                stringify!($name)
+            );
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+
+    // Public entry: with an explicit config...
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    // ...or without (default config). Must stay the last rule.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -3i32..=3, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u64>(), 3..10),
+            s in prop::collection::btree_set(0u64..1000, 1..50),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 50);
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn patterns_generate_matching_shapes(
+            ident in "[a-z][a-z0-9_]{0,8}",
+            printable in "[ -~]{0,80}",
+            anything in ".*",
+        ) {
+            prop_assert!(!ident.is_empty() && ident.len() <= 9);
+            let first = ident.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(printable.len() <= 80);
+            prop_assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            let _ = anything;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::new(crate::seed_for("x"));
+        let mut b = crate::TestRng::new(crate::seed_for("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::new(crate::seed_for("y"));
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,243 @@
+//! Vendored, registry-free stand-in for the `rand` crate (0.8-era API).
+//!
+//! Implements exactly the surface this workspace uses: `StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range}` over integer and
+//! float ranges, and `seq::SliceRandom::shuffle`. The generator is
+//! xoshiro256**-style over a splitmix64-expanded seed — deterministic and
+//! identical across platforms, which is all the workloads need (they never
+//! depend on matching upstream `rand`'s exact stream).
+
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seeding entry points.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that `Rng::gen` / `Rng::gen_range` can produce.
+pub trait SampleUniform: Sized {
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as $wide;
+                let hi_w = hi as $wide;
+                let span = if inclusive {
+                    hi_w.wrapping_sub(lo_w).wrapping_add(1)
+                } else {
+                    hi_w.wrapping_sub(lo_w)
+                } as u128;
+                assert!(span != 0 || inclusive, "gen_range: empty range");
+                if span == 0 {
+                    // Inclusive full-width range: any value works.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift bounded sampling; bias is negligible for
+                // the span sizes the workloads use.
+                let r = rng.next_u64() as u128;
+                lo_w.wrapping_add(((r * span) >> 64) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+/// Value generation, matching the subset of `rand::Rng` in use.
+pub trait Rng {
+    fn next_raw(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform + Copy, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self.next_raw())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    fn gen_range<T: SampleUniform + Copy, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample_range(self, lo, hi, inclusive)
+    }
+}
+
+/// Types producible by `Rng::gen()`.
+pub trait Standard: Sized {
+    fn standard(raw: u64) -> Self;
+}
+
+impl Standard for u32 {
+    fn standard(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl Standard for u64 {
+    fn standard(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for f32 {
+    fn standard(raw: u64) -> Self {
+        ((raw >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn standard(raw: u64) -> Self {
+        ((raw >> 11) as f64) / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn standard(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+pub mod seq {
+    use super::{Rng, StdRng};
+
+    /// Slice shuffling (Fisher–Yates), matching `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let x = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left slice unchanged");
+    }
+}

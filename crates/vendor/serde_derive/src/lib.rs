@@ -1,0 +1,358 @@
+//! Vendored, registry-free `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! a minimal `serde` facade (see `crates/vendor/serde`) whose traits are
+//!
+//! ```ignore
+//! trait Serialize   { fn to_value(&self) -> Value; }
+//! trait Deserialize { fn from_value(v: &Value) -> Result<Self, Error>; }
+//! ```
+//!
+//! This proc-macro crate derives both for the shapes the workspace actually
+//! uses: structs with named fields, tuple structs (newtype included), and
+//! enums whose variants are unit, tuple, or struct-like. Generics and
+//! `#[serde(...)]` attributes are intentionally unsupported — the codebase
+//! does not use them, and failing loudly beats serialising wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: identifier (named) or index (tuple).
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips any number of outer attributes (`#[...]`, including doc comments)
+/// and visibility qualifiers (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        i += 1;
+                        continue;
+                    }
+                }
+                panic!("serde_derive: malformed attribute");
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas.
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&toks)
+        .iter()
+        .map(|field| {
+            let i = skip_attrs_and_vis(field, 0);
+            match &field[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&toks).len()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            Shape::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+                _ => panic!("serde_derive: malformed enum body"),
+            };
+            let body_toks: Vec<TokenTree> = body.stream().into_iter().collect();
+            let variants = split_commas(&body_toks)
+                .iter()
+                .map(|v| {
+                    let j = skip_attrs_and_vis(v, 0);
+                    let vname = match &v[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, got {other}"),
+                    };
+                    let fields = match v.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named_fields(g))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Fields::Tuple(parse_tuple_fields(g))
+                        }
+                        _ => Fields::Unit,
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (the workspace facade's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let body = serialize_fields_body(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (the workspace facade's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let body = deserialize_fields_body(name, fields, &format!("\"{name}\""));
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let body = deserialize_fields_body(
+                        &format!("{name}::{}", v.name),
+                        &v.fields,
+                        &format!("\"{name}::{}\"", v.name),
+                    );
+                    format!(
+                        "\"{}\" => {{ let v = payload; return (|| {{ {body} }})(); }},",
+                        v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(pairs) = v {{\n\
+                             if pairs.len() == 1 {{\n\
+                                 let (tag, payload) = (&pairs[0].0, &pairs[0].1);\n\
+                                 match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(format!(\"invalid {name} value: {{v:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Expression serialising `fields` reachable through `access` (`self.` or ``).
+fn serialize_fields_body(fields: &Fields, access: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let inserts: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&{access}{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut pairs: Vec<(String, ::serde::Value)> = Vec::new(); {inserts} ::serde::Value::Object(pairs) }}"
+            )
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{access}0)"),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{access}{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+        }
+        Fields::Named(names) => {
+            let binds = names.join(", ");
+            let inserts: String = names
+                .iter()
+                .map(|f| {
+                    format!("pairs.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));")
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => {{\n\
+                     let mut pairs: Vec<(String, ::serde::Value)> = Vec::new(); {inserts}\n\
+                     ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(pairs))])\n\
+                 }},"
+            )
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let bind_list = binds.join(", ");
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: String = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "{enum_name}::{vname}({bind_list}) => \
+                     ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),"
+            )
+        }
+    }
+}
+
+/// Expression deserialising `fields` from a `Value` named `v` into
+/// constructor `ctor`; `what` is a display name for errors.
+fn deserialize_fields_body(ctor: &str, fields: &Fields, what: &str) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({ctor})"),
+        Fields::Named(names) => {
+            let gets: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(obj.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v).ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", \"{f}\", \"` in \", {what})))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(concat!(\"expected object for \", {what})))?;\n\
+                     Ok({ctor} {{ {gets} }}) }}"
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({ctor}(::serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let gets: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                .collect();
+            format!(
+                "{{ let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(concat!(\"expected array for \", {what})))?;\n\
+                     if arr.len() != {n} {{ return Err(::serde::Error::custom(concat!(\"wrong arity for \", {what}))); }}\n\
+                     Ok({ctor}({gets})) }}"
+            )
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release --example checkpoint_policy`
 
-use lpgpu::gpu_lp::checkpoint::{availability, optimal_checkpoint_interval, CheckpointManager, CheckpointPolicy};
+use lpgpu::gpu_lp::checkpoint::{
+    availability, optimal_checkpoint_interval, CheckpointManager, CheckpointPolicy,
+};
 use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine};
 use lpgpu::lp_kernels::{workload_by_name, Scale};
 use lpgpu::nvm::{NvmConfig, PersistMemory};
@@ -26,7 +28,12 @@ fn main() {
     let mut w = workload_by_name("SPMV", Scale::Test, 7).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let mut ckpt = CheckpointManager::new(CheckpointPolicy::every(3));
 
     for round in 1..=7 {
@@ -54,11 +61,17 @@ fn main() {
     );
     let report = engine.recover(kernel.as_ref(), &rt, &mut mem);
     assert!(report.recovered && w.verify(&mut mem));
-    println!("recovered with {} re-executions; output verified\n", report.reexecutions);
+    println!(
+        "recovered with {} re-executions; output verified\n",
+        report.reexecutions
+    );
 
     // The §IV-A sizing question: how often should a deployment flush?
     println!("checkpoint-interval planning (flush cost 50 us):");
-    for (label, mtbf_s) in [("flaky node, MTBF 1 h", 3_600.0f64), ("healthy node, MTBF 30 d", 2_592_000.0)] {
+    for (label, mtbf_s) in [
+        ("flaky node, MTBF 1 h", 3_600.0f64),
+        ("healthy node, MTBF 30 d", 2_592_000.0),
+    ] {
         let delta_ns = 50_000.0;
         let mtbf_ns = mtbf_s * 1e9;
         let tau = optimal_checkpoint_interval(delta_ns, mtbf_ns);

@@ -29,18 +29,33 @@ fn main() {
             });
             w.setup(&mut mem);
             let lc = w.launch_config();
-            let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+            let rt = LpRuntime::setup(
+                &mut mem,
+                lc.num_blocks(),
+                lc.threads_per_block(),
+                LpConfig::recommended(),
+            );
             let kernel = w.kernel(Some(&rt));
 
             let outcome = gpu
-                .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: point })
+                .launch_with_crash(
+                    kernel.as_ref(),
+                    &mut mem,
+                    CrashSpec {
+                        after_global_stores: point,
+                    },
+                )
                 .expect("launch");
             if !outcome.crashed() {
                 mem.flush_all();
             }
             let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
             assert!(report.recovered, "{}: recovery diverged", w.info().name);
-            assert!(w.verify(&mut mem), "{}: wrong output after recovery", w.info().name);
+            assert!(
+                w.verify(&mut mem),
+                "{}: wrong output after recovery",
+                w.info().name
+            );
             println!(
                 "  {:<13} crashed={:<5} regions={:<5} failed@first={:<5} re-executed={}",
                 w.info().name,

@@ -10,11 +10,16 @@
 use lpgpu::gpu_lp::{AtomicPolicy, LockPolicy, LpConfig, ReduceStrategy};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "MRI-GRIDDING".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MRI-GRIDDING".to_string());
     let scale = lpgpu::lp_kernels::Scale::Bench;
 
     let points: Vec<(&str, LpConfig)> = vec![
-        ("global array + shuffle (recommended)", LpConfig::recommended()),
+        (
+            "global array + shuffle (recommended)",
+            LpConfig::recommended(),
+        ),
         ("quadratic probing + shuffle", LpConfig::quad()),
         ("cuckoo + shuffle", LpConfig::cuckoo()),
         (
@@ -36,7 +41,10 @@ fn main() {
     ];
 
     println!("design-space sweep on {name} (Bench scale)\n");
-    println!("{:<42} {:>10} {:>12} {:>12}", "configuration", "overhead", "collisions", "atomics");
+    println!(
+        "{:<42} {:>10} {:>12} {:>12}",
+        "configuration", "overhead", "collisions", "atomics"
+    );
     for (label, config) in points {
         let m = lp_bench_measure(&name, scale, &config);
         println!(

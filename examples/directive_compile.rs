@@ -34,7 +34,11 @@ fn main() {
         println!("  table:      {}", plan.table);
         println!(
             "  checksums:  {}",
-            plan.ops.iter().map(|o| o.symbol()).collect::<Vec<_>>().join(" and ")
+            plan.ops
+                .iter()
+                .map(|o| o.symbol())
+                .collect::<Vec<_>>()
+                .join(" and ")
         );
         println!("  keys:       {}", plan.keys.join(", "));
         println!("  protected:  {} = {}", plan.store_lhs, plan.store_rhs);

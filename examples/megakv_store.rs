@@ -19,7 +19,11 @@ fn main() {
         ..NvmConfig::default()
     });
     let app = MegaKv::new(&mut mem, records, 2026);
-    println!("store: {} buckets x {} slots", app.store().buckets(), app.store().slots());
+    println!(
+        "store: {} buckets x {} slots",
+        app.store().buckets(),
+        app.store().slots()
+    );
 
     // Insert under LP, with a power loss partway through the batch.
     let rt = app.lp_runtime(&mut mem, OpKind::Insert, LpConfig::recommended());
@@ -29,7 +33,10 @@ fn main() {
         report.regions, report.failed_first_pass, report.reexecutions, report.recovered
     );
     assert!(report.recovered);
-    assert!(app.verify_inserts(&mut mem), "all records must be present after recovery");
+    assert!(
+        app.verify_inserts(&mut mem),
+        "all records must be present after recovery"
+    );
     println!("all {records} records present with correct values");
 
     // Search the recovered store (LP-protected as well).

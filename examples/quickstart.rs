@@ -68,22 +68,38 @@ fn main() {
     // 1. Set up the LP runtime: the paper's recommended design — checksum
     //    global array, modular+parity, warp-shuffle reduction, lock-free.
     let lc = LaunchConfig::linear(n, 128);
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = SqrtScale { out, n, lp: &rt };
 
     // 2. Launch with an injected power loss mid-kernel.
     let outcome = gpu
-        .launch_with_crash(&kernel, &mut mem, CrashSpec { after_global_stores: 20_000 })
+        .launch_with_crash(
+            &kernel,
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 20_000,
+            },
+        )
         .expect("launch");
-    println!("crashed: {} (blocks executed: {}/{})",
+    println!(
+        "crashed: {} (blocks executed: {}/{})",
         outcome.crashed(),
         outcome.stats().blocks_executed,
-        outcome.stats().num_blocks);
+        outcome.stats().num_blocks
+    );
 
     // 3. Validate every region, re-execute only the failed ones.
     let engine = RecoveryEngine::new(&gpu);
     let failed = engine.validate_all(&kernel, &rt, &mut mem);
-    println!("regions failing validation after the crash: {}", failed.len());
+    println!(
+        "regions failing validation after the crash: {}",
+        failed.len()
+    );
     let report = engine.recover(&kernel, &rt, &mut mem);
     println!(
         "recovery: {} re-executions over {} pass(es), recovered = {}",

@@ -11,15 +11,18 @@
 //! * [`lp_kernels`] — the TMM + Parboil benchmark kernels.
 //! * [`megakv`] — a batched GPU key-value store (the paper's §VII-4 app).
 //! * [`lp_directive`] — the `#pragma nvm lpcuda_*` compiler front end (§VI).
+//! * [`lp_fault`] — systematic crash-injection campaigns: site taxonomy,
+//!   trial oracles, failure shrinking, JSON reports.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end run: launch a kernel with
 //! LP instrumentation, crash mid-flight, validate checksums, and recover.
 
-pub use lp_bench;
 pub use gpu_lp;
+pub use lp_bench;
 pub use lp_directive;
+pub use lp_fault;
 pub use lp_kernels;
 pub use megakv;
 pub use nvm;

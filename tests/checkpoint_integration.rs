@@ -26,14 +26,22 @@ fn crash_right_after_checkpoint_needs_no_recovery() {
     let mut w = workload_by_name("HISTO", Scale::Test, 41).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let mut ckpt = CheckpointManager::new(CheckpointPolicy::every_launch());
     let kernel = w.kernel(Some(&rt));
     gpu.launch(kernel.as_ref(), &mut mem).unwrap();
     assert!(ckpt.after_launch(&mut mem));
     mem.crash();
     let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
-    assert!(failed.is_empty(), "checkpointed state must survive: {failed:?}");
+    assert!(
+        failed.is_empty(),
+        "checkpointed state must survive: {failed:?}"
+    );
     assert!(w.verify(&mut mem));
 }
 
@@ -43,7 +51,12 @@ fn crash_between_checkpoints_damages_only_the_suffix() {
     let mut w = workload_by_name("SPMV", Scale::Test, 42).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let mut ckpt = CheckpointManager::new(CheckpointPolicy::every(2));
 
     // Launch 1: no checkpoint yet.

@@ -58,8 +58,14 @@ fn compiled_plan_drives_the_runtime() {
     let config = LpConfig::recommended().with_checksums(set);
     let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), config);
     let kernel = w.kernel(Some(&rt));
-    gpu.launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: 400 })
-        .unwrap();
+    gpu.launch_with_crash(
+        kernel.as_ref(),
+        &mut mem,
+        CrashSpec {
+            after_global_stores: 400,
+        },
+    )
+    .unwrap();
     let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
     assert!(report.recovered);
     assert!(w.verify(&mut mem));
@@ -81,7 +87,9 @@ fn generated_recovery_kernel_covers_the_address_slice() {
     // The value expression must NOT be in the slice (it is recomputed by
     // the recovery function, not the validator).
     assert!(!rk.source.contains("float Csub"));
-    assert!(rk.source.contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y)"));
+    assert!(rk
+        .source
+        .contains("lpcuda_validate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y)"));
 }
 
 #[test]
@@ -105,5 +113,8 @@ __global__ void k(float *o) {
     let compiled = compile(src).unwrap();
     let set = set_from_plan(&compiled.plans[0].ops);
     assert_eq!(set, ChecksumSet::modular_only());
-    assert!(set.is_associative(), "must be eligible for shuffle reduction");
+    assert!(
+        set.is_associative(),
+        "must be eligible for shuffle reduction"
+    );
 }

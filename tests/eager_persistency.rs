@@ -27,14 +27,25 @@ fn eager_mode_survives_crash_with_no_recovery_work() {
         let mut w = workload_by_name(name, Scale::Test, 31).unwrap();
         w.setup(&mut mem);
         let lc = w.launch_config();
-        let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::eager());
+        let rt = LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            LpConfig::eager(),
+        );
         let kernel = w.kernel(Some(&rt));
         gpu.launch(kernel.as_ref(), &mut mem).unwrap();
         // Power loss immediately after the kernel, no flush.
         mem.crash();
         let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
-        assert!(failed.is_empty(), "{name}: eager regions must already be durable, lost {failed:?}");
-        assert!(w.verify(&mut mem), "{name}: output lost despite eager persistency");
+        assert!(
+            failed.is_empty(),
+            "{name}: eager regions must already be durable, lost {failed:?}"
+        );
+        assert!(
+            w.verify(&mut mem),
+            "{name}: output lost despite eager persistency"
+        );
     }
 }
 
@@ -47,7 +58,12 @@ fn lazy_mode_does_lose_data_without_flush_in_the_same_scenario() {
     let mut w = workload_by_name("TMM", Scale::Test, 31).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
     gpu.launch(kernel.as_ref(), &mut mem).unwrap();
     mem.crash();
@@ -68,15 +84,29 @@ fn eager_mode_recovers_from_mid_kernel_crash() {
     let mut w = workload_by_name("SPMV", Scale::Test, 32).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::eager());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::eager(),
+    );
     let kernel = w.kernel(Some(&rt));
     let outcome = gpu
-        .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: 300 })
+        .launch_with_crash(
+            kernel.as_ref(),
+            &mut mem,
+            CrashSpec {
+                after_global_stores: 300,
+            },
+        )
         .unwrap();
     assert!(outcome.crashed());
     let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
     assert!(report.recovered);
-    assert!(report.failed_first_pass < report.regions, "committed regions must not re-execute");
+    assert!(
+        report.failed_first_pass < report.regions,
+        "committed regions must not re-execute"
+    );
     assert!(w.verify(&mut mem));
 }
 
@@ -85,7 +115,8 @@ fn eager_is_slower_than_lazy() {
     // The paper's Table-zero claim: EP pays for flushes and barriers at
     // run time; LP does not.
     for name in ["SPMV", "TMM"] {
-        let lazy = lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::recommended(), false);
+        let lazy =
+            lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::recommended(), false);
         let eager = lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::eager(), false);
         assert!(
             eager.slowdown > lazy.slowdown,

@@ -2,7 +2,9 @@
 //! suite run under every LP design point, with crash injection and
 //! recovery, verified against CPU references.
 
-use lpgpu::gpu_lp::{AtomicPolicy, LockPolicy, LpConfig, LpRuntime, RecoveryEngine, ReduceStrategy};
+use lpgpu::gpu_lp::{
+    AtomicPolicy, LockPolicy, LpConfig, LpRuntime, RecoveryEngine, ReduceStrategy,
+};
 use lpgpu::lp_kernels::{all_workloads, workload_by_name, Scale, Workload};
 use lpgpu::nvm::{NvmConfig, PersistMemory};
 use lpgpu::simt::{CrashSpec, DeviceConfig, Gpu};
@@ -28,7 +30,13 @@ fn run_config(w: &mut dyn Workload, config: LpConfig, crash_after: Option<u64>) 
         }
         Some(point) => {
             let outcome = gpu
-                .launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: point })
+                .launch_with_crash(
+                    kernel.as_ref(),
+                    &mut mem,
+                    CrashSpec {
+                        after_global_stores: point,
+                    },
+                )
                 .expect("launch");
             if !outcome.crashed() {
                 mem.flush_all();
@@ -71,16 +79,28 @@ fn whole_suite_correct_with_cuckoo() {
 #[test]
 fn lock_based_config_is_slow_but_correct() {
     let mut w = workload_by_name("SPMV", Scale::Test, 15).unwrap();
-    run_config(w.as_mut(), LpConfig::quad().with_lock(LockPolicy::GlobalLock), Some(300));
+    run_config(
+        w.as_mut(),
+        LpConfig::quad().with_lock(LockPolicy::GlobalLock),
+        Some(300),
+    );
 }
 
 #[test]
 fn racy_config_is_correct_despite_conflicts() {
     for name in ["TMM", "HISTO"] {
         let mut w = workload_by_name(name, Scale::Test, 16).unwrap();
-        run_config(w.as_mut(), LpConfig::quad().with_atomic(AtomicPolicy::Racy), Some(400));
+        run_config(
+            w.as_mut(),
+            LpConfig::quad().with_atomic(AtomicPolicy::Racy),
+            Some(400),
+        );
         let mut w = workload_by_name(name, Scale::Test, 16).unwrap();
-        run_config(w.as_mut(), LpConfig::cuckoo().with_atomic(AtomicPolicy::Racy), Some(400));
+        run_config(
+            w.as_mut(),
+            LpConfig::cuckoo().with_atomic(AtomicPolicy::Racy),
+            Some(400),
+        );
     }
 }
 
@@ -112,10 +132,21 @@ fn repeated_crash_recover_cycles_converge() {
     let mut w = workload_by_name("SPMV", Scale::Test, 19).unwrap();
     w.setup(&mut mem);
     let lc = w.launch_config();
-    let rt = LpRuntime::setup(&mut mem, lc.num_blocks(), lc.threads_per_block(), LpConfig::recommended());
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
     let kernel = w.kernel(Some(&rt));
-    gpu.launch_with_crash(kernel.as_ref(), &mut mem, CrashSpec { after_global_stores: 200 })
-        .expect("launch");
+    gpu.launch_with_crash(
+        kernel.as_ref(),
+        &mut mem,
+        CrashSpec {
+            after_global_stores: 200,
+        },
+    )
+    .expect("launch");
     let eng = RecoveryEngine::new(&gpu);
     assert!(eng.recover(kernel.as_ref(), &rt, &mut mem).recovered);
     // Second power loss after recovery: recovery flushed, so nothing is
@@ -132,7 +163,12 @@ fn overhead_ordering_global_array_cheapest() {
     let m_arr = lp_bench::measure_workload("SAD", Scale::Test, 20, &LpConfig::recommended(), false);
     let m_quad = lp_bench::measure_workload("SAD", Scale::Test, 20, &LpConfig::quad(), false);
     let m_cuckoo = lp_bench::measure_workload("SAD", Scale::Test, 20, &LpConfig::cuckoo(), false);
-    assert!(m_arr.slowdown <= m_quad.slowdown * 1.01, "{} vs {}", m_arr.slowdown, m_quad.slowdown);
+    assert!(
+        m_arr.slowdown <= m_quad.slowdown * 1.01,
+        "{} vs {}",
+        m_arr.slowdown,
+        m_quad.slowdown
+    );
     assert!(m_arr.slowdown <= m_cuckoo.slowdown * 1.01);
     assert_eq!(m_arr.table_stats.collisions, 0);
 }
@@ -161,5 +197,8 @@ fn lock_free_beats_lock_based_on_every_workload() {
 fn write_amplification_is_small_for_recommended_design() {
     let m = lp_bench::measure_workload("SPMV", Scale::Test, 22, &LpConfig::recommended(), true);
     let wa = m.write_amplification();
-    assert!((1.0..1.25).contains(&wa), "write amplification out of range: {wa}");
+    assert!(
+        (1.0..1.25).contains(&wa),
+        "write amplification out of range: {wa}"
+    );
 }

@@ -1,0 +1,117 @@
+//! Integration tests for the `lp-fault` crash-injection campaign engine:
+//! a bounded end-to-end campaign (what `run_all` executes), the sabotage
+//! demonstration, and property-based double-crash tests — power lost
+//! mid-kernel *and again* during recovery — for one compute-bound (TMM)
+//! and one memory-bound (SPMV) workload.
+
+use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine};
+use lpgpu::lp_fault::{run_campaign, run_trial, CampaignSpec, CrashSite, TrialId, SABOTAGE_CONFIG};
+use lpgpu::lp_kernels::{workload_by_name, Scale};
+use lpgpu::nvm::{NvmConfig, PersistMemory};
+use lpgpu::simt::{CrashPlan, DeviceConfig, Gpu};
+use proptest::prelude::*;
+
+fn bounded_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::default_sweep(Scale::Test);
+    spec.budget = Some(60);
+    spec.threads = 2;
+    spec
+}
+
+#[test]
+fn bounded_campaign_smoke() {
+    let spec = bounded_spec();
+    let report = run_campaign(&spec, |_, _| {});
+    assert_eq!(report.trials, 60);
+    assert!(report.all_passed(), "failures: {:#?}", report.failures);
+    assert!(report.crashed > 40, "most sites must fire: {report:#?}");
+    // The budgeted sample still spans sites and workloads.
+    assert!(report.by_site.len() >= 8, "{:?}", report.by_site);
+    assert!(report.by_workload.len() >= 6, "{:?}", report.by_workload);
+    // The report round-trips through JSON (what the campaign binary emits).
+    let json = serde_json::to_string(&report).unwrap();
+    let back: lpgpu::lp_fault::CampaignReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.trials, report.trials);
+    assert_eq!(back.passed, report.passed);
+}
+
+#[test]
+fn sabotaged_trial_is_caught_and_replayable() {
+    let id = TrialId {
+        workload: "TMM".to_string(),
+        config: SABOTAGE_CONFIG.to_string(),
+        seed: 1,
+        site: CrashSite::AfterStores { pct: 50 },
+    };
+    let first = run_trial(&id, Scale::Test);
+    assert!(first.crashed);
+    assert!(
+        !first.passed,
+        "skipping recovery must fail the output oracle"
+    );
+    // Replaying the TrialId reproduces the verdict exactly.
+    let again = run_trial(&id, Scale::Test);
+    assert_eq!(first.passed, again.passed);
+    assert_eq!(first.failed_regions, again.failed_regions);
+}
+
+proptest! {
+    // Each case is 1 launch + 2 recoveries; keep the case count bounded.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Double crash, arbitrary instants: power fails mid-kernel, recovery
+    /// starts, power fails *again* after a few evictions. The aborted
+    /// recovery must admit failure, and a post-reboot recovery must still
+    /// reproduce the crash-free output bit-for-bit.
+    #[test]
+    fn double_crash_recovery_is_exact(
+        first_crash in 50u64..20_000,
+        second_nth in 1u64..6,
+        workload_pick in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        let name = ["SPMV", "TMM"][workload_pick];
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let mut mem = PersistMemory::new(NvmConfig {
+            cache_lines: 256,
+            associativity: 8,
+            ..NvmConfig::default()
+        });
+        let mut w = workload_by_name(name, Scale::Test, seed).unwrap();
+        w.setup(&mut mem);
+        let lc = w.launch_config();
+        let rt = LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            LpConfig::recommended(),
+        );
+        mem.flush_all();
+        let kernel = w.kernel(Some(&rt));
+        let plan = CrashPlan { after_global_stores: Some(first_crash), after_blocks: None };
+        let outcome = gpu.launch_with_plan(kernel.as_ref(), &mut mem, plan).expect("launch");
+        if !outcome.crashed() {
+            mem.flush_all();
+        }
+        if mem.power_failed() {
+            mem.power_on();
+        }
+
+        // Second power loss while recovery is re-executing.
+        mem.arm_crash_after_evictions(second_nth);
+        let engine = RecoveryEngine::new(&gpu);
+        let aborted = engine.recover(kernel.as_ref(), &rt, &mut mem);
+        mem.disarm_crash();
+        if mem.power_failed() {
+            prop_assert!(!aborted.recovered, "recovery claimed success mid-power-loss");
+            mem.power_on();
+        }
+
+        let report = engine.recover(kernel.as_ref(), &rt, &mut mem);
+        prop_assert!(report.recovered, "{name}: post-reboot recovery diverged: {report:?}");
+        prop_assert!(
+            w.verify(&mut mem),
+            "{name}: output wrong after double crash at ({first_crash}, eviction {second_nth})"
+        );
+    }
+}
