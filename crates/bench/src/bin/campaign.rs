@@ -12,12 +12,14 @@
 //! don't exist in the shared `lp_bench::cli` surface.
 
 use lp_fault::SUBJECT_NAMES;
-use lp_fault::{run_campaign, CampaignReport, CampaignSpec, CrashSite, SABOTAGE_CONFIG};
+use lp_fault::{
+    run_campaign, sanitize_sweep, CampaignReport, CampaignSpec, CrashSite, SABOTAGE_CONFIG,
+};
 use lp_kernels::Scale;
 use std::io::Write;
 
 const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
-                     [--workload NAME] [--sabotage] [--json] [--quiet]";
+                     [--workload NAME] [--sabotage] [--sanitize] [--json] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("campaign: {msg}\n{USAGE}");
@@ -29,6 +31,7 @@ struct CampaignArgs {
     budget: Option<usize>,
     threads: usize,
     sabotage: bool,
+    sanitize: bool,
     json: bool,
     workload: Option<String>,
     quiet: bool,
@@ -40,6 +43,7 @@ fn parse_args() -> CampaignArgs {
         budget: None,
         threads: 0,
         sabotage: false,
+        sanitize: false,
         json: false,
         workload: None,
         quiet: false,
@@ -84,6 +88,7 @@ fn parse_args() -> CampaignArgs {
                 out.workload = Some(w);
             }
             "--sabotage" => out.sabotage = true,
+            "--sanitize" => out.sanitize = true,
             "--json" => out.json = true,
             "--quiet" => out.quiet = true,
             "--seed" => {
@@ -162,6 +167,54 @@ fn main() {
             .collect();
     }
 
+    // The sanitizer sweep is an extra oracle: one crash-free run per
+    // (subject, config, seed) under full observation. A kernel that races
+    // or leaves a store out of its checksum can pass every crash trial by
+    // luck; here it fails deterministically.
+    let mut sanitizer_dirty = 0usize;
+    if args.sanitize {
+        eprintln!(
+            "# sanitize: {} workloads x {} configs x {} seeds",
+            spec.workloads.len(),
+            spec.configs.len(),
+            spec.seeds.len()
+        );
+        let records = sanitize_sweep(&spec.workloads, &spec.configs, &spec.seeds, args.scale);
+        // In --json mode stdout carries the JSON document and nothing else,
+        // so all sanitizer narration goes to stderr there.
+        macro_rules! narrate {
+            ($($arg:tt)*) => {
+                if args.json {
+                    eprintln!($($arg)*);
+                } else {
+                    println!($($arg)*);
+                }
+            };
+        }
+        for r in &records {
+            if !r.clean() {
+                sanitizer_dirty += 1;
+                narrate!(
+                    "SANITIZER {}/{}/s{}: {} finding(s)",
+                    r.workload,
+                    r.config,
+                    r.seed,
+                    r.report.findings.len()
+                );
+                if !args.quiet {
+                    narrate!("{}", r.report);
+                }
+            }
+        }
+        if !args.quiet {
+            narrate!(
+                "sanitizer: {} runs, {} with findings",
+                records.len(),
+                sanitizer_dirty
+            );
+        }
+    }
+
     eprintln!(
         "# campaign: {} workloads x {} configs x {} seeds x {} sites{}",
         spec.workloads.len(),
@@ -214,6 +267,10 @@ fn main() {
             println!("{caught}");
         }
     } else if !report.all_passed() {
+        std::process::exit(1);
+    }
+    if sanitizer_dirty > 0 {
+        eprintln!("sanitizer oracle failed: {sanitizer_dirty} run(s) with findings");
         std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [(&str, &str); 11] = [
+const EXPERIMENTS: [(&str, &str); 12] = [
     ("ep_comparison", "E0 / eager-vs-lazy motivation"),
     ("fig5_hash_tables", "E1 / Fig. 5"),
     ("table2_collisions", "E2 / Table II"),
@@ -16,6 +16,7 @@ const EXPERIMENTS: [(&str, &str); 11] = [
     ("write_amplification", "E8 / §VII-3"),
     ("megakv_overhead", "E9 / §VII-4"),
     ("recovery_cost", "E13 / recovery-cost trade-off"),
+    ("sanitizer_overhead", "E15 / sanitizer overhead"),
 ];
 const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
 
@@ -43,7 +44,14 @@ fn main() {
     println!("== E14 / crash-injection campaign  (campaign)");
     println!("================================================================\n");
     let status = Command::new(bin_dir.join("campaign"))
-        .args(["--scale", "test", "--budget", "200", "--quiet"])
+        .args([
+            "--scale",
+            "test",
+            "--budget",
+            "200",
+            "--sanitize",
+            "--quiet",
+        ])
         .status()
         .unwrap_or_else(|e| panic!("failed to spawn campaign: {e}"));
     if !status.success() {

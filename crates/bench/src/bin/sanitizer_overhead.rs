@@ -1,0 +1,136 @@
+//! E15 — sanitizer overhead and access census.
+//!
+//! The sanitizer's contract has two halves: the *simulated* machine must
+//! not notice it (a sanitized launch returns bit-identical `LaunchStats`
+//! to a plain one — asserted here per kernel), and the *host* cost of
+//! observation must stay a small constant factor (measured here as
+//! wall-clock plain vs. sanitized). The per-kernel access counts put that
+//! factor in context: the observer fires once per access, so host overhead
+//! scales with the access volume, not with kernel complexity.
+
+use lp_bench::{Args, Table};
+use lp_kernels::all_workloads;
+use lp_sanitizer::sanitize_launch_exempt;
+use nvm::{NvmConfig, PersistMemory};
+use simt::{DeviceConfig, Gpu};
+use std::time::Instant;
+
+fn world() -> (Gpu, PersistMemory) {
+    (
+        Gpu::new(DeviceConfig::test_gpu()),
+        PersistMemory::new(NvmConfig {
+            cache_lines: 512,
+            associativity: 8,
+            ..NvmConfig::default()
+        }),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+
+    println!("# E15: sanitizer overhead — plain vs. observed launches\n");
+    let mut table = Table::new(&[
+        "Workload",
+        "Accesses",
+        "Shared",
+        "Loads",
+        "Stores",
+        "Atomics",
+        "Findings",
+        "Plain (ms)",
+        "Sanitized (ms)",
+        "Host overhead",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut overheads = Vec::new();
+
+    for mut w in all_workloads(args.scale, args.seed) {
+        let name = w.info().name;
+        if args
+            .workload
+            .as_deref()
+            .is_some_and(|only| !only.eq_ignore_ascii_case(name))
+        {
+            continue;
+        }
+
+        // Plain run.
+        let (gpu, mut mem) = world();
+        w.setup(&mut mem);
+        let lc = w.launch_config();
+        let rt = gpu_lp::LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            gpu_lp::LpConfig::recommended(),
+        );
+        let kernel = w.kernel(Some(&rt));
+        let t0 = Instant::now();
+        let plain = gpu.launch(kernel.as_ref(), &mut mem).expect("launch");
+        let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(kernel);
+
+        // Sanitized run from an identical initial state.
+        let (gpu, mut mem) = world();
+        w.setup(&mut mem);
+        let rt = gpu_lp::LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            gpu_lp::LpConfig::recommended(),
+        );
+        let kernel = w.kernel(Some(&rt));
+        let t0 = Instant::now();
+        let (observed, report) =
+            sanitize_launch_exempt(&gpu, kernel.as_ref(), &mut mem, &rt.table_ranges())
+                .expect("sanitized launch");
+        let sanitized_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            plain, observed,
+            "{name}: sanitizer observation changed the simulated stats"
+        );
+
+        let s = &report.stats;
+        let overhead = sanitized_ms / plain_ms.max(1e-9);
+        overheads.push(overhead);
+        table.row(&[
+            name.to_string(),
+            s.total_accesses().to_string(),
+            s.shared_accesses.to_string(),
+            s.global_loads.to_string(),
+            s.global_stores.to_string(),
+            s.global_atomics.to_string(),
+            report.findings.len().to_string(),
+            format!("{plain_ms:.1}"),
+            format!("{sanitized_ms:.1}"),
+            format!("{overhead:.2}x"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "workload": name,
+            "accesses": s.total_accesses(),
+            "shared": s.shared_accesses,
+            "loads": s.global_loads,
+            "stores": s.global_stores,
+            "atomics": s.global_atomics,
+            "findings": report.findings.len(),
+            "plain_ms": plain_ms,
+            "sanitized_ms": sanitized_ms,
+            "host_overhead": overhead,
+        }));
+        assert!(
+            report.is_clean(),
+            "{name}: suite kernel must sanitize clean:\n{report}"
+        );
+    }
+
+    println!("{}", table.to_markdown());
+    let gmean = lp_bench::geometric_mean(&overheads);
+    println!("\nSimulated stats: bit-identical in every row (asserted).");
+    println!("Host wall-clock overhead, geometric mean: {gmean:.2}x");
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

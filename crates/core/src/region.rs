@@ -402,7 +402,7 @@ impl<'rt> LpBlockSession<'rt> {
     /// Starts an LP region for the current block: one accumulator vector
     /// per thread, reset to the checksum identity (`ResetCheckSum()` in the
     /// paper's Listing 1).
-    pub fn begin(rt: &'rt LpRuntime, ctx: &BlockCtx<'_>) -> Self {
+    pub fn begin(rt: &'rt LpRuntime, ctx: &mut BlockCtx<'_>) -> Self {
         Self::begin_opt(Some(rt), ctx)
     }
 
@@ -410,9 +410,12 @@ impl<'rt> LpBlockSession<'rt> {
     /// session whose stores are plain stores and whose `finalize` is a
     /// no-op. Kernels can then have a single code path for their baseline
     /// and LP variants.
-    pub fn begin_opt(rt: Option<&'rt LpRuntime>, ctx: &BlockCtx<'_>) -> Self {
+    pub fn begin_opt(rt: Option<&'rt LpRuntime>, ctx: &mut BlockCtx<'_>) -> Self {
         match rt {
             Some(rt) if rt.config.mode == PersistMode::Lazy => {
+                // Checksummed region opens here: tell any attached access
+                // observer (zero-cost; feeds the persistency-coverage pass).
+                ctx.note_region_begin();
                 let threads = ctx.threads_per_block() as usize;
                 let arity = rt.config.checksums.arity();
                 let mut acc = vec![0u64; threads * arity];
@@ -502,11 +505,23 @@ impl<'rt> LpBlockSession<'rt> {
         }
     }
 
+    /// Marks `addr` as folded into the region's checksum accumulation for
+    /// an attached access observer (Lazy mode only — eager modes have no
+    /// checksum coverage to check).
+    fn note_covered(&self, ctx: &mut BlockCtx<'_>, addr: Addr) {
+        if let Some(rt) = self.rt {
+            if rt.config.mode == PersistMode::Lazy {
+                ctx.note_protected_store(addr);
+            }
+        }
+    }
+
     /// Protected `f32` store by thread `t`: performs the global store and
     /// folds the value into the thread's checksums.
     pub fn store_f32(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: f32) {
         ctx.store_f32(addr, v);
         self.update(ctx, t, f32_store_image(v));
+        self.note_covered(ctx, addr);
         self.eager_flush(ctx, addr);
     }
 
@@ -514,6 +529,7 @@ impl<'rt> LpBlockSession<'rt> {
     pub fn store_f64(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: f64) {
         ctx.store_f64(addr, v);
         self.update(ctx, t, f64_store_image(v));
+        self.note_covered(ctx, addr);
         self.eager_flush(ctx, addr);
     }
 
@@ -521,6 +537,7 @@ impl<'rt> LpBlockSession<'rt> {
     pub fn store_u32(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: u32) {
         ctx.store_u32(addr, v);
         self.update(ctx, t, v as u64);
+        self.note_covered(ctx, addr);
         self.eager_flush(ctx, addr);
     }
 
@@ -528,6 +545,7 @@ impl<'rt> LpBlockSession<'rt> {
     pub fn store_u64(&mut self, ctx: &mut BlockCtx<'_>, t: u64, addr: Addr, v: u64) {
         ctx.store_u64(addr, v);
         self.update(ctx, t, v);
+        self.note_covered(ctx, addr);
         self.eager_flush(ctx, addr);
     }
 
@@ -538,6 +556,12 @@ impl<'rt> LpBlockSession<'rt> {
         let Some(rt) = self.rt else { return };
         match rt.config.mode {
             PersistMode::Lazy => {
+                // The region's protected stores end here: everything the
+                // reduction and table insert write below (shuffle staging,
+                // scratch spills, the checksum entry itself) is
+                // instrumentation, not region data, so close the observed
+                // region first.
+                ctx.note_region_end();
                 let set = &rt.config.checksums;
                 let scratch = rt.scratch_for_block(ctx.block_id());
                 let reduced = block_reduce(ctx, set, &self.acc, rt.config.reduce, scratch);
@@ -584,7 +608,7 @@ mod tests {
         let rt = runtime(&mut rig, LpConfig::recommended());
         let out = rig.mem.alloc(64 * 4, 8);
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 3, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        let mut lp = LpBlockSession::begin(&rt, &mut ctx);
         for t in 0..64u64 {
             lp.store_f32(&mut ctx, t, out.index(t, 4), t as f32 * 1.5);
         }
@@ -601,7 +625,7 @@ mod tests {
         let mut rig = Rig::new();
         let rt = runtime(&mut rig, LpConfig::recommended());
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        let mut lp = LpBlockSession::begin(&rt, &mut ctx);
         lp.update(&mut ctx, 0, 1234);
         lp.finalize(&mut ctx);
         let _ = ctx.into_cost();
@@ -621,7 +645,7 @@ mod tests {
         let mut rig = Rig::new();
         let out = rig.mem.alloc(8, 8);
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let mut lp = LpBlockSession::begin_opt(None, &ctx);
+        let mut lp = LpBlockSession::begin_opt(None, &mut ctx);
         assert!(!lp.enabled());
         lp.store_u64(&mut ctx, 0, out, 99);
         lp.finalize(&mut ctx);
@@ -641,7 +665,7 @@ mod tests {
             for b in 0..64u64 {
                 let mut ctx =
                     simt::BlockCtx::standalone(rig.lc, b, &mut rig.mem, &mut rig.dev, &rig.cfg);
-                let mut lp = LpBlockSession::begin(&rt, &ctx);
+                let mut lp = LpBlockSession::begin(&rt, &mut ctx);
                 lp.update(&mut ctx, 0, b * 31);
                 lp.finalize(&mut ctx);
                 let _ = ctx.into_cost();
@@ -668,7 +692,7 @@ mod tests {
         assert!(rt.scratch_for_block(0).is_some());
         // And it still produces correct checksums end-to-end.
         let mut ctx = simt::BlockCtx::standalone(rig.lc, 1, &mut rig.mem, &mut rig.dev, &rig.cfg);
-        let mut lp = LpBlockSession::begin(&rt, &ctx);
+        let mut lp = LpBlockSession::begin(&rt, &mut ctx);
         for t in 0..64u64 {
             lp.update(&mut ctx, t, t + 7);
         }

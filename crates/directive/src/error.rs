@@ -2,6 +2,68 @@
 
 use std::fmt;
 
+/// A half-open column range on one source line. Lines are 1-based (what
+/// compilers print); columns are 1-based and `end` is exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based first column of the offending text.
+    pub col: usize,
+    /// Exclusive end column.
+    pub end_col: usize,
+}
+
+impl Span {
+    /// Span of `needle`'s first occurrence in 1-based `line_no` of `line`,
+    /// or the whole (trimmed) line when the needle is absent.
+    pub fn of(line_no: usize, line: &str, needle: &str) -> Self {
+        match line.find(needle) {
+            Some(byte) => {
+                let col = line[..byte].chars().count() + 1;
+                Span {
+                    line: line_no,
+                    col,
+                    end_col: col + needle.chars().count(),
+                }
+            }
+            None => {
+                let lead = line.len() - line.trim_start().len();
+                let col = line[..lead].chars().count() + 1;
+                Span {
+                    line: line_no,
+                    col,
+                    end_col: col + line.trim().chars().count().max(1),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}-{}", self.line, self.col, self.end_col)
+    }
+}
+
+/// A non-fatal finding from the lint pass: a stable rule code, the source
+/// span it anchors to, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`LP001` … `LP005`).
+    pub code: &'static str,
+    /// Source span the finding anchors to.
+    pub span: Span,
+    /// What is wrong and, where possible, how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.span, self.code, self.message)
+    }
+}
+
 /// An error raised while compiling LP directives.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {

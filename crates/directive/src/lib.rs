@@ -50,6 +50,7 @@ pub mod codegen;
 pub mod error;
 pub mod kernel_scan;
 pub mod lexer;
+pub mod lint;
 pub mod plan;
 pub mod pragma;
 pub mod slice;
@@ -57,5 +58,6 @@ pub mod slice;
 mod compile_impl;
 
 pub use compile_impl::{compile, CompiledLp, RecoveryKernel};
-pub use error::CompileError;
+pub use error::{CompileError, Diagnostic, Span};
+pub use lint::lint;
 pub use plan::{ChecksumOp, LpPlan};

@@ -1,0 +1,303 @@
+//! Static lint pass over annotated CUDA sources.
+//!
+//! `compile` rejects programs it cannot lower; the lints here catch the
+//! mistakes that still *compile* but defeat Lazy Persistency at run time —
+//! a checksum table initialised twice, a table initialised but never fed by
+//! any `lpcuda_checksum` (a region with no persistent stores), a checksum
+//! writing into a table the host never sized, a misspelled directive that
+//! the CUDA compiler would silently ignore (unknown pragmas don't warn,
+//! which is exactly how these bugs ship).
+//!
+//! Rules:
+//!
+//! | code  | finding                                                     |
+//! |-------|-------------------------------------------------------------|
+//! | LP001 | unknown / misspelled `lpcuda_*` directive                   |
+//! | LP002 | `lpcuda_checksum` outside any `__global__` kernel           |
+//! | LP003 | duplicate `lpcuda_init` for the same checksum table         |
+//! | LP004 | table initialised but never referenced by a checksum        |
+//! | LP005 | checksum references a table no `lpcuda_init` declared        |
+//!
+//! Diagnostics are ordered by source position, then rule code.
+
+use crate::error::{Diagnostic, Span};
+use crate::kernel_scan::find_kernels;
+use crate::pragma::{is_nvm_pragma, parse_pragma, Pragma};
+
+/// The two directives §VI of the paper defines.
+const KNOWN: [&str; 2] = ["lpcuda_init", "lpcuda_checksum"];
+
+/// Lints `source` and returns every finding, ordered by source position.
+/// A clean program — including a pragma-free one — yields an empty vector.
+pub fn lint(source: &str) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = source.lines().collect();
+    let kernels = find_kernels(&lines).unwrap_or_default();
+    let mut out = Vec::new();
+
+    // (table, line, raw-line-text) of every successfully parsed directive.
+    let mut inits: Vec<(String, usize)> = Vec::new();
+    let mut checksum_tables: Vec<String> = Vec::new();
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if !is_nvm_pragma(raw) {
+            continue;
+        }
+        let name = directive_name(raw);
+        if !KNOWN.contains(&name.as_str()) {
+            let mut message = format!("unknown directive `{name}`");
+            if let Some(meant) = nearest(&name) {
+                message.push_str(&format!("; did you mean `{meant}`?"));
+            }
+            out.push(Diagnostic {
+                code: "LP001",
+                span: Span::of(line_no, raw, &name),
+                message,
+            });
+            continue;
+        }
+        let Ok(pragma) = parse_pragma(line_no, raw) else {
+            // Malformed arity/operator errors are `compile`'s to report;
+            // the lint pass only reasons about well-formed directives.
+            continue;
+        };
+        match pragma {
+            Pragma::Init { table, .. } => {
+                if let Some((_, first)) = inits.iter().find(|(t, _)| *t == table) {
+                    out.push(Diagnostic {
+                        code: "LP003",
+                        span: Span::of(line_no, raw, &table),
+                        message: format!(
+                            "duplicate lpcuda_init for table `{table}` \
+                             (first initialised on line {first}); \
+                             the second init discards the first table's checksums"
+                        ),
+                    });
+                } else {
+                    inits.push((table, line_no));
+                }
+            }
+            Pragma::Checksum { table, .. } => {
+                if !kernels.iter().any(|k| k.contains_line(idx)) {
+                    out.push(Diagnostic {
+                        code: "LP002",
+                        span: Span::of(line_no, raw, "lpcuda_checksum"),
+                        message: "lpcuda_checksum outside a __global__ kernel; \
+                                  the directive only protects stores inside a kernel body"
+                            .into(),
+                    });
+                }
+                checksum_tables.push(table);
+            }
+        }
+    }
+
+    for (table, line_no) in &inits {
+        if !checksum_tables.iter().any(|t| t == table) {
+            out.push(Diagnostic {
+                code: "LP004",
+                span: Span::of(*line_no, lines[line_no - 1], table),
+                message: format!(
+                    "table `{table}` is initialised but no lpcuda_checksum references it; \
+                     the LP region protects no persistent stores"
+                ),
+            });
+        }
+    }
+    let mut flagged: Vec<String> = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if !is_nvm_pragma(raw) {
+            continue;
+        }
+        if let Ok(Pragma::Checksum { table, .. }) = parse_pragma(line_no, raw) {
+            if !inits.iter().any(|(t, _)| *t == table) && !flagged.contains(&table) {
+                out.push(Diagnostic {
+                    code: "LP005",
+                    span: Span::of(line_no, raw, &table),
+                    message: format!(
+                        "lpcuda_checksum writes into table `{table}` \
+                         but no lpcuda_init declares it; the host never sizes the table"
+                    ),
+                });
+                flagged.push(table);
+            }
+        }
+    }
+
+    out.sort_by_key(|d| (d.span, d.code));
+    out
+}
+
+/// The identifier after `#pragma nvm`, or an empty string.
+fn directive_name(raw: &str) -> String {
+    raw.trim_start()
+        .strip_prefix("#pragma")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix("nvm"))
+        .map(str::trim_start)
+        .unwrap_or("")
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// The known directive within edit distance 2 of `name`, if any.
+fn nearest(name: &str) -> Option<&'static str> {
+    KNOWN
+        .iter()
+        .map(|k| (edit_distance(name, k), *k))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance, small-input implementation.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 5/6-shaped program with every directive used correctly.
+    const CLEAN: &str = r#"
+int main() {
+#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)
+    kernel<<<grid, block>>>(C, A, B);
+}
+
+__global__ void MatrixMulCUDA(float *C, float *A, float *B) {
+    int c = blockIdx.x;
+#pragma nvm lpcuda_checksum("+", checksumMM, blockIdx.x)
+    C[c] = 1.0f;
+}
+"#;
+
+    #[test]
+    fn clean_program_has_zero_lints() {
+        assert_eq!(lint(CLEAN), Vec::new());
+        assert_eq!(lint("int main() { return 0; }"), Vec::new());
+    }
+
+    #[test]
+    fn lp001_unknown_directive_with_suggestion() {
+        let src = "#pragma nvm lpcuda_chekcsum(\"+\", tab, k)\n";
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, "LP001");
+        assert_eq!(
+            d.message,
+            "unknown directive `lpcuda_chekcsum`; did you mean `lpcuda_checksum`?"
+        );
+        assert_eq!(d.span, Span::of(1, src, "lpcuda_chekcsum"));
+        assert_eq!((d.span.line, d.span.col, d.span.end_col), (1, 13, 28));
+    }
+
+    #[test]
+    fn lp001_distant_name_gets_no_suggestion() {
+        let ds = lint("#pragma nvm lpcuda_frobnicate(x)\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "LP001");
+        assert!(!ds[0].message.contains("did you mean"));
+    }
+
+    #[test]
+    fn lp002_checksum_outside_kernel() {
+        let src = r#"
+#pragma nvm lpcuda_init(tab, n, 1)
+#pragma nvm lpcuda_checksum("+", tab, k)
+int host_fn(void) { return 0; }
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, "LP002");
+        assert!(d.message.contains("outside a __global__ kernel"));
+        assert_eq!((d.span.line, d.span.col, d.span.end_col), (3, 13, 28));
+    }
+
+    #[test]
+    fn lp003_duplicate_init() {
+        let src = r#"
+#pragma nvm lpcuda_init(tab, n, 1)
+#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *p) {
+#pragma nvm lpcuda_checksum("+", tab, i)
+    p[0] = 1.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, "LP003");
+        assert!(d.message.contains("duplicate lpcuda_init for table `tab`"));
+        assert!(d.message.contains("line 2"));
+        // Span anchors to the table name on the *second* init.
+        assert_eq!((d.span.line, d.span.col, d.span.end_col), (3, 25, 28));
+    }
+
+    #[test]
+    fn lp004_init_never_referenced() {
+        let src = "#pragma nvm lpcuda_init(orphan, n, 1)\n";
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, "LP004");
+        assert!(d.message.contains("no lpcuda_checksum references it"));
+        assert!(d.message.contains("protects no persistent stores"));
+        assert_eq!((d.span.line, d.span.col, d.span.end_col), (1, 25, 31));
+    }
+
+    #[test]
+    fn lp005_checksum_into_undeclared_table() {
+        let src = r#"__global__ void k(float *p) {
+#pragma nvm lpcuda_checksum("+", ghost, i)
+    p[0] = 1.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, "LP005");
+        assert!(d.message.contains("no lpcuda_init declares it"));
+        assert_eq!((d.span.line, d.span.col, d.span.end_col), (2, 34, 39));
+    }
+
+    #[test]
+    fn findings_are_ordered_by_position() {
+        let src = r#"
+#pragma nvm lpcuda_init(a, n, 1)
+#pragma nvm lpcuda_init(a, n, 1)
+#pragma nvm lpcuda_typo(x)
+"#;
+        let codes: Vec<&str> = lint(src).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["LP004", "LP003", "LP001"]);
+    }
+
+    #[test]
+    fn lp005_reported_once_per_table() {
+        let src = r#"__global__ void k(float *p) {
+#pragma nvm lpcuda_checksum("+", ghost, i)
+    p[0] = 1.0f;
+#pragma nvm lpcuda_checksum("+", ghost, j)
+    p[1] = 2.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.iter().filter(|d| d.code == "LP005").count(), 1);
+    }
+}

@@ -35,12 +35,14 @@
 
 pub mod campaign;
 pub mod oracle;
+pub mod sanitize;
 pub mod shrink;
 pub mod site;
 pub mod trial;
 
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, Tally};
 pub use oracle::{OracleInput, OracleVerdict};
+pub use sanitize::{sanitize_subject, sanitize_sweep, SanitizeRecord};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use site::CrashSite;
 pub use trial::{

@@ -151,12 +151,12 @@ fn megakv_records(scale: Scale) -> usize {
     }
 }
 
-enum SubjectKind {
+pub(crate) enum SubjectKind {
     Suite(String),
     Kv(OpKind),
 }
 
-fn subject_kind(name: &str) -> Option<SubjectKind> {
+pub(crate) fn subject_kind(name: &str) -> Option<SubjectKind> {
     let upper = name.to_ascii_uppercase();
     match upper.as_str() {
         "MEGAKV-INSERT" => Some(SubjectKind::Kv(OpKind::Insert)),
@@ -170,7 +170,7 @@ fn subject_kind(name: &str) -> Option<SubjectKind> {
 /// Builds a fresh instance of `kind` (world + inputs + LP runtime + kernel)
 /// and hands it to `f`. Everything in the instance is derived from
 /// `(kind, scale, seed, lp)`, so two calls see identical machines.
-fn with_instance<R>(
+pub(crate) fn with_instance<R>(
     kind: &SubjectKind,
     scale: Scale,
     seed: u64,

@@ -160,6 +160,7 @@ impl Kernel for CutcpKernel<'_> {
             let base = chunk * CHUNK;
             let in_chunk = CHUNK.min(w.atoms - base);
             for s in 0..in_chunk {
+                ctx.set_active_thread(s as u64 % tpb);
                 for comp in 0..4 {
                     let v = ctx.load_f32(w.atom_xyzq.index((4 * (base + s) + comp) as u64, 4));
                     ctx.shm_write_f32(sh, 4 * s + comp, v);
@@ -167,6 +168,7 @@ impl Kernel for CutcpKernel<'_> {
             }
             ctx.sync_threads();
             for t in 0..tpb {
+                ctx.set_active_thread(t);
                 let p = ctx.global_thread_id(t) as usize;
                 let (px, py) = w.coord(p);
                 let mut a = acc[t as usize];
@@ -188,6 +190,7 @@ impl Kernel for CutcpKernel<'_> {
         }
 
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let p = ctx.global_thread_id(t);
             lp.store_f32(ctx, t, w.out.index(p, 4), acc[t as usize]);
         }

@@ -134,14 +134,14 @@ impl Kernel for HistoKernel<'_> {
         // Shared-memory histogram (one word per bin), cooperatively zeroed.
         let bins = ctx.shared_alloc(BINS);
         // Each thread walks its strided share of the block's chunk and
-        // bumps shared bins (shared-memory atomics on real hardware; the
-        // read-modify-write pair carries the cost here).
+        // bumps shared bins with shared-memory atomics, as on real
+        // hardware (threads of one block hit the same bins concurrently).
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             for e in 0..self.w.elems_per_thread as u64 {
                 let idx = b * chunk + e * tpb + t;
                 let v = ctx.load_u32(self.w.input.index(idx, 4)) as usize;
-                let cur = ctx.shm_read(bins, v);
-                ctx.shm_write(bins, v, cur + 1);
+                ctx.shm_atomic_add(bins, v, 1);
                 ctx.charge_alu(1);
             }
         }
@@ -149,6 +149,7 @@ impl Kernel for HistoKernel<'_> {
 
         // Publish the saturated block-private partial: thread t owns bin t.
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let bin = t as usize;
             if bin < BINS {
                 let count = ctx.shm_read(bins, bin) as u32;

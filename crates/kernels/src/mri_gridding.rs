@@ -188,6 +188,7 @@ impl Kernel for GriddingKernel<'_> {
         let d = w.dim as i64;
         let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let cell = ctx.global_thread_id(t);
             if cell >= w.cells() as u64 {
                 continue;

@@ -190,6 +190,7 @@ impl Kernel for MriQKernel<'_> {
             let in_chunk = CHUNK.min(w.k_samples - base);
             // Cooperative load of the chunk (first `in_chunk` threads).
             for s in 0..in_chunk {
+                ctx.set_active_thread(s as u64 % tpb);
                 let kx = ctx.load_f32(w.kx.index((base + s) as u64, 4));
                 let ky = ctx.load_f32(w.ky.index((base + s) as u64, 4));
                 let kz = ctx.load_f32(w.kz.index((base + s) as u64, 4));
@@ -202,6 +203,7 @@ impl Kernel for MriQKernel<'_> {
             }
             ctx.sync_threads();
             for t in 0..tpb {
+                ctx.set_active_thread(t);
                 let v = ctx.global_thread_id(t) as usize;
                 let x = w.host_coord(ctx, w.x, v);
                 let y = w.host_coord(ctx, w.y, v);
@@ -225,6 +227,7 @@ impl Kernel for MriQKernel<'_> {
         }
 
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let v = ctx.global_thread_id(t);
             lp.store_f32(ctx, t, w.qr.index(v, 4), accr[t as usize]);
             lp.store_f32(ctx, t, w.qi.index(v, 4), acci[t as usize]);

@@ -183,6 +183,7 @@ impl Kernel for SadKernel<'_> {
         let (mx, my) = (mb_idx % w.mbs_x(), mb_idx / w.mbs_x());
 
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let (dx, dy) = w.offset(group, t as usize);
             let mut sad = 0u32;
             for py in 0..w.mb {

@@ -146,6 +146,7 @@ impl Kernel for SpmvKernel<'_> {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
         let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let row = ctx.global_thread_id(t);
             if row >= self.w.rows as u64 {
                 continue;

@@ -146,6 +146,7 @@ impl Kernel for TmmKernel<'_> {
         for phase in 0..(n / tile) {
             // Load this phase's A and B tiles into shared memory.
             for t in 0..tpb {
+                ctx.set_active_thread(t);
                 let (row, col, tx, ty) = self.coords(ctx, t);
                 let a_col = phase * tile + tx;
                 let b_row = phase * tile + ty;
@@ -157,6 +158,7 @@ impl Kernel for TmmKernel<'_> {
             ctx.sync_threads();
             // Multiply the tiles.
             for t in 0..tpb {
+                ctx.set_active_thread(t);
                 let (_, _, tx, ty) = self.coords(ctx, t);
                 let mut sum = acc[t as usize];
                 for k in 0..tile {
@@ -172,6 +174,7 @@ impl Kernel for TmmKernel<'_> {
 
         // Persistent stores, LP-protected.
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let (row, col, _, _) = self.coords(ctx, t);
             lp.store_f32(
                 ctx,

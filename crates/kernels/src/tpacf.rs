@@ -164,6 +164,7 @@ impl Kernel for TpacfKernel<'_> {
         let span = tpb as usize + self.w.window;
         let pts = ctx.shared_alloc(3 * span);
         for s in 0..span as u64 {
+            ctx.set_active_thread(s % tpb);
             let p = (b * tpb + s) % m;
             for comp in 0..3 {
                 let v = ctx.load_f32(self.w.xyz.index(3 * p + comp, 4));
@@ -172,6 +173,7 @@ impl Kernel for TpacfKernel<'_> {
         }
         ctx.sync_threads();
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let ti = t as usize;
             let xi = ctx.shm_read_f32(pts, 3 * ti);
             let yi = ctx.shm_read_f32(pts, 3 * ti + 1);
@@ -186,8 +188,9 @@ impl Kernel for TpacfKernel<'_> {
                 // angular separation through a transcendental + search).
                 ctx.charge_alu(16);
                 let bin = Tpacf::bin_of(dot);
-                let cur = ctx.shm_read(bins, bin);
-                ctx.shm_write(bins, bin, cur + 1);
+                // Shared-memory atomic bump, as on real hardware: threads
+                // of the block hit the same bins concurrently.
+                ctx.shm_atomic_add(bins, bin, 1);
                 ctx.charge_alu(1);
             }
         }
@@ -195,6 +198,7 @@ impl Kernel for TpacfKernel<'_> {
 
         // Thread t publishes bin t of the block-private partial.
         for t in 0..tpb {
+            ctx.set_active_thread(t);
             let bin = t as usize;
             if bin < BINS {
                 let count = ctx.shm_read(bins, bin) as u32;

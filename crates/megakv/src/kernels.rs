@@ -46,6 +46,7 @@ impl Kernel for InsertKernel<'_> {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
         let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let i = ctx.global_thread_id(t);
             if i >= self.batch.len() as u64 {
                 continue;
@@ -150,6 +151,7 @@ impl Kernel for SearchKernel<'_> {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
         let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let i = ctx.global_thread_id(t);
             if i >= self.batch.len() as u64 {
                 continue;
@@ -212,6 +214,7 @@ impl Kernel for DeleteKernel<'_> {
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
         let mut lp = LpBlockSession::begin_opt(self.lp, ctx);
         for t in 0..ctx.threads_per_block() {
+            ctx.set_active_thread(t);
             let i = ctx.global_thread_id(t);
             if i >= self.batch.len() as u64 {
                 continue;

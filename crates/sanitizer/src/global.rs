@@ -1,0 +1,231 @@
+//! Pass 2: global-memory conflict detection.
+//!
+//! Blocks of one launch are concurrent on real hardware, so global-memory
+//! coordination must go through atomics (or the global lock). This pass
+//! accumulates a per-address writer census over the whole launch and, at
+//! launch end, reports two hazard classes:
+//!
+//! * **cross-block plain writes** — the same address plain-stored by two or
+//!   more blocks with no lock held (the lock-free checksum-table designs of
+//!   §V exist precisely to avoid this);
+//! * **plain/atomic mixes** — an address both plain-stored and accessed
+//!   atomically (the §IV-D3 "remove the atomics" emulation is the
+//!   deliberate instance of this hazard).
+//!
+//! Lock-protected stores are exempt: the global spin lock serialises their
+//! critical sections by construction. So are *exempt ranges* registered by
+//! the caller — the LP checksum table is a deliberately shared structure
+//! whose slots change owner via atomic tag exchange (cuckoo displacement
+//! rewrites another block's entry by design), and whose consistency is
+//! what the crash oracles test. Line-granular sharing (several blocks
+//! writing *different* addresses of one cache line) is legitimate for
+//! outputs that straddle block boundaries, so it is reported as a
+//! statistic, not a finding.
+
+use crate::report::Finding;
+use simt::AccessKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-address writer census.
+#[derive(Debug, Default)]
+struct AddrState {
+    plain_blocks: BTreeSet<u64>,
+    atomic_blocks: BTreeSet<u64>,
+}
+
+/// Global-memory conflict detector for one launch.
+#[derive(Debug)]
+pub(crate) struct GlobalConflictDetector {
+    line_size: u64,
+    addrs: BTreeMap<u64, AddrState>,
+    line_writers: BTreeMap<u64, BTreeSet<u64>>,
+    exempt: Vec<(u64, u64)>,
+}
+
+impl GlobalConflictDetector {
+    pub(crate) fn new(line_size: u64) -> Self {
+        Self {
+            line_size: line_size.max(1),
+            addrs: BTreeMap::new(),
+            line_writers: BTreeMap::new(),
+            exempt: Vec::new(),
+        }
+    }
+
+    /// Resets state for a new launch (exempt ranges persist).
+    pub(crate) fn begin_launch(&mut self) {
+        self.addrs.clear();
+        self.line_writers.clear();
+    }
+
+    /// Marks `[base, base + len)` as a deliberately shared structure whose
+    /// writes this pass must not flag (nor count in the sharing census).
+    pub(crate) fn exempt_range(&mut self, base: u64, len: u64) {
+        self.exempt.push((base, len));
+    }
+
+    fn is_exempt(&self, addr: u64) -> bool {
+        self.exempt
+            .iter()
+            .any(|&(base, len)| addr >= base && addr - base < len)
+    }
+
+    /// Records one global access.
+    pub(crate) fn access(&mut self, block: u64, addr: u64, kind: AccessKind, locked: bool) {
+        if !kind.writes() || self.is_exempt(addr) {
+            return;
+        }
+        self.line_writers
+            .entry(addr / self.line_size * self.line_size)
+            .or_default()
+            .insert(block);
+        if locked {
+            // Mutually excluded by the global spin lock.
+            return;
+        }
+        let state = self.addrs.entry(addr).or_default();
+        match kind {
+            AccessKind::Store => {
+                state.plain_blocks.insert(block);
+            }
+            AccessKind::Atomic => {
+                state.atomic_blocks.insert(block);
+            }
+            AccessKind::Load => unreachable!("filtered above"),
+        }
+    }
+
+    /// Cache lines written by more than one block (the sharing statistic).
+    pub(crate) fn multi_writer_lines(&self) -> u64 {
+        self.line_writers.values().filter(|w| w.len() > 1).count() as u64
+    }
+
+    /// Emits the launch's conflict findings, ordered by address.
+    pub(crate) fn finish(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (&addr, state) in &self.addrs {
+            if state.plain_blocks.len() > 1 {
+                out.push(Finding::CrossBlockWrite {
+                    addr,
+                    blocks: state.plain_blocks.iter().copied().collect(),
+                });
+            }
+            if !state.plain_blocks.is_empty() && !state.atomic_blocks.is_empty() {
+                out.push(Finding::AtomicPlainMix {
+                    addr,
+                    plain_blocks: state.plain_blocks.iter().copied().collect(),
+                    atomic_blocks: state.atomic_blocks.iter().copied().collect(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> GlobalConflictDetector {
+        let mut d = GlobalConflictDetector::new(128);
+        d.begin_launch();
+        d
+    }
+
+    #[test]
+    fn disjoint_writers_are_clean() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Store, false);
+        d.access(1, 0x200, AccessKind::Store, false);
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn same_block_rewrites_are_clean() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Store, false);
+        d.access(0, 0x100, AccessKind::Store, false);
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn cross_block_plain_writes_conflict() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Store, false);
+        d.access(3, 0x100, AccessKind::Store, false);
+        let fs = d.finish();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(
+            fs[0],
+            Finding::CrossBlockWrite {
+                addr: 0x100,
+                blocks: vec![0, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn atomics_alone_are_clean() {
+        let mut d = detector();
+        for b in 0..8 {
+            d.access(b, 0x100, AccessKind::Atomic, false);
+        }
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn plain_atomic_mix_conflicts() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Atomic, false);
+        d.access(1, 0x100, AccessKind::Store, false);
+        let fs = d.finish();
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(fs[0], Finding::AtomicPlainMix { addr: 0x100, .. }));
+    }
+
+    #[test]
+    fn loads_never_conflict() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Load, false);
+        d.access(1, 0x100, AccessKind::Store, false);
+        d.access(2, 0x100, AccessKind::Load, false);
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn lock_protected_stores_are_exempt() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Store, true);
+        d.access(1, 0x100, AccessKind::Store, true);
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn exempt_range_writes_never_conflict() {
+        let mut d = detector();
+        d.exempt_range(0x1000, 0x100);
+        d.access(0, 0x1000, AccessKind::Store, false);
+        d.access(1, 0x1000, AccessKind::Store, false); // shared table slot
+        d.access(2, 0x10f8, AccessKind::Atomic, false);
+        d.access(3, 0x10f8, AccessKind::Store, false);
+        d.access(0, 0x1100, AccessKind::Store, false); // first past the range
+        d.access(1, 0x1100, AccessKind::Store, false);
+        let fs = d.finish();
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(
+            fs[0],
+            Finding::CrossBlockWrite { addr: 0x1100, .. }
+        ));
+        assert_eq!(d.multi_writer_lines(), 1);
+    }
+
+    #[test]
+    fn line_sharing_is_a_statistic_not_a_finding() {
+        let mut d = detector();
+        d.access(0, 0x100, AccessKind::Store, false);
+        d.access(1, 0x108, AccessKind::Store, false); // same 128 B line
+        d.access(2, 0x300, AccessKind::Store, false); // different line
+        assert!(d.finish().is_empty());
+        assert_eq!(d.multi_writer_lines(), 1);
+    }
+}

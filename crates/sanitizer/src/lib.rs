@@ -1,0 +1,423 @@
+//! `compute-sanitizer`-style dynamic analysis for the SIMT runtime.
+//!
+//! Real GPUs need dedicated hardware and binary instrumentation to answer
+//! "did this kernel race?"; our simulator executes deterministically and
+//! already sees every access, so the same checks are a pure observer. The
+//! [`Sanitizer`] implements [`simt::AccessObserver`] and runs three passes
+//! over one launch:
+//!
+//! 1. **shared-memory race detection** — barrier-epoch tracking per block;
+//!    conflicting same-word accesses by different threads with no
+//!    intervening `sync_threads()` (racecheck semantics);
+//! 2. **global-memory conflict detection** — plain-store/atomic mixes and
+//!    unsynchronised cross-block writes to the same address (the hazard
+//!    class the paper's lock-free checksum tables are designed around);
+//! 3. **persistency-coverage checking** — at LP-region commit, every
+//!    global store issued inside the region must have been folded into the
+//!    region's checksum accumulation; an uncovered store is a latent
+//!    false negative at recovery time.
+//!
+//! Observation is zero-cost to the timing model: a sanitized launch
+//! returns bit-identical [`simt::LaunchStats`] and memory state to an
+//! unobserved one (asserted by [`check_kernel`] and the E15 benchmark).
+//!
+//! # Example
+//!
+//! ```
+//! use lp_sanitizer::Sanitizer;
+//! use nvm::{NvmConfig, PersistMemory, Addr};
+//! use simt::{BlockCtx, DeviceConfig, Gpu, Kernel, LaunchConfig};
+//!
+//! /// Two threads store to the same shared word with no barrier.
+//! struct Racy;
+//! impl Kernel for Racy {
+//!     fn name(&self) -> &str { "racy" }
+//!     fn config(&self) -> LaunchConfig { LaunchConfig::linear(64, 64) }
+//!     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+//!         let h = ctx.shared_alloc(1);
+//!         for t in 0..ctx.threads_per_block() {
+//!             ctx.set_active_thread(t);
+//!             ctx.shm_write(h, 0, t);
+//!         }
+//!     }
+//! }
+//!
+//! let mut mem = PersistMemory::new(NvmConfig::default());
+//! let gpu = Gpu::new(DeviceConfig::test_gpu());
+//! let mut san = Sanitizer::new(&mem);
+//! gpu.launch_observed(&Racy, &mut mem, &mut san).unwrap();
+//! let report = san.take_report();
+//! assert_eq!(report.count_for_pass("shared-race"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod global;
+mod report;
+mod shared;
+
+pub use report::{AccessStats, Finding, SanitizerReport};
+
+use coverage::CoverageChecker;
+use global::GlobalConflictDetector;
+use nvm::PersistMemory;
+use shared::SharedRaceDetector;
+use simt::{AccessKind, AccessObserver, Gpu, Kernel, LaunchError, LaunchStats};
+
+/// Hard cap on findings kept per launch; a systematically-broken kernel
+/// (e.g. a whole array of uncovered stores per block) would otherwise
+/// produce reports proportional to its store count. Findings beyond the
+/// cap are counted in [`SanitizerReport::suppressed`].
+pub const MAX_FINDINGS: usize = 1024;
+
+/// The three-pass sanitizer. Attach to a launch via
+/// [`Gpu::launch_observed`] (or use [`sanitize_launch`]), then collect the
+/// [`SanitizerReport`] with [`Sanitizer::take_report`].
+///
+/// A `Sanitizer` is reusable: each launch resets its state, so one
+/// instance can sweep a whole suite, taking the report after each launch.
+#[derive(Debug)]
+pub struct Sanitizer {
+    shared: SharedRaceDetector,
+    global: GlobalConflictDetector,
+    coverage: CoverageChecker,
+    report: SanitizerReport,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer for launches against `mem` (the memory's cache
+    /// line size scopes the line-sharing statistic).
+    pub fn new(mem: &PersistMemory) -> Self {
+        Self::with_line_size(mem.config().line_size as u64)
+    }
+
+    /// Creates a sanitizer with an explicit cache-line size.
+    pub fn with_line_size(line_size: u64) -> Self {
+        Self {
+            shared: SharedRaceDetector::default(),
+            global: GlobalConflictDetector::new(line_size),
+            coverage: CoverageChecker::default(),
+            report: SanitizerReport::default(),
+        }
+    }
+
+    /// Exempts `[base, base + len)` from the global-conflict pass.
+    ///
+    /// Use for deliberately shared structures whose slots change owner by
+    /// atomic handshake rather than lock or block partitioning — above
+    /// all the LP checksum table (`LpRuntime::table_ranges`): cuckoo
+    /// displacement rewrites another block's entry by design, and the
+    /// table's durability is what the crash oracles already test.
+    pub fn exempt_range(&mut self, base: u64, len: u64) -> &mut Self {
+        self.global.exempt_range(base, len);
+        self
+    }
+
+    fn push(&mut self, finding: Finding) {
+        if self.report.findings.len() < MAX_FINDINGS {
+            self.report.findings.push(finding);
+        } else {
+            self.report.suppressed += 1;
+        }
+    }
+
+    fn push_all(&mut self, findings: Vec<Finding>) {
+        for f in findings {
+            self.push(f);
+        }
+    }
+
+    /// Takes the finished report for the most recent launch, leaving a
+    /// default report in its place.
+    pub fn take_report(&mut self) -> SanitizerReport {
+        std::mem::take(&mut self.report)
+    }
+
+    /// The report accumulated so far (finalised once the launch ends).
+    pub fn report(&self) -> &SanitizerReport {
+        &self.report
+    }
+}
+
+impl AccessObserver for Sanitizer {
+    fn on_launch_begin(&mut self, kernel: &str, _lc: &simt::LaunchConfig) {
+        self.report = SanitizerReport {
+            kernel: kernel.to_string(),
+            ..SanitizerReport::default()
+        };
+        self.global.begin_launch();
+        self.coverage.begin_launch();
+    }
+
+    fn on_launch_end(&mut self) {
+        let findings = self.global.finish();
+        self.push_all(findings);
+        self.report.stats.multi_writer_lines = self.global.multi_writer_lines();
+        self.report.stats.regions = self.coverage.regions;
+        self.report.stats.regions_committed = self.coverage.regions_committed;
+        self.report.stats.covered_stores = self.coverage.covered_stores;
+    }
+
+    fn on_block_begin(&mut self, block: u64) {
+        self.shared.begin_block(block);
+        self.coverage.begin_block(block);
+    }
+
+    fn on_barrier(&mut self, _block: u64) {
+        self.report.stats.barriers += 1;
+        self.shared.barrier();
+    }
+
+    fn on_shared_access(&mut self, _block: u64, thread: u64, word: usize, kind: AccessKind) {
+        self.report.stats.shared_accesses += 1;
+        if let Some(f) = self.shared.access(thread, word as u64, kind) {
+            self.push(f);
+        }
+    }
+
+    fn on_global_access(
+        &mut self,
+        block: u64,
+        _thread: u64,
+        addr: u64,
+        _bytes: u64,
+        kind: AccessKind,
+        locked: bool,
+    ) {
+        match kind {
+            AccessKind::Load => self.report.stats.global_loads += 1,
+            AccessKind::Store => self.report.stats.global_stores += 1,
+            AccessKind::Atomic => self.report.stats.global_atomics += 1,
+        }
+        self.global.access(block, addr, kind, locked);
+        if kind == AccessKind::Store {
+            self.coverage.store(addr);
+        }
+    }
+
+    fn on_region_begin(&mut self, _block: u64) {
+        self.coverage.region_begin();
+    }
+
+    fn on_region_end(&mut self, _block: u64) {
+        let findings = self.coverage.region_end();
+        self.push_all(findings);
+    }
+
+    fn on_protected_store(&mut self, _block: u64, addr: u64) {
+        self.coverage.protected(addr);
+    }
+}
+
+/// Runs `kernel` under the sanitizer and returns the launch stats together
+/// with the report.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] as [`Gpu::launch`] would.
+pub fn sanitize_launch(
+    gpu: &Gpu,
+    kernel: &dyn Kernel,
+    mem: &mut PersistMemory,
+) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
+    sanitize_launch_exempt(gpu, kernel, mem, &[])
+}
+
+/// [`sanitize_launch`] with exempt address ranges — pass the LP runtime's
+/// `table_ranges()` when the kernel runs under Lazy Persistency, so the
+/// deliberately shared checksum table is not flagged as a conflict.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] as [`Gpu::launch`] would.
+pub fn sanitize_launch_exempt(
+    gpu: &Gpu,
+    kernel: &dyn Kernel,
+    mem: &mut PersistMemory,
+    exempt: &[(u64, u64)],
+) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
+    let mut san = Sanitizer::new(mem);
+    for &(base, len) in exempt {
+        san.exempt_range(base, len);
+    }
+    let stats = gpu.launch_observed(kernel, mem, &mut san)?;
+    Ok((stats, san.take_report()))
+}
+
+/// Sanity harness used by tests and the E15 benchmark: launches `kernel`
+/// twice from identical initial states — once plain, once sanitized — and
+/// asserts the simulated timing results are identical before returning the
+/// report.
+///
+/// The caller provides a factory producing identical `(kernel, mem)`
+/// worlds; this function owns the comparison.
+///
+/// # Panics
+///
+/// Panics if observation perturbed the simulated stats (a sanitizer bug by
+/// definition) or a launch fails.
+pub fn check_kernel<F>(gpu: &Gpu, mut world: F) -> (LaunchStats, SanitizerReport)
+where
+    F: FnMut() -> (Box<dyn Kernel + 'static>, PersistMemory),
+{
+    let (kernel_a, mut mem_a) = world();
+    let plain = gpu
+        .launch(kernel_a.as_ref(), &mut mem_a)
+        .expect("plain launch failed");
+    let (kernel_b, mut mem_b) = world();
+    let (observed, report) =
+        sanitize_launch(gpu, kernel_b.as_ref(), &mut mem_b).expect("sanitized launch failed");
+    assert_eq!(
+        plain, observed,
+        "sanitizer observation must not change simulated results"
+    );
+    (observed, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::{Addr, NvmConfig};
+    use simt::{BlockCtx, DeviceConfig, LaunchConfig};
+
+    /// Each thread writes its own shared word, barrier, then reads its
+    /// neighbour's — the canonical *correct* shared-memory exchange.
+    struct CleanExchange {
+        out: Addr,
+    }
+
+    impl Kernel for CleanExchange {
+        fn name(&self) -> &str {
+            "clean-exchange"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::linear(128, 64)
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.threads_per_block();
+            let h = ctx.shared_alloc(tpb as usize);
+            for t in 0..tpb {
+                ctx.set_active_thread(t);
+                ctx.shm_write(h, t as usize, t * 10);
+            }
+            ctx.sync_threads();
+            for t in 0..tpb {
+                ctx.set_active_thread(t);
+                let v = ctx.shm_read(h, ((t + 1) % tpb) as usize);
+                ctx.store_u64(self.out.index(ctx.global_thread_id(t), 8), v);
+            }
+        }
+    }
+
+    /// Same exchange with the barrier removed: every neighbour read races.
+    struct MissingBarrier {
+        out: Addr,
+    }
+
+    impl Kernel for MissingBarrier {
+        fn name(&self) -> &str {
+            "missing-barrier"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::linear(128, 64)
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.threads_per_block();
+            let h = ctx.shared_alloc(tpb as usize);
+            for t in 0..tpb {
+                ctx.set_active_thread(t);
+                ctx.shm_write(h, t as usize, t * 10);
+            }
+            for t in 0..tpb {
+                ctx.set_active_thread(t);
+                let v = ctx.shm_read(h, ((t + 1) % tpb) as usize);
+                ctx.store_u64(self.out.index(ctx.global_thread_id(t), 8), v);
+            }
+        }
+    }
+
+    fn world() -> (Gpu, PersistMemory, Addr) {
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let out = mem.alloc(8 * 1024, 8);
+        (Gpu::new(DeviceConfig::test_gpu()), mem, out)
+    }
+
+    #[test]
+    fn clean_exchange_is_clean() {
+        let (gpu, mut mem, out) = world();
+        let (_, report) = sanitize_launch(&gpu, &CleanExchange { out }, &mut mem).unwrap();
+        assert!(report.is_clean(), "spurious findings: {report}");
+        assert!(report.stats.shared_accesses > 0);
+        assert!(report.stats.barriers > 0);
+    }
+
+    #[test]
+    fn missing_barrier_races_in_every_block() {
+        let (gpu, mut mem, out) = world();
+        let (_, report) = sanitize_launch(&gpu, &MissingBarrier { out }, &mut mem).unwrap();
+        // One deduplicated race per raced word; both blocks race.
+        assert_eq!(report.count_for_pass("shared-race"), report.findings.len());
+        assert!(
+            report.count_for_pass("shared-race") >= 2,
+            "both blocks must report: {report}"
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            let (gpu, mut mem, out) = world();
+            sanitize_launch(&gpu, &MissingBarrier { out }, &mut mem)
+                .unwrap()
+                .1
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observation_does_not_perturb_stats() {
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let (stats, _) = check_kernel(&gpu, || {
+            let mut mem = PersistMemory::new(NvmConfig::default());
+            let out = mem.alloc(8 * 1024, 8);
+            (Box::new(CleanExchange { out }) as Box<dyn Kernel>, mem)
+        });
+        assert!(stats.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn finding_cap_suppresses_overflow() {
+        /// Every thread of every block stores to address 0x0..8: one
+        /// cross-block conflict, but through MAX_FINDINGS distinct
+        /// addresses to overflow the cap.
+        struct Flood {
+            out: Addr,
+        }
+        impl Kernel for Flood {
+            fn name(&self) -> &str {
+                "flood"
+            }
+            fn config(&self) -> LaunchConfig {
+                LaunchConfig::linear(2 * 64, 64)
+            }
+            fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+                for i in 0..(MAX_FINDINGS as u64 + 100) {
+                    ctx.store_u64(self.out.index(i, 8), ctx.block_id());
+                }
+            }
+        }
+        let mut mem = PersistMemory::new(NvmConfig::default());
+        let out = mem.alloc(8 * (MAX_FINDINGS as u64 + 100), 8);
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let (_, report) = sanitize_launch(&gpu, &Flood { out }, &mut mem).unwrap();
+        assert_eq!(report.findings.len(), MAX_FINDINGS);
+        assert_eq!(report.suppressed, 100);
+        assert!(!report.is_clean());
+    }
+}

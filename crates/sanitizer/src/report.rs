@@ -1,0 +1,225 @@
+//! Finding and report types shared by all sanitizer passes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One defect found by a sanitizer pass.
+///
+/// Findings are fully ordered and deduplicated by the passes that emit
+/// them, so two runs of the same deterministic launch produce identical
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Finding {
+    /// Two threads of one block touched the same shared-memory word within
+    /// one barrier epoch, at least one of them writing and not both
+    /// atomically — a `__syncthreads()` is missing between the accesses.
+    SharedRace {
+        /// Flat block index.
+        block: u64,
+        /// Flat word index into the block's shared-memory arena.
+        word: u64,
+        /// The thread whose earlier access the race is against.
+        first_thread: u64,
+        /// The thread whose access completed the racy pair.
+        second_thread: u64,
+        /// Barrier epoch (number of `sync_threads()` calls the block had
+        /// issued) in which both accesses fell.
+        epoch: u64,
+    },
+    /// The same global address was written by plain (non-atomic, unlocked)
+    /// stores from more than one block — unsynchronised cross-block
+    /// writers, the hazard class lock-free checksum tables must avoid.
+    CrossBlockWrite {
+        /// The contested address.
+        addr: u64,
+        /// All blocks that plain-stored to it (sorted, deduplicated).
+        blocks: Vec<u64>,
+    },
+    /// The same global address was touched by both plain stores and atomic
+    /// operations: the plain access tears the atomics' consistency.
+    AtomicPlainMix {
+        /// The contested address.
+        addr: u64,
+        /// Blocks that plain-stored to it (sorted, deduplicated).
+        plain_blocks: Vec<u64>,
+        /// Blocks that accessed it atomically (sorted, deduplicated).
+        atomic_blocks: Vec<u64>,
+    },
+    /// A global store issued inside an LP region that the region committed
+    /// without folding into its checksum accumulation — a latent false
+    /// negative: if that line is lost in a crash, validation still passes.
+    UncoveredStore {
+        /// Flat block index (= LP region key).
+        block: u64,
+        /// Address of the unprotected store.
+        addr: u64,
+    },
+}
+
+impl Finding {
+    /// Short name of the pass that produced this finding.
+    pub fn pass(&self) -> &'static str {
+        match self {
+            Finding::SharedRace { .. } => "shared-race",
+            Finding::CrossBlockWrite { .. } | Finding::AtomicPlainMix { .. } => "global-conflict",
+            Finding::UncoveredStore { .. } => "coverage",
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::SharedRace {
+                block,
+                word,
+                first_thread,
+                second_thread,
+                epoch,
+            } => write!(
+                f,
+                "shared-memory race: block {block} word {word}, threads \
+                 {first_thread} and {second_thread} in barrier epoch {epoch}"
+            ),
+            Finding::CrossBlockWrite { addr, blocks } => write!(
+                f,
+                "cross-block plain writes to {addr:#x} by blocks {blocks:?}"
+            ),
+            Finding::AtomicPlainMix {
+                addr,
+                plain_blocks,
+                atomic_blocks,
+            } => write!(
+                f,
+                "plain/atomic mix at {addr:#x}: plain stores by blocks \
+                 {plain_blocks:?}, atomics by blocks {atomic_blocks:?}"
+            ),
+            Finding::UncoveredStore { block, addr } => write!(
+                f,
+                "uncovered store: block {block} stored {addr:#x} inside its \
+                 LP region but never folded it into the checksum"
+            ),
+        }
+    }
+}
+
+/// Access counters collected alongside the findings (the E15 per-kernel
+/// table data).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Shared-memory accesses observed (reads + writes + atomics).
+    pub shared_accesses: u64,
+    /// Global loads observed.
+    pub global_loads: u64,
+    /// Global plain stores observed.
+    pub global_stores: u64,
+    /// Global atomic operations observed.
+    pub global_atomics: u64,
+    /// `sync_threads()` barriers observed.
+    pub barriers: u64,
+    /// LP regions opened.
+    pub regions: u64,
+    /// LP regions committed (region-end events seen).
+    pub regions_committed: u64,
+    /// Stores folded into a checksum accumulation.
+    pub covered_stores: u64,
+    /// Cache lines written by more than one block (line-granular sharing;
+    /// legitimate for outputs that straddle block boundaries, so a
+    /// statistic rather than a finding).
+    pub multi_writer_lines: u64,
+}
+
+impl AccessStats {
+    /// Total observed memory events.
+    pub fn total_accesses(&self) -> u64 {
+        self.shared_accesses + self.global_loads + self.global_stores + self.global_atomics
+    }
+}
+
+/// Everything one observed launch produced: findings plus access counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizerReport {
+    /// Name of the sanitized kernel.
+    pub kernel: String,
+    /// All findings, in deterministic order.
+    pub findings: Vec<Finding>,
+    /// Findings dropped after [`crate::MAX_FINDINGS`] was reached.
+    pub suppressed: u64,
+    /// Access counters.
+    pub stats: AccessStats,
+}
+
+impl SanitizerReport {
+    /// Whether the launch produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.suppressed == 0
+    }
+
+    /// Number of findings from the named pass (see [`Finding::pass`]).
+    pub fn count_for_pass(&self, pass: &str) -> usize {
+        self.findings.iter().filter(|f| f.pass() == pass).count()
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} finding(s) ({} suppressed), {} accesses observed",
+            self.kernel,
+            self.findings.len(),
+            self.suppressed,
+            self.stats.total_accesses()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_names() {
+        let race = Finding::SharedRace {
+            block: 0,
+            word: 1,
+            first_thread: 2,
+            second_thread: 3,
+            epoch: 0,
+        };
+        assert_eq!(race.pass(), "shared-race");
+        assert_eq!(
+            Finding::CrossBlockWrite {
+                addr: 0,
+                blocks: vec![]
+            }
+            .pass(),
+            "global-conflict"
+        );
+        assert_eq!(
+            Finding::UncoveredStore { block: 0, addr: 0 }.pass(),
+            "coverage"
+        );
+    }
+
+    #[test]
+    fn clean_report_counts() {
+        let r = SanitizerReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.count_for_pass("shared-race"), 0);
+    }
+
+    #[test]
+    fn display_mentions_the_block() {
+        let f = Finding::UncoveredStore {
+            block: 7,
+            addr: 0x100,
+        };
+        assert!(f.to_string().contains("block 7"));
+        assert!(f.to_string().contains("0x100"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Pass 1: shared-memory race detection via barrier-epoch tracking.
+//!
+//! The simulator runs a block's threads as a deterministic sequential loop,
+//! so happens-before inside a block is defined entirely by `sync_threads()`
+//! barriers: two accesses to the same shared word by *different* threads
+//! with no barrier between them are unordered on real hardware. The pass
+//! counts barriers as epochs and flags same-word, same-epoch,
+//! different-thread pairs where at least one access writes and the two are
+//! not both atomic (`compute-sanitizer --tool racecheck` semantics).
+
+use crate::report::Finding;
+use simt::AccessKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-word access history for the word's most recent epoch.
+#[derive(Debug, Default)]
+struct WordState {
+    /// Epoch the vectors below belong to (stale entries are lazily reset).
+    epoch: u64,
+    /// Threads that wrote this word this epoch, with their atomicity.
+    writers: Vec<(u64, bool)>,
+    /// Threads that plain-read this word this epoch.
+    readers: Vec<u64>,
+}
+
+/// Shared-memory race detector for one block at a time.
+#[derive(Debug, Default)]
+pub(crate) struct SharedRaceDetector {
+    block: u64,
+    epoch: u64,
+    words: BTreeMap<u64, WordState>,
+    /// Words already reported for this block (one finding per word keeps
+    /// reports readable when a missing barrier affects a whole array).
+    reported: BTreeSet<u64>,
+}
+
+impl SharedRaceDetector {
+    /// Resets state for a new block.
+    pub(crate) fn begin_block(&mut self, block: u64) {
+        self.block = block;
+        self.epoch = 0;
+        self.words.clear();
+        self.reported.clear();
+    }
+
+    /// Advances the barrier epoch.
+    pub(crate) fn barrier(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Records one access; returns a finding if it completes a racy pair.
+    pub(crate) fn access(&mut self, thread: u64, word: u64, kind: AccessKind) -> Option<Finding> {
+        let epoch = self.epoch;
+        let state = self.words.entry(word).or_default();
+        if state.epoch != epoch {
+            state.epoch = epoch;
+            state.writers.clear();
+            state.readers.clear();
+        }
+
+        let atomic = kind == AccessKind::Atomic;
+        let conflict = if kind.writes() {
+            // A write races with any other thread's plain read, any other
+            // thread's plain write, and — unless this write is also atomic
+            // — any other thread's atomic write.
+            state
+                .writers
+                .iter()
+                .find(|&&(t, a)| t != thread && !(a && atomic))
+                .map(|&(t, _)| t)
+                .or_else(|| state.readers.iter().copied().find(|&t| t != thread))
+        } else {
+            // A plain read races with any other thread's write, atomic or
+            // not.
+            state.writers.iter().map(|&(t, _)| t).find(|&t| t != thread)
+        };
+
+        match kind {
+            AccessKind::Load => {
+                if !state.readers.contains(&thread) {
+                    state.readers.push(thread);
+                }
+            }
+            AccessKind::Store | AccessKind::Atomic => {
+                if !state.writers.contains(&(thread, atomic)) {
+                    state.writers.push((thread, atomic));
+                }
+            }
+        }
+
+        let first = conflict?;
+        if !self.reported.insert(word) {
+            return None;
+        }
+        Some(Finding::SharedRace {
+            block: self.block,
+            word,
+            first_thread: first,
+            second_thread: thread,
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> SharedRaceDetector {
+        let mut d = SharedRaceDetector::default();
+        d.begin_block(0);
+        d
+    }
+
+    #[test]
+    fn same_thread_rmw_is_fine() {
+        let mut d = detector();
+        assert!(d.access(3, 10, AccessKind::Load).is_none());
+        assert!(d.access(3, 10, AccessKind::Store).is_none());
+    }
+
+    #[test]
+    fn cross_thread_write_write_races() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Store).is_none());
+        let f = d.access(1, 5, AccessKind::Store).expect("race");
+        match f {
+            Finding::SharedRace {
+                word,
+                first_thread,
+                second_thread,
+                ..
+            } => {
+                assert_eq!((word, first_thread, second_thread), (5, 0, 1));
+            }
+            other => panic!("wrong finding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_then_cross_thread_write_races() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Load).is_none());
+        assert!(d.access(1, 5, AccessKind::Store).is_some());
+    }
+
+    #[test]
+    fn barrier_separates_epochs() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Store).is_none());
+        d.barrier();
+        assert!(
+            d.access(1, 5, AccessKind::Store).is_none(),
+            "barrier-ordered accesses must not race"
+        );
+    }
+
+    #[test]
+    fn atomics_do_not_race_with_atomics() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Atomic).is_none());
+        assert!(d.access(1, 5, AccessKind::Atomic).is_none());
+        assert!(d.access(2, 5, AccessKind::Atomic).is_none());
+    }
+
+    #[test]
+    fn atomic_races_with_plain_write() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Store).is_none());
+        assert!(d.access(1, 5, AccessKind::Atomic).is_some());
+    }
+
+    #[test]
+    fn one_report_per_word_per_block() {
+        let mut d = detector();
+        let _ = d.access(0, 5, AccessKind::Store);
+        assert!(d.access(1, 5, AccessKind::Store).is_some());
+        assert!(d.access(2, 5, AccessKind::Store).is_none(), "deduplicated");
+        d.begin_block(1);
+        let _ = d.access(0, 5, AccessKind::Store);
+        assert!(
+            d.access(1, 5, AccessKind::Store).is_some(),
+            "fresh block reports again"
+        );
+    }
+
+    #[test]
+    fn different_words_never_race() {
+        let mut d = detector();
+        assert!(d.access(0, 5, AccessKind::Store).is_none());
+        assert!(d.access(1, 6, AccessKind::Store).is_none());
+    }
+}

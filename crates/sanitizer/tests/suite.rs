@@ -1,0 +1,255 @@
+//! Integration tests: the sanitizer against the real kernel suite and
+//! against deliberately-seeded bug fixtures.
+//!
+//! The clean suite must produce **zero** findings (no false positives on
+//! the eight Parboil/Rodinia-class workloads), the seeded fixtures must
+//! each produce **exactly** the expected report, and observation must not
+//! perturb the simulated timing results.
+
+use gpu_lp::{LpBlockSession, LpConfig, LpRuntime};
+use lp_kernels::{all_workloads, Scale, Workload};
+use lp_sanitizer::{sanitize_launch, sanitize_launch_exempt, Finding, SanitizerReport};
+use nvm::{Addr, NvmConfig, PersistMemory};
+use proptest::prelude::*;
+use simt::{BlockCtx, DeviceConfig, Dim3, Gpu, Kernel, LaunchConfig, LaunchStats};
+
+/// Same small-cache world the kernel testkit uses: evictions happen early,
+/// which is the regime both LP and the coverage pass care about.
+fn world() -> (Gpu, PersistMemory) {
+    let mem = PersistMemory::new(NvmConfig {
+        cache_lines: 512,
+        associativity: 8,
+        ..NvmConfig::default()
+    });
+    (Gpu::new(DeviceConfig::test_gpu()), mem)
+}
+
+/// Runs one workload under the sanitizer with the recommended LP config and
+/// returns the (stats, report) pair.
+fn sanitize_workload(w: &mut dyn Workload) -> (LaunchStats, SanitizerReport) {
+    let (gpu, mut mem) = world();
+    w.setup(&mut mem);
+    let lc = w.launch_config();
+    let rt = LpRuntime::setup(
+        &mut mem,
+        lc.num_blocks(),
+        lc.threads_per_block(),
+        LpConfig::recommended(),
+    );
+    let kernel = w.kernel(Some(&rt));
+    sanitize_launch_exempt(&gpu, kernel.as_ref(), &mut mem, &rt.table_ranges())
+        .expect("sanitized launch failed")
+}
+
+#[test]
+fn clean_suite_has_zero_findings() {
+    for mut w in all_workloads(Scale::Test, 7) {
+        let name = w.info().name;
+        let (_, report) = sanitize_workload(w.as_mut());
+        assert!(
+            report.is_clean(),
+            "{name}: expected a clean report, got:\n{report}"
+        );
+        assert_eq!(report.suppressed, 0, "{name}: suppressed findings");
+        assert!(report.stats.regions > 0, "{name}: no LP regions observed");
+        assert_eq!(
+            report.stats.regions, report.stats.regions_committed,
+            "{name}: regions left open"
+        );
+        assert!(
+            report.stats.covered_stores > 0,
+            "{name}: no covered stores observed"
+        );
+        assert!(
+            report.stats.global_stores > 0,
+            "{name}: no global stores observed"
+        );
+    }
+}
+
+#[test]
+fn observation_does_not_perturb_simulated_timing() {
+    // Plain launch and sanitized launch from identical initial states must
+    // produce bit-identical LaunchStats (cycles, stores, evictions — all of
+    // it). This is the "disabled sanitizer costs nothing" half of the
+    // contract; the observed path charges zero extra simulated cycles.
+    for seed in [7u64, 11] {
+        for (mut a, mut b) in all_workloads(Scale::Test, seed)
+            .into_iter()
+            .zip(all_workloads(Scale::Test, seed))
+        {
+            let name = a.info().name;
+            let plain = {
+                let (gpu, mut mem) = world();
+                a.setup(&mut mem);
+                let lc = a.launch_config();
+                let rt = LpRuntime::setup(
+                    &mut mem,
+                    lc.num_blocks(),
+                    lc.threads_per_block(),
+                    LpConfig::recommended(),
+                );
+                let kernel = a.kernel(Some(&rt));
+                gpu.launch(kernel.as_ref(), &mut mem)
+                    .expect("launch failed")
+            };
+            let (observed, _) = sanitize_workload(b.as_mut());
+            assert_eq!(plain, observed, "{name}: observation changed the stats");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same workload → byte-identical report, run to run. The
+    /// sanitizer must be deterministic or campaign triage is useless.
+    #[test]
+    fn reports_are_deterministic(seed in 0u64..1000, pick in 0usize..8) {
+        let name = all_workloads(Scale::Test, seed)[pick].info().name;
+        let run = |seed: u64| {
+            let mut w = lp_kernels::workload_by_name(name, Scale::Test, seed)
+                .expect("workload exists");
+            let (stats, report) = sanitize_workload(w.as_mut());
+            (stats, report)
+        };
+        let (stats_a, report_a) = run(seed);
+        let (stats_b, report_b) = run(seed);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(report_a, report_b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-bug fixtures
+// ---------------------------------------------------------------------------
+
+/// Fixture: two threads exchange values through shared memory but the
+/// author forgot the `sync_threads()` between write and read.
+struct MissingSyncFixture {
+    blocks: u32,
+}
+
+impl Kernel for MissingSyncFixture {
+    fn name(&self) -> &str {
+        "missing-sync-fixture"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: Dim3::x(self.blocks),
+            block: Dim3::x(2),
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let sh = ctx.shared_alloc(2);
+        for t in 0..2 {
+            ctx.set_active_thread(t);
+            ctx.shm_write(sh, t as usize, t + 1);
+        }
+        // BUG: no ctx.sync_threads() here.
+        for t in 0..2 {
+            ctx.set_active_thread(t);
+            let _ = ctx.shm_read(sh, (1 - t) as usize);
+        }
+    }
+}
+
+#[test]
+fn missing_sync_fixture_yields_exactly_the_expected_races() {
+    let (gpu, mut mem) = world();
+    let (_, report) =
+        sanitize_launch(&gpu, &MissingSyncFixture { blocks: 3 }, &mut mem).expect("launch failed");
+    // One race per shared word per block, dedup'd to one finding per word.
+    // Thread 0's read of word 1 lands first, then thread 1's read of word 0
+    // (writes happened in the same epoch with no barrier between).
+    let mut expected = Vec::new();
+    for block in 0..3u64 {
+        for word in [1u64, 0] {
+            expected.push(Finding::SharedRace {
+                block,
+                word,
+                first_thread: word, // the writer of word w is thread w
+                second_thread: 1 - word,
+                epoch: 0,
+            });
+        }
+    }
+    assert_eq!(report.findings, expected, "got:\n{report}");
+    assert_eq!(report.count_for_pass("shared-race"), 6);
+    assert_eq!(report.count_for_pass("coverage"), 0);
+    assert_eq!(report.count_for_pass("global-conflict"), 0);
+}
+
+/// Fixture: an LP kernel in which one store is issued directly through the
+/// context instead of through the session, so it never reaches the
+/// checksum accumulator — exactly the omission LP recovery cannot survive.
+struct UncoveredStoreFixture<'a> {
+    lp: &'a LpRuntime,
+    out: Addr,
+    blocks: u32,
+    tpb: u32,
+}
+
+impl Kernel for UncoveredStoreFixture<'_> {
+    fn name(&self) -> &str {
+        "uncovered-store-fixture"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: Dim3::x(self.blocks),
+            block: Dim3::x(self.tpb),
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let mut lp = LpBlockSession::begin_opt(Some(self.lp), ctx);
+        let tpb = ctx.threads_per_block();
+        for t in 0..tpb {
+            ctx.set_active_thread(t);
+            let i = ctx.global_thread_id(t);
+            if t == 1 {
+                // BUG: raw store inside the LP region; the checksum never
+                // sees this value, so recovery would silently lose it.
+                ctx.store_u32(self.out.index(i, 4), 0xBAD);
+            } else {
+                lp.store_u32(ctx, t, self.out.index(i, 4), i as u32);
+            }
+        }
+        lp.finalize(ctx);
+    }
+}
+
+#[test]
+fn uncovered_store_fixture_yields_exactly_the_expected_report() {
+    let (gpu, mut mem) = world();
+    let (blocks, tpb) = (4u32, 8u32);
+    let out = mem.alloc(u64::from(blocks * tpb) * 4, 4);
+    let rt = LpRuntime::setup(
+        &mut mem,
+        u64::from(blocks),
+        u64::from(tpb),
+        LpConfig::recommended(),
+    );
+    let fixture = UncoveredStoreFixture {
+        lp: &rt,
+        out,
+        blocks,
+        tpb,
+    };
+    let (_, report) = sanitize_launch(&gpu, &fixture, &mut mem).expect("launch failed");
+    // Exactly one uncovered store per block: thread 1's raw store.
+    let expected: Vec<Finding> = (0..u64::from(blocks))
+        .map(|b| Finding::UncoveredStore {
+            block: b,
+            addr: out.index(b * u64::from(tpb) + 1, 4).raw(),
+        })
+        .collect();
+    assert_eq!(report.findings, expected, "got:\n{report}");
+    assert_eq!(report.count_for_pass("coverage"), 4);
+    assert_eq!(report.count_for_pass("shared-race"), 0);
+    assert_eq!(report.stats.regions, u64::from(blocks));
+    assert_eq!(report.stats.regions_committed, u64::from(blocks));
+}

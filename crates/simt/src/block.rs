@@ -4,8 +4,23 @@
 use crate::config::DeviceConfig;
 use crate::device::DeviceState;
 use crate::dim::{Dim3, LaunchConfig};
+use crate::observe::{AccessKind, AccessObserver};
 use crate::stats::BlockCost;
 use nvm::{Addr, PersistMemory};
+
+/// Holds the block's optional observer; a newtype so [`BlockCtx`] can keep
+/// deriving `Debug` (trait objects have no `Debug` of their own).
+struct ObsSlot<'a>(Option<&'a mut dyn AccessObserver>);
+
+impl std::fmt::Debug for ObsSlot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObsSlot(observed)"
+        } else {
+            "ObsSlot(none)"
+        })
+    }
+}
 
 /// Handle to a shared-memory array allocated with
 /// [`BlockCtx::shared_alloc`]. Shared memory is per-block scratch space: it
@@ -51,6 +66,8 @@ pub struct BlockCtx<'a> {
     cost: BlockCost,
     shared: Vec<u64>,
     lock_snapshot: Option<(u64, f64)>,
+    obs: ObsSlot<'a>,
+    cur_thread: u64,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -88,6 +105,17 @@ impl<'a> BlockCtx<'a> {
         dev: &'a mut DeviceState,
         cfg: &'a DeviceConfig,
     ) -> Self {
+        Self::new_observed(launch, flat_block, mem, dev, cfg, None)
+    }
+
+    pub(crate) fn new_observed(
+        launch: LaunchConfig,
+        flat_block: u64,
+        mem: &'a mut PersistMemory,
+        dev: &'a mut DeviceState,
+        cfg: &'a DeviceConfig,
+        obs: Option<&'a mut dyn AccessObserver>,
+    ) -> Self {
         // Tag every store this block issues so the NVM can attribute lost
         // cache lines to the blocks that wrote them (crash-loss forensics).
         mem.set_writer(Some(flat_block));
@@ -100,6 +128,8 @@ impl<'a> BlockCtx<'a> {
             cost: BlockCost::default(),
             shared: Vec::new(),
             lock_snapshot: None,
+            obs: ObsSlot(obs),
+            cur_thread: 0,
         }
     }
 
@@ -182,6 +212,63 @@ impl<'a> BlockCtx<'a> {
         self.dev.concurrency
     }
 
+    // ---- observation ---------------------------------------------------
+
+    /// Declares which of the block's threads issues the accesses that
+    /// follow. Pure attribution for an attached [`AccessObserver`]: it
+    /// charges nothing and has no effect on execution, and without an
+    /// observer it is a no-op. Kernels call this at the top of each
+    /// per-thread loop iteration.
+    pub fn set_active_thread(&mut self, t: u64) {
+        self.cur_thread = t;
+    }
+
+    fn note_shared(&mut self, word: usize, kind: AccessKind) {
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_shared_access(self.flat_block, self.cur_thread, word, kind);
+        }
+    }
+
+    fn note_global(&mut self, addr: Addr, bytes: u64, kind: AccessKind) {
+        let locked = self.lock_snapshot.is_some();
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_global_access(
+                self.flat_block,
+                self.cur_thread,
+                addr.raw(),
+                bytes,
+                kind,
+                locked,
+            );
+        }
+    }
+
+    /// Reports that this block opened a checksummed LP region. Called by
+    /// the LP runtime; zero-cost, observer-only.
+    pub fn note_region_begin(&mut self) {
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_region_begin(self.flat_block);
+        }
+    }
+
+    /// Reports that this block is committing its LP region. Called by the
+    /// LP runtime before it reduces and publishes the checksum; zero-cost,
+    /// observer-only.
+    pub fn note_region_end(&mut self) {
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_region_end(self.flat_block);
+        }
+    }
+
+    /// Reports that the store at `addr` was folded into the open region's
+    /// checksum accumulation. Called by the LP runtime; zero-cost,
+    /// observer-only.
+    pub fn note_protected_store(&mut self, addr: Addr) {
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_protected_store(self.flat_block, addr.raw());
+        }
+    }
+
     // ---- cost charging -------------------------------------------------
 
     /// Charges `ops` thread-level ALU operations (parallel bucket).
@@ -203,6 +290,9 @@ impl<'a> BlockCtx<'a> {
     /// `__syncthreads()`: barrier cost for every thread in the block.
     pub fn sync_threads(&mut self) {
         self.cost.parallel_cycles += self.threads_per_block() as f64 * self.cfg.cost.barrier;
+        if let Some(o) = self.obs.0.as_deref_mut() {
+            o.on_barrier(self.flat_block);
+        }
     }
 
     /// Cost accumulated so far (for tests and instrumentation).
@@ -228,6 +318,7 @@ impl<'a> BlockCtx<'a> {
     pub fn shm_read(&mut self, h: ShmHandle, i: usize) -> u64 {
         assert!(i < h.len, "shared-memory read out of bounds");
         self.cost.parallel_cycles += self.cfg.cost.shmem_access;
+        self.note_shared(h.base + i, AccessKind::Load);
         self.shared[h.base + i]
     }
 
@@ -239,7 +330,27 @@ impl<'a> BlockCtx<'a> {
     pub fn shm_write(&mut self, h: ShmHandle, i: usize, v: u64) {
         assert!(i < h.len, "shared-memory write out of bounds");
         self.cost.parallel_cycles += self.cfg.cost.shmem_access;
+        self.note_shared(h.base + i, AccessKind::Store);
         self.shared[h.base + i] = v;
+    }
+
+    /// `atomicAdd` on shared-memory word `i`; returns the old value.
+    ///
+    /// On real hardware shared-memory atomics go through the same banks as
+    /// plain accesses with read-modify-write turnaround; the model charges
+    /// exactly one read plus one write, so converting a plain RMW pair to
+    /// this primitive leaves timing unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn shm_atomic_add(&mut self, h: ShmHandle, i: usize, v: u64) -> u64 {
+        assert!(i < h.len, "shared-memory atomic out of bounds");
+        self.cost.parallel_cycles += 2.0 * self.cfg.cost.shmem_access;
+        self.note_shared(h.base + i, AccessKind::Atomic);
+        let old = self.shared[h.base + i];
+        self.shared[h.base + i] = old.wrapping_add(v);
+        old
     }
 
     /// Reads an `f32` stored in a shared word.
@@ -271,30 +382,35 @@ impl<'a> BlockCtx<'a> {
     /// Loads a `u32` from global memory.
     pub fn load_u32(&mut self, addr: Addr) -> u32 {
         self.charge_global(4);
+        self.note_global(addr, 4, AccessKind::Load);
         self.mem.read_u32(addr)
     }
 
     /// Loads a `u64` from global memory.
     pub fn load_u64(&mut self, addr: Addr) -> u64 {
         self.charge_global(8);
+        self.note_global(addr, 8, AccessKind::Load);
         self.mem.read_u64(addr)
     }
 
     /// Loads an `f32` from global memory.
     pub fn load_f32(&mut self, addr: Addr) -> f32 {
         self.charge_global(4);
+        self.note_global(addr, 4, AccessKind::Load);
         self.mem.read_f32(addr)
     }
 
     /// Loads an `f64` from global memory.
     pub fn load_f64(&mut self, addr: Addr) -> f64 {
         self.charge_global(8);
+        self.note_global(addr, 8, AccessKind::Load);
         self.mem.read_f64(addr)
     }
 
     /// Stores a `u32` to global memory (dropped after the crash point).
     pub fn store_u32(&mut self, addr: Addr, v: u32) {
         self.charge_global(4);
+        self.note_global(addr, 4, AccessKind::Store);
         if self.dev.store_tick() {
             self.mem.write_u32(addr, v);
             self.sync_power();
@@ -304,6 +420,7 @@ impl<'a> BlockCtx<'a> {
     /// Stores a `u64` to global memory (dropped after the crash point).
     pub fn store_u64(&mut self, addr: Addr, v: u64) {
         self.charge_global(8);
+        self.note_global(addr, 8, AccessKind::Store);
         if self.dev.store_tick() {
             self.mem.write_u64(addr, v);
             self.sync_power();
@@ -313,6 +430,7 @@ impl<'a> BlockCtx<'a> {
     /// Stores an `f32` to global memory (dropped after the crash point).
     pub fn store_f32(&mut self, addr: Addr, v: f32) {
         self.charge_global(4);
+        self.note_global(addr, 4, AccessKind::Store);
         if self.dev.store_tick() {
             self.mem.write_f32(addr, v);
             self.sync_power();
@@ -322,6 +440,7 @@ impl<'a> BlockCtx<'a> {
     /// Stores an `f64` to global memory (dropped after the crash point).
     pub fn store_f64(&mut self, addr: Addr, v: f64) {
         self.charge_global(8);
+        self.note_global(addr, 8, AccessKind::Store);
         if self.dev.store_tick() {
             self.mem.write_f64(addr, v);
             self.sync_power();
@@ -382,6 +501,7 @@ impl<'a> BlockCtx<'a> {
     /// writes `new`. Returns the value read (CUDA semantics).
     pub fn atomic_cas_u64(&mut self, addr: Addr, compare: u64, new: u64) -> u64 {
         self.charge_atomic(addr, 8);
+        self.note_global(addr, 8, AccessKind::Atomic);
         let old = self.mem.read_u64(addr);
         if old == compare && self.dev.store_tick() {
             self.mem.write_u64(addr, new);
@@ -393,6 +513,7 @@ impl<'a> BlockCtx<'a> {
     /// `atomicExch` on a `u64` word: writes `new`, returns the old value.
     pub fn atomic_exch_u64(&mut self, addr: Addr, new: u64) -> u64 {
         self.charge_atomic(addr, 8);
+        self.note_global(addr, 8, AccessKind::Atomic);
         let old = self.mem.read_u64(addr);
         if self.dev.store_tick() {
             self.mem.write_u64(addr, new);
@@ -404,6 +525,7 @@ impl<'a> BlockCtx<'a> {
     /// `atomicAdd` on a `u32` word; returns the old value.
     pub fn atomic_add_u32(&mut self, addr: Addr, v: u32) -> u32 {
         self.charge_atomic(addr, 4);
+        self.note_global(addr, 4, AccessKind::Atomic);
         let old = self.mem.read_u32(addr);
         if self.dev.store_tick() {
             self.mem.write_u32(addr, old.wrapping_add(v));
@@ -415,6 +537,7 @@ impl<'a> BlockCtx<'a> {
     /// `atomicAdd` on an `f32` word; returns the old value.
     pub fn atomic_add_f32(&mut self, addr: Addr, v: f32) -> f32 {
         self.charge_atomic(addr, 4);
+        self.note_global(addr, 4, AccessKind::Atomic);
         let old = self.mem.read_f32(addr);
         if self.dev.store_tick() {
             self.mem.write_f32(addr, old + v);
@@ -426,6 +549,7 @@ impl<'a> BlockCtx<'a> {
     /// `atomicMin` on a `u32` word; returns the old value.
     pub fn atomic_min_u32(&mut self, addr: Addr, v: u32) -> u32 {
         self.charge_atomic(addr, 4);
+        self.note_global(addr, 4, AccessKind::Atomic);
         let old = self.mem.read_u32(addr);
         if v < old && self.dev.store_tick() {
             self.mem.write_u32(addr, v);

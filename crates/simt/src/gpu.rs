@@ -4,6 +4,7 @@ use crate::block::BlockCtx;
 use crate::config::DeviceConfig;
 use crate::device::DeviceState;
 use crate::kernel::Kernel;
+use crate::observe::AccessObserver;
 use crate::stats::LaunchStats;
 use nvm::PersistMemory;
 use serde::{Deserialize, Serialize};
@@ -136,7 +137,7 @@ impl Gpu {
         kernel: &dyn Kernel,
         mem: &mut PersistMemory,
     ) -> Result<LaunchStats, LaunchError> {
-        match self.launch_inner(kernel, mem, CrashPlan::never())? {
+        match self.launch_inner(kernel, mem, CrashPlan::never(), None)? {
             LaunchOutcome::Completed(s) => Ok(s),
             LaunchOutcome::Crashed(s) => {
                 // No device-side crash was requested, but a trigger armed on
@@ -162,7 +163,7 @@ impl Gpu {
         mem: &mut PersistMemory,
         crash: CrashSpec,
     ) -> Result<LaunchOutcome, LaunchError> {
-        self.launch_inner(kernel, mem, crash.into())
+        self.launch_inner(kernel, mem, crash.into(), None)
     }
 
     /// Launches `kernel` under a [`CrashPlan`].
@@ -183,7 +184,28 @@ impl Gpu {
         mem: &mut PersistMemory,
         plan: CrashPlan,
     ) -> Result<LaunchOutcome, LaunchError> {
-        self.launch_inner(kernel, mem, plan)
+        self.launch_inner(kernel, mem, plan, None)
+    }
+
+    /// Launches `kernel` with an [`AccessObserver`] attached.
+    ///
+    /// The observer sees every shared/global access, barrier, and LP-region
+    /// event the launch issues, in deterministic order. Observation charges
+    /// zero cost: the returned [`LaunchStats`] (and every byte of memory
+    /// state) are identical to an unobserved [`Gpu::launch`] of the same
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::EmptyLaunch`] for an empty grid/block.
+    pub fn launch_observed(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        obs: &mut dyn AccessObserver,
+    ) -> Result<LaunchStats, LaunchError> {
+        let outcome = self.launch_inner(kernel, mem, CrashPlan::never(), Some(obs))?;
+        Ok(outcome.stats().clone())
     }
 
     /// Re-executes a single thread block of `kernel` in isolation and
@@ -216,10 +238,14 @@ impl Gpu {
         kernel: &dyn Kernel,
         mem: &mut PersistMemory,
         plan: CrashPlan,
+        mut obs: Option<&mut dyn AccessObserver>,
     ) -> Result<LaunchOutcome, LaunchError> {
         let lc = kernel.config();
         if lc.num_blocks() == 0 || lc.threads_per_block() == 0 {
             return Err(LaunchError::EmptyLaunch);
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.on_launch_begin(kernel.name(), &lc);
         }
         let nvm_before = mem.stats();
         let line = mem.config().line_size as u64;
@@ -241,9 +267,19 @@ impl Gpu {
             if dev.crashed {
                 break;
             }
-            let mut ctx = BlockCtx::new(lc, b, mem, &mut dev, &self.cfg);
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_block_begin(b);
+            }
+            // Reborrow the observer for this block only, shortening the
+            // trait object's inner lifetime so `mem`/`dev` are not held for
+            // the observer's full lifetime.
+            let o = obs.as_deref_mut().map(|o| o as &mut dyn AccessObserver);
+            let mut ctx = BlockCtx::new_observed(lc, b, mem, &mut dev, &self.cfg, o);
             kernel.run_block(&mut ctx);
             let cost = ctx.finish();
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_block_end(b);
+            }
             let sm = (b % self.cfg.num_sms as u64) as usize;
             sm_busy[sm] += cost.time_ns(self.cfg.sm_width, self.cfg.clock_ghz);
             total_parallel += cost.parallel_cycles;
@@ -287,6 +323,10 @@ impl Gpu {
             crashed: dev.crashed,
             nvm: mem.stats() - nvm_before,
         };
+
+        if let Some(o) = obs {
+            o.on_launch_end();
+        }
 
         if dev.crashed {
             // A memory-armed trigger has already powered the NVM off and

@@ -58,6 +58,7 @@ mod device;
 mod dim;
 mod gpu;
 mod kernel;
+mod observe;
 mod stats;
 pub mod warp;
 
@@ -67,4 +68,5 @@ pub use device::DeviceState;
 pub use dim::{Dim3, LaunchConfig};
 pub use gpu::{CrashPlan, CrashSpec, Gpu, LaunchError, LaunchOutcome};
 pub use kernel::Kernel;
+pub use observe::{AccessKind, AccessObserver};
 pub use stats::{BlockCost, LaunchStats};

@@ -1,0 +1,121 @@
+//! Execution observation hooks for sanitizer-style analysis layers.
+//!
+//! The simulator sees every shared-memory access, global load/store/atomic,
+//! and barrier a kernel issues. An [`AccessObserver`] taps that stream
+//! without perturbing it: observation charges **zero cost** (the timing
+//! model never consults the observer), and a launch without an observer
+//! executes exactly the same instruction-by-instruction path, so analysis
+//! can be switched on and off without changing simulated results.
+//!
+//! The LP runtime in `gpu-lp` additionally reports *region* events through
+//! the same trait — where a checksummed region begins and ends inside a
+//! block, and which stores the region's checksum accumulation covered —
+//! which is what makes a persistency-coverage pass possible.
+
+use crate::dim::LaunchConfig;
+
+/// How an observed memory access touched its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain read.
+    Load,
+    /// A plain write.
+    Store,
+    /// An atomic read-modify-write (CAS, exchange, add, min, ...).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether this access can modify the location (store or atomic).
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// Observer of a kernel launch's memory and synchronisation events.
+///
+/// All methods default to no-ops so implementations subscribe only to the
+/// events they analyse. Hooks fire *after* the access has been charged and
+/// performed; they must not (and cannot, through this interface) alter
+/// program or timing state.
+///
+/// Thread attribution: the simulator executes a block's threads as a
+/// sequential loop, so per-access thread identity is whatever the kernel
+/// last declared via `BlockCtx::set_active_thread` (0 until the first
+/// declaration). The bundled kernels declare it at the top of each
+/// per-thread loop iteration.
+pub trait AccessObserver {
+    /// A kernel launch is starting.
+    fn on_launch_begin(&mut self, _kernel: &str, _lc: &LaunchConfig) {}
+
+    /// The launch finished (completed or crashed).
+    fn on_launch_end(&mut self) {}
+
+    /// Block `block` is about to execute.
+    fn on_block_begin(&mut self, _block: u64) {}
+
+    /// Block `block` finished executing.
+    fn on_block_end(&mut self, _block: u64) {}
+
+    /// Block `block` executed a `__syncthreads()` barrier.
+    fn on_barrier(&mut self, _block: u64) {}
+
+    /// Thread `thread` of block `block` accessed shared-memory word `word`
+    /// (a flat index into the block's shared-memory arena).
+    fn on_shared_access(&mut self, _block: u64, _thread: u64, _word: usize, _kind: AccessKind) {}
+
+    /// Thread `thread` of block `block` accessed `bytes` bytes of global
+    /// memory at `addr`. `locked` is true while the block holds the global
+    /// spin lock (lock-protected accesses are mutually excluded by
+    /// construction).
+    fn on_global_access(
+        &mut self,
+        _block: u64,
+        _thread: u64,
+        _addr: u64,
+        _bytes: u64,
+        _kind: AccessKind,
+        _locked: bool,
+    ) {
+    }
+
+    /// Block `block` opened a checksummed LP region.
+    fn on_region_begin(&mut self, _block: u64) {}
+
+    /// Block `block` is committing its LP region (about to reduce and
+    /// publish its checksum).
+    fn on_region_end(&mut self, _block: u64) {}
+
+    /// The LP runtime folded the store at `addr` (issued by block `block`
+    /// inside its open region) into the region's checksum accumulation.
+    fn on_protected_store(&mut self, _block: u64, _addr: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_classification() {
+        assert!(!AccessKind::Load.writes());
+        assert!(AccessKind::Store.writes());
+        assert!(AccessKind::Atomic.writes());
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        struct Nop;
+        impl AccessObserver for Nop {}
+        let mut n = Nop;
+        n.on_launch_begin("k", &LaunchConfig::linear(64, 64));
+        n.on_block_begin(0);
+        n.on_barrier(0);
+        n.on_shared_access(0, 1, 2, AccessKind::Store);
+        n.on_global_access(0, 1, 0x100, 8, AccessKind::Atomic, false);
+        n.on_region_begin(0);
+        n.on_protected_store(0, 0x100);
+        n.on_region_end(0);
+        n.on_block_end(0);
+        n.on_launch_end();
+    }
+}
