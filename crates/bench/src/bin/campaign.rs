@@ -250,27 +250,26 @@ fn main() {
         // The demo *succeeds* when the broken config is caught.
         if report.all_passed() {
             eprintln!("sabotage demo failed: broken config went undetected");
-            std::process::exit(1);
-        }
-        let shrunk = report
-            .failures
-            .iter()
-            .filter(|f| f.shrunk.is_some())
-            .count();
-        let caught = format!(
-            "\nsabotage caught: {} failures, {shrunk} shrunk reproducers",
-            report.failures.len()
-        );
-        if args.json {
-            eprintln!("{caught}");
         } else {
-            println!("{caught}");
+            let shrunk = report
+                .failures
+                .iter()
+                .filter(|f| f.shrunk.is_some())
+                .count();
+            let caught = format!(
+                "\nsabotage caught: {} failures, {shrunk} shrunk reproducers",
+                report.failures.len()
+            );
+            if args.json {
+                eprintln!("{caught}");
+            } else {
+                println!("{caught}");
+            }
         }
-    } else if !report.all_passed() {
-        std::process::exit(1);
     }
     if sanitizer_dirty > 0 {
         eprintln!("sanitizer oracle failed: {sanitizer_dirty} run(s) with findings");
-        std::process::exit(1);
     }
+    // All gating in one place so --json cannot bypass a failure exit.
+    std::process::exit(report.exit_code(args.sabotage, sanitizer_dirty));
 }

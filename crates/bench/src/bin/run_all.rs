@@ -4,7 +4,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [(&str, &str); 12] = [
+const EXPERIMENTS: [(&str, &str); 13] = [
     ("ep_comparison", "E0 / eager-vs-lazy motivation"),
     ("fig5_hash_tables", "E1 / Fig. 5"),
     ("table2_collisions", "E2 / Table II"),
@@ -17,6 +17,7 @@ const EXPERIMENTS: [(&str, &str); 12] = [
     ("megakv_overhead", "E9 / §VII-4"),
     ("recovery_cost", "E13 / recovery-cost trade-off"),
     ("sanitizer_overhead", "E15 / sanitizer overhead"),
+    ("device_faults", "E16 / device-fault resilience"),
 ];
 const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
 

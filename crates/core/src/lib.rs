@@ -46,6 +46,7 @@ pub mod checksum;
 pub mod recovery;
 pub mod reduce;
 pub mod region;
+pub mod resilient;
 pub mod table;
 
 pub use checkpoint::{CheckpointManager, CheckpointPolicy};
@@ -53,4 +54,5 @@ pub use checksum::{ChecksumKind, ChecksumSet, MAX_CHECKSUMS};
 pub use recovery::{Recoverable, RecoveryEngine, RecoveryReport};
 pub use reduce::ReduceStrategy;
 pub use region::{LpBlockSession, LpConfig, LpRuntime, PersistMode};
+pub use resilient::{RegionVerdict, ResilientConfig, ResilientRecovery, ResilientReport};
 pub use table::{AtomicPolicy, LockPolicy, TableKind, TableStats};

@@ -1,0 +1,685 @@
+//! Resilient multi-round recovery for a faulty NVM device.
+//!
+//! The eager engine in [`crate::recovery`] assumes the only failure mode is
+//! a clean power cut: one validate / re-execute / flush cycle per pass, and
+//! every flush the device reports successful *is* durable. A real device
+//! breaks both assumptions — write-backs tear (persist a prefix and report
+//! success), persists fail transiently (the line stays dirty), lines get
+//! permanently stuck, and media cells decay. [`ResilientRecovery`] wraps
+//! the same validation machinery in a bounded multi-round loop that
+//! survives all of them:
+//!
+//! * **retry with backoff** for transient persist failures, surfaced by
+//!   [`PersistMemory::flush_all_result`];
+//! * **quarantine + remap** (via [`PersistMemory::quarantine_line`]) for
+//!   lines that keep refusing persists, and predictively for lines whose
+//!   fills keep hitting ECC-corrected media errors;
+//! * **durable-truth validation**: clean cache lines are invalidated before
+//!   each validation round, so a torn write-back — whose intact copy is
+//!   still cached — cannot masquerade as persisted;
+//! * **degraded mode**: a region that keeps failing validation is
+//!   re-executed under observation and its stores flushed eagerly line by
+//!   line (flush-per-store persistency at region granularity), the safety
+//!   net the paper's MTBF arithmetic presumes exists.
+//!
+//! The per-region outcome is a [`RegionVerdict`]; the report's honesty
+//! invariant is that `all_durable == false` always comes with a non-empty
+//! `exhausted_regions` or a non-zero `persist_debt` — recovery either
+//! restores correct durable data or says exactly what it could not save,
+//! never neither.
+
+use crate::recovery::{Recoverable, RecoveryEngine};
+use crate::region::LpRuntime;
+use nvm::{Addr, FlushOutcome, PersistMemory};
+use serde::{Deserialize, Serialize};
+use simt::{AccessKind, AccessObserver, Gpu};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs for [`ResilientRecovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilientConfig {
+    /// Maximum validate / repair rounds before giving up on the remaining
+    /// regions (they are reported as [`RegionVerdict::RetriesExhausted`]).
+    pub max_rounds: u32,
+    /// Flush attempts per round (whole-cache) and per line (degraded mode)
+    /// before the offending lines are quarantined.
+    pub flush_retries: u32,
+    /// Modelled backoff before the first flush retry, in nanoseconds;
+    /// doubles per attempt.
+    pub backoff_base_ns: u64,
+    /// Validation failures a region tolerates before it is switched to
+    /// degraded (eager flush-per-store) re-execution.
+    pub degraded_after: u32,
+    /// ECC-corrected error events on one line before it is predictively
+    /// quarantined (the page-offlining policy real NVM firmware applies to
+    /// decaying media).
+    pub ce_quarantine_after: u32,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 12,
+            flush_retries: 6,
+            backoff_base_ns: 200,
+            degraded_after: 2,
+            ce_quarantine_after: 2,
+        }
+    }
+}
+
+/// Per-region outcome of a resilient recovery run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionVerdict {
+    /// The region validated clean against durable data.
+    Recovered,
+    /// The region validated clean, but only after one or more of its lines
+    /// were retired and remapped (its data is correct; the device under it
+    /// was not).
+    Quarantined,
+    /// The round budget ran out (or power failed) with the region still
+    /// failing validation or still holding non-durable stores.
+    RetriesExhausted,
+}
+
+/// Outcome of a [`ResilientRecovery::recover`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilientReport {
+    /// Total LP regions examined.
+    pub regions: u64,
+    /// Validate / repair rounds executed.
+    pub rounds: u32,
+    /// Block re-executions, including degraded ones.
+    pub reexecutions: u64,
+    /// Re-executions that ran in degraded (eager flush-per-store) mode.
+    pub degraded_reexecutions: u64,
+    /// Whole-cache and per-line flush retries after device refusals.
+    pub flush_retries: u64,
+    /// Modelled nanoseconds spent backing off between flush retries.
+    pub backoff_ns: u64,
+    /// Lines retired and remapped during this run.
+    pub quarantined_lines: u64,
+    /// Dirty (non-durable) lines remaining at the end — zero whenever
+    /// `all_durable`.
+    pub persist_debt: u64,
+    /// Regions that ended [`RegionVerdict::Recovered`].
+    pub recovered_regions: u64,
+    /// Regions that ended [`RegionVerdict::Quarantined`], ascending.
+    pub quarantined_regions: Vec<u64>,
+    /// Regions that ended [`RegionVerdict::RetriesExhausted`], ascending.
+    pub exhausted_regions: Vec<u64>,
+    /// Modelled nanoseconds spent re-executing regions, scaled by 1000.
+    pub reexecution_ns_x1000: u64,
+    /// Whether the final validation round was clean *against durable data*
+    /// with zero persist debt: every region's output is correct and would
+    /// survive an immediate crash.
+    pub all_durable: bool,
+}
+
+impl ResilientReport {
+    /// The verdict for one region. Exhaustion dominates quarantine: a
+    /// region both quarantined and still failing is reported as exhausted.
+    pub fn verdict_of(&self, region: u64) -> RegionVerdict {
+        if self.exhausted_regions.contains(&region) {
+            RegionVerdict::RetriesExhausted
+        } else if self.quarantined_regions.contains(&region) {
+            RegionVerdict::Quarantined
+        } else {
+            RegionVerdict::Recovered
+        }
+    }
+
+    /// Modelled total recovery latency: re-execution time plus retry
+    /// backoff.
+    pub fn latency_ns(&self) -> u64 {
+        self.reexecution_ns_x1000 / 1000 + self.backoff_ns
+    }
+
+    /// Whether recovery fully succeeded (everything durable and correct).
+    pub fn is_success(&self) -> bool {
+        self.all_durable
+    }
+}
+
+/// Records the distinct cache lines a block stores to, for degraded-mode
+/// eager flushing.
+struct StoreLineRecorder {
+    line: u64,
+    bases: BTreeSet<u64>,
+}
+
+impl AccessObserver for StoreLineRecorder {
+    fn on_global_access(
+        &mut self,
+        _block: u64,
+        _thread: u64,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        _locked: bool,
+    ) {
+        if kind.writes() {
+            let first = addr & !(self.line - 1);
+            let last = (addr + bytes.max(1) - 1) & !(self.line - 1);
+            let mut b = first;
+            loop {
+                self.bases.insert(b);
+                if b >= last {
+                    break;
+                }
+                b += self.line;
+            }
+        }
+    }
+}
+
+/// Multi-round recovery driver for faulty devices.
+#[derive(Debug)]
+pub struct ResilientRecovery<'g> {
+    gpu: &'g Gpu,
+    cfg: ResilientConfig,
+}
+
+impl<'g> ResilientRecovery<'g> {
+    /// Creates a driver on `gpu` with the default configuration.
+    pub fn new(gpu: &'g Gpu) -> Self {
+        Self {
+            gpu,
+            cfg: ResilientConfig::default(),
+        }
+    }
+
+    /// Creates a driver on `gpu` with an explicit configuration.
+    pub fn with_config(gpu: &'g Gpu, cfg: ResilientConfig) -> Self {
+        assert!(cfg.max_rounds > 0, "need at least one round");
+        assert!(cfg.flush_retries > 0, "need at least one flush attempt");
+        Self { gpu, cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ResilientConfig {
+        &self.cfg
+    }
+
+    fn charge_backoff(&self, attempt: u32, report: &mut ResilientReport) {
+        report.flush_retries += 1;
+        report.backoff_ns += self.cfg.backoff_base_ns << attempt.min(10);
+    }
+
+    /// Flushes the whole cache, retrying (with modelled backoff) while the
+    /// device keeps refusing lines; lines still dirty after the retry
+    /// budget are quarantined. Their writers are recorded as quarantined
+    /// regions.
+    fn persist_with_retry(
+        &self,
+        mem: &mut PersistMemory,
+        report: &mut ResilientReport,
+        quarantined_regions: &mut BTreeSet<u64>,
+    ) {
+        for attempt in 0..self.cfg.flush_retries {
+            if mem.flush_all_result() == 0 || mem.power_failed() {
+                return;
+            }
+            self.charge_backoff(attempt, report);
+        }
+        // The retry budget is spent: whatever is still dirty sits on lines
+        // the device keeps refusing. Retire them — the quarantine copy is
+        // made durable by firmware, bypassing the failing write-back path.
+        for (base, writers) in mem.dirty_line_info() {
+            quarantined_regions.extend(writers);
+            mem.quarantine_line(base);
+            report.quarantined_lines += 1;
+        }
+    }
+
+    /// Quarantines lines whose fills keep reporting ECC-corrected media
+    /// errors: the classic predictive page-offlining policy.
+    fn retire_decaying_lines(
+        &self,
+        mem: &mut PersistMemory,
+        ce_counts: &mut BTreeMap<u64, u32>,
+        report: &mut ResilientReport,
+    ) {
+        for base in mem.take_ecc_log() {
+            let seen = ce_counts.entry(base).or_insert(0);
+            *seen += 1;
+            if *seen >= self.cfg.ce_quarantine_after {
+                mem.quarantine_line(base);
+                report.quarantined_lines += 1;
+                ce_counts.remove(&base);
+            }
+        }
+    }
+
+    /// Degraded-mode re-execution: run the block under observation, then
+    /// eagerly flush every line it stored to, line by line with retries;
+    /// stubborn lines are quarantined on the spot. This is flush-per-store
+    /// (eager) persistency at region granularity — slower, but immune to
+    /// the lazy path's reliance on the device accepting bulk flushes.
+    fn degraded_reexecute(
+        &self,
+        kernel: &dyn Recoverable,
+        mem: &mut PersistMemory,
+        block: u64,
+        report: &mut ResilientReport,
+        quarantined_regions: &mut BTreeSet<u64>,
+    ) -> f64 {
+        let mut rec = StoreLineRecorder {
+            line: mem.config().line_size as u64,
+            bases: BTreeSet::new(),
+        };
+        let cost = self
+            .gpu
+            .run_single_block_observed(kernel, mem, block, &mut rec);
+        report.degraded_reexecutions += 1;
+        for base in rec.bases {
+            let mut persisted = false;
+            for attempt in 0..self.cfg.flush_retries {
+                match mem.flush_line_checked(Addr::new(base)) {
+                    FlushOutcome::Clean | FlushOutcome::Persisted => {
+                        persisted = true;
+                        break;
+                    }
+                    FlushOutcome::TransientFail => self.charge_backoff(attempt, report),
+                }
+            }
+            if !persisted {
+                mem.quarantine_line(base);
+                report.quarantined_lines += 1;
+                quarantined_regions.insert(block);
+            }
+        }
+        let cfg = self.gpu.config();
+        cost.time_ns(cfg.sm_width, cfg.clock_ghz)
+    }
+
+    /// Runs bounded multi-round recovery: persist (with retry and
+    /// quarantine), expose durable truth, validate, re-execute failures
+    /// (degrading repeat offenders), repeat. See the module docs for the
+    /// full state machine; the returned report upholds the honesty
+    /// invariant — `all_durable` is only claimed when every region
+    /// validates against durable data with zero persist debt, and a
+    /// non-`all_durable` report always names the exhausted regions or the
+    /// outstanding persist debt.
+    pub fn recover(
+        &self,
+        kernel: &dyn Recoverable,
+        rt: &LpRuntime,
+        mem: &mut PersistMemory,
+    ) -> ResilientReport {
+        let regions = kernel.config().num_blocks();
+        let mut report = ResilientReport {
+            regions,
+            ..ResilientReport::default()
+        };
+        let engine = RecoveryEngine::new(self.gpu);
+        let mut fail_counts: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut ce_counts: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut quarantined_regions: BTreeSet<u64> = BTreeSet::new();
+        let mut last_failed: Vec<u64> = Vec::new();
+
+        for round in 1..=self.cfg.max_rounds {
+            if mem.power_failed() {
+                // Double crash: abort immediately, report honestly. The
+                // caller restores power and runs recovery again.
+                break;
+            }
+            report.rounds = round;
+            self.persist_with_retry(mem, &mut report, &mut quarantined_regions);
+            self.retire_decaying_lines(mem, &mut ce_counts, &mut report);
+            // Validation must read what the *device* holds, not what the
+            // cache remembers: a torn write-back leaves the intact copy
+            // resident and clean, and validating against it would wrongly
+            // pass. Dirty lines stay — they are exactly the persist debt
+            // the success criterion charges below.
+            mem.invalidate_clean_lines();
+            last_failed = engine.validate_all(kernel, rt, mem);
+            // Validation itself fills every protected line from media, so
+            // it doubles as a scrub pass: drain the CEs it surfaced before
+            // deciding success, or decaying lines found on the last round
+            // would never be retired.
+            self.retire_decaying_lines(mem, &mut ce_counts, &mut report);
+            if last_failed.is_empty() && mem.dirty_lines() == 0 && !mem.power_failed() {
+                report.all_durable = true;
+                break;
+            }
+            if round == self.cfg.max_rounds {
+                break;
+            }
+            for &b in &last_failed {
+                if mem.power_failed() {
+                    break;
+                }
+                let fails = fail_counts.entry(b).or_insert(0);
+                *fails += 1;
+                let ns = if *fails > self.cfg.degraded_after {
+                    self.degraded_reexecute(kernel, mem, b, &mut report, &mut quarantined_regions)
+                } else {
+                    let cost = self.gpu.run_single_block(kernel, mem, b);
+                    let cfg = self.gpu.config();
+                    cost.time_ns(cfg.sm_width, cfg.clock_ghz)
+                };
+                report.reexecution_ns_x1000 += (ns * 1000.0) as u64;
+                report.reexecutions += 1;
+            }
+        }
+
+        report.persist_debt = mem.dirty_lines() as u64;
+        let mut exhausted: BTreeSet<u64> = last_failed.iter().copied().collect();
+        for (_, writers) in mem.dirty_line_info() {
+            exhausted.extend(writers);
+        }
+        if !report.all_durable && exhausted.is_empty() && report.persist_debt == 0 {
+            // Power failed before any validation verdict existed: no region
+            // is known durable, so none may be reported recovered.
+            exhausted.extend(0..regions);
+        }
+        report.exhausted_regions = exhausted.iter().copied().collect();
+        report.quarantined_regions = quarantined_regions
+            .difference(&exhausted)
+            .copied()
+            .collect();
+        report.recovered_regions = regions
+            - report.exhausted_regions.len() as u64
+            - report.quarantined_regions.len() as u64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::f32_store_image;
+    use crate::region::{LpBlockSession, LpConfig};
+    use nvm::{FaultConfig, NvmConfig};
+    use simt::{BlockCtx, DeviceConfig, Kernel, LaunchConfig};
+
+    /// out[i] = (i % 89) * 0.25 as f32, LP-protected, one value per thread.
+    struct FillLp<'rt> {
+        out: Addr,
+        n: u64,
+        rt: &'rt LpRuntime,
+    }
+
+    impl Kernel for FillLp<'_> {
+        fn name(&self) -> &str {
+            "fill_lp_resilient"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::linear(self.n, 64)
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let mut lp = LpBlockSession::begin(self.rt, ctx);
+            for t in 0..ctx.threads_per_block() {
+                let gid = ctx.global_thread_id(t);
+                if gid < self.n {
+                    let v = (gid % 89) as f32 * 0.25;
+                    lp.store_f32(ctx, t, self.out.index(gid, 4), v);
+                }
+            }
+            lp.finalize(ctx);
+        }
+    }
+
+    impl Recoverable for FillLp<'_> {
+        fn recompute_block_checksums(&self, mem: &mut PersistMemory, block: u64) -> Vec<u64> {
+            let tpb = self.config().threads_per_block();
+            let mut images = Vec::new();
+            for t in 0..tpb {
+                let gid = block * tpb + t;
+                if gid < self.n {
+                    images.push(f32_store_image(mem.read_f32(self.out.index(gid, 4))));
+                }
+            }
+            self.rt.digest_region(block, images)
+        }
+    }
+
+    fn world(n: u64, faults: Option<FaultConfig>) -> (Gpu, PersistMemory, Addr) {
+        let mut mem = PersistMemory::new(NvmConfig {
+            cache_lines: 64,
+            associativity: 4,
+            ..NvmConfig::default()
+        });
+        let out = mem.alloc(4 * n, 8);
+        mem.set_fault_config(faults);
+        (Gpu::new(DeviceConfig::test_gpu()), mem, out)
+    }
+
+    fn verify_output(mem: &mut PersistMemory, out: Addr, n: u64) {
+        for i in 0..n {
+            assert_eq!(
+                mem.read_f32(out.index(i, 4)),
+                (i % 89) as f32 * 0.25,
+                "wrong value at {i}"
+            );
+        }
+    }
+
+    /// Launch, crash, resiliently recover, then verify the *durable* state
+    /// with faults disabled (so verification itself cannot corrupt).
+    fn run_and_recover(
+        n: u64,
+        blocks: u64,
+        faults: FaultConfig,
+        cfg: ResilientConfig,
+    ) -> (ResilientReport, PersistMemory, Addr, u64) {
+        let (gpu, mut mem, out) = world(n, Some(faults));
+        let rt = LpRuntime::setup(&mut mem, blocks, 64, LpConfig::recommended());
+        let k = FillLp { out, n, rt: &rt };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.crash();
+        let report = ResilientRecovery::with_config(&gpu, cfg).recover(&k, &rt, &mut mem);
+        (report, mem, out, n)
+    }
+
+    #[test]
+    fn clean_run_is_all_durable_in_one_round() {
+        let (gpu, mut mem, out) = world(1024, None);
+        let rt = LpRuntime::setup(&mut mem, 16, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 1024,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.flush_all();
+        let report = ResilientRecovery::new(&gpu).recover(&k, &rt, &mut mem);
+        assert!(report.all_durable);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.reexecutions, 0);
+        assert_eq!(report.recovered_regions, 16);
+        assert_eq!(report.verdict_of(3), RegionVerdict::Recovered);
+        verify_output(&mut mem, out, 1024);
+    }
+
+    #[test]
+    fn recovers_through_torn_writebacks() {
+        let (report, mut mem, out, n) = run_and_recover(
+            2048,
+            32,
+            FaultConfig::torn(11, 2_000), // 20% of write-backs tear
+            ResilientConfig::default(),
+        );
+        assert!(report.all_durable, "must converge: {report:?}");
+        assert!(
+            report.reexecutions > 0,
+            "tears + crash must have lost regions"
+        );
+        mem.set_fault_config(None);
+        mem.crash(); // all_durable means this loses nothing
+        verify_output(&mut mem, out, n);
+    }
+
+    #[test]
+    fn recovers_through_transient_failures_with_quarantine() {
+        let (report, mut mem, out, n) = run_and_recover(
+            2048,
+            32,
+            FaultConfig::transient(13, 2_000), // 20% persist fails, 5% stuck
+            ResilientConfig::default(),
+        );
+        assert!(report.all_durable, "must converge: {report:?}");
+        assert_eq!(report.persist_debt, 0);
+        assert!(
+            mem.stats().transient_persist_fails > 0,
+            "the fault class must actually have fired"
+        );
+        mem.set_fault_config(None);
+        mem.crash();
+        verify_output(&mut mem, out, n);
+    }
+
+    #[test]
+    fn stuck_lines_are_quarantined_and_remapped() {
+        let (report, mut mem, out, n) = run_and_recover(
+            1024,
+            16,
+            FaultConfig {
+                stuck_line_bp: 1_000, // 10% of lines refuse every persist
+                ..FaultConfig::none(17)
+            },
+            ResilientConfig::default(),
+        );
+        assert!(report.all_durable, "must converge: {report:?}");
+        assert!(
+            report.quarantined_lines > 0,
+            "10% stuck lines must force quarantines: {report:?}"
+        );
+        assert!(mem.stats().quarantined_lines >= report.quarantined_lines);
+        mem.set_fault_config(None);
+        mem.crash();
+        verify_output(&mut mem, out, n);
+    }
+
+    #[test]
+    fn ecc_storms_trigger_predictive_quarantine() {
+        let (gpu, mut mem, out) = world(1024, None);
+        let rt = LpRuntime::setup(&mut mem, 16, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 1024,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.flush_all();
+        // Every fill from now on reports a corrected media error; with the
+        // threshold at one event, the validation scrub retires each line it
+        // touches on first contact.
+        mem.set_fault_config(Some(FaultConfig::media(5, 10_000, 0)));
+        let cfg = ResilientConfig {
+            ce_quarantine_after: 1,
+            ..ResilientConfig::default()
+        };
+        let report = ResilientRecovery::with_config(&gpu, cfg).recover(&k, &rt, &mut mem);
+        assert!(report.all_durable, "CEs corrupt nothing: {report:?}");
+        assert!(
+            report.quarantined_lines > 0,
+            "repeat CE offenders must be retired: {report:?}"
+        );
+        mem.set_fault_config(None);
+        verify_output(&mut mem, out, 1024);
+    }
+
+    #[test]
+    fn silent_bit_error_in_region_data_is_caught_by_validation() {
+        let (gpu, mut mem, out) = world(1024, None);
+        let rt = LpRuntime::setup(&mut mem, 16, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 1024,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.flush_all();
+        // One read under a 100% silent-error model: the fill flips a bit of
+        // the durable line, with no notification.
+        mem.set_fault_config(Some(FaultConfig::media(23, 0, 10_000)));
+        mem.invalidate_clean_lines();
+        mem.read_f32(out);
+        assert_eq!(mem.stats().silent_bit_errors, 1);
+        mem.set_fault_config(None);
+        mem.invalidate_clean_lines();
+        let report = ResilientRecovery::new(&gpu).recover(&k, &rt, &mut mem);
+        assert!(
+            report.reexecutions > 0,
+            "the checksum must have caught the flip: {report:?}"
+        );
+        assert!(report.all_durable);
+        verify_output(&mut mem, out, 1024);
+    }
+
+    #[test]
+    fn degraded_mode_flushes_per_store() {
+        let cfg = ResilientConfig {
+            degraded_after: 0, // degrade on the first failure
+            ..ResilientConfig::default()
+        };
+        let (report, mut mem, out, n) =
+            run_and_recover(1024, 16, FaultConfig::torn(29, 1_500), cfg);
+        assert!(report.all_durable, "must converge: {report:?}");
+        assert!(
+            report.degraded_reexecutions > 0,
+            "degraded_after=0 must route every repair through degraded mode"
+        );
+        assert_eq!(report.degraded_reexecutions, report.reexecutions);
+        mem.set_fault_config(None);
+        mem.crash();
+        verify_output(&mut mem, out, n);
+    }
+
+    #[test]
+    fn round_budget_exhaustion_reports_honestly() {
+        let cfg = ResilientConfig {
+            max_rounds: 1, // validate once, never repair
+            ..ResilientConfig::default()
+        };
+        let (report, _mem, _out, _n) = run_and_recover(2048, 32, FaultConfig::torn(31, 3_000), cfg);
+        assert!(!report.all_durable);
+        assert!(
+            !report.exhausted_regions.is_empty() || report.persist_debt > 0,
+            "honesty invariant violated: {report:?}"
+        );
+        let r = report.exhausted_regions[0];
+        assert_eq!(report.verdict_of(r), RegionVerdict::RetriesExhausted);
+        assert_eq!(
+            report.recovered_regions
+                + report.exhausted_regions.len() as u64
+                + report.quarantined_regions.len() as u64,
+            report.regions
+        );
+    }
+
+    #[test]
+    fn power_failure_mid_recovery_aborts_honestly_then_converges() {
+        let (gpu, mut mem, out) = world(2048, Some(FaultConfig::torn(37, 1_000)));
+        let rt = LpRuntime::setup(&mut mem, 32, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 2048,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.crash();
+        mem.arm_crash_after_evictions(2);
+        let rec = ResilientRecovery::new(&gpu);
+        let report = rec.recover(&k, &rt, &mut mem);
+        assert!(!report.all_durable, "mid-recovery power loss: {report:?}");
+        assert!(
+            !report.exhausted_regions.is_empty() || report.persist_debt > 0,
+            "honesty invariant violated: {report:?}"
+        );
+        assert!(mem.power_failed());
+        mem.power_on();
+        let report = rec.recover(&k, &rt, &mut mem);
+        assert!(
+            report.all_durable,
+            "post-reboot run must converge: {report:?}"
+        );
+        mem.set_fault_config(None);
+        mem.crash();
+        verify_output(&mut mem, out, 2048);
+    }
+}

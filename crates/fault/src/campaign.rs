@@ -139,6 +139,22 @@ impl CampaignReport {
     pub fn all_passed(&self) -> bool {
         self.failures.is_empty() && self.passed == self.trials
     }
+
+    /// The process exit code the campaign binary must report.
+    ///
+    /// In a normal run the campaign succeeds iff every trial passed. In a
+    /// `--sabotage` run the logic inverts: the demo exists to prove the
+    /// oracles catch a deliberately-broken config, so a fully-passing
+    /// report means the bug went *undetected* — a failure. Sanitizer
+    /// findings fail the run in either mode.
+    pub fn exit_code(&self, sabotage: bool, sanitizer_findings: usize) -> i32 {
+        let campaign_ok = if sabotage {
+            !self.all_passed()
+        } else {
+            self.all_passed()
+        };
+        i32::from(!campaign_ok || sanitizer_findings > 0)
+    }
 }
 
 /// A panicking trial still yields a (failing) result.
@@ -154,9 +170,14 @@ fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
             crashed: false,
             failed_regions: 0,
             reexecutions: 0,
+            recovery_rounds: 0,
+            quarantined_lines: 0,
+            degraded_reexecutions: 0,
+            recovery_ns: 0,
             o1_output: false,
             o2: None,
             o3: None,
+            o4_no_silent_corruption: None,
             passed: false,
             detail: format!("panic: {msg}"),
         }
@@ -267,7 +288,7 @@ mod tests {
     #[test]
     fn enumeration_is_the_full_cross_product() {
         let spec = CampaignSpec::default_sweep(Scale::Test);
-        assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 16);
+        assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 22);
     }
 
     #[test]
@@ -290,6 +311,53 @@ mod tests {
         assert!(report.crashed >= 4, "most sites should fire: {report:#?}");
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("by_site"));
+    }
+
+    #[test]
+    fn exit_code_covers_all_mode_and_outcome_combinations() {
+        let mut report = run_campaign(
+            &CampaignSpec {
+                budget: Some(0),
+                ..tiny_spec()
+            },
+            |_, _| {},
+        );
+        // Zero trials: vacuously all-passed.
+        assert!(report.all_passed());
+        assert_eq!(report.exit_code(false, 0), 0);
+        assert_eq!(report.exit_code(false, 1), 1, "sanitizer findings fail");
+        assert_eq!(report.exit_code(true, 0), 1, "undetected sabotage fails");
+        // Simulate a failing trial.
+        report.passed = 0;
+        report.trials = 1;
+        assert_eq!(report.exit_code(false, 0), 1);
+        assert_eq!(report.exit_code(true, 0), 0, "caught sabotage succeeds");
+        assert_eq!(report.exit_code(true, 2), 1, "sanitizer still gates");
+    }
+
+    #[test]
+    fn device_fault_campaign_has_zero_silent_corruption() {
+        let spec = CampaignSpec {
+            workloads: vec![
+                "TMM".to_string(),
+                "SPMV".to_string(),
+                "MEGAKV-INSERT".to_string(),
+            ],
+            configs: vec!["recommended".to_string()],
+            seeds: vec![1],
+            sites: CrashSite::catalog()
+                .into_iter()
+                .filter(|s| s.is_device_fault())
+                .collect(),
+            ..CampaignSpec::default_sweep(Scale::Test)
+        };
+        let report = run_campaign(&spec, |_, _| {});
+        assert_eq!(report.trials, 3 * 6);
+        if let Some(f) = report.failures.first() {
+            panic!("device-fault trial failed: {:?}", f.result);
+        }
+        assert!(report.all_passed());
+        assert_eq!(report.exit_code(false, 0), 0);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use sanitize::{sanitize_subject, sanitize_sweep, SanitizeRecord};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use site::CrashSite;
 pub use trial::{
-    fault_world, run_trial, trial_config, TrialConfig, TrialId, TrialResult, CONFIG_NAMES,
-    SABOTAGE_CONFIG, SUBJECT_NAMES,
+    device_fault_config, fault_world, run_trial, trial_config, TrialConfig, TrialId, TrialResult,
+    CONFIG_NAMES, SABOTAGE_CONFIG, SUBJECT_NAMES,
 };

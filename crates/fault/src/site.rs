@@ -57,6 +57,29 @@ pub enum CrashSite {
         /// Which eviction during recovery trips the second failure.
         nth: u64,
     },
+    /// Device fault: every write-back tears with probability `bp`/10,000
+    /// (a prefix of the line's 8-byte words persists, the device reports
+    /// success), plus a between-kernels power loss. Recovery runs the
+    /// resilient engine and is judged by the no-silent-corruption oracle.
+    TornWriteback {
+        /// Tear probability in basis points (per 10,000 write-backs).
+        bp: u32,
+    },
+    /// Device fault: persists fail transiently with probability
+    /// `bp`/10,000 (the line stays dirty, the failure is surfaced), and
+    /// `bp`/4 of lines are permanently stuck, plus a between-kernels
+    /// power loss. Recovery must retry, then quarantine and remap.
+    TransientPersist {
+        /// Transient-failure probability in basis points.
+        bp: u32,
+    },
+    /// Device fault: reads hit ECC-detected (corrected, logged) media
+    /// errors with probability `bp`/10,000, plus a between-kernels power
+    /// loss. Repeat-offender lines must be predictively quarantined.
+    MediaBitErrors {
+        /// ECC-corrected error probability in basis points.
+        bp: u32,
+    },
 }
 
 impl CrashSite {
@@ -69,7 +92,21 @@ impl CrashSite {
             CrashSite::BetweenKernels => "between-kernels".to_string(),
             CrashSite::MidCheckpoint { pct } => format!("checkpoint@{pct}%"),
             CrashSite::DuringRecovery { nth } => format!("recovery-eviction#{nth}"),
+            CrashSite::TornWriteback { bp } => format!("torn@{bp}bp"),
+            CrashSite::TransientPersist { bp } => format!("transient@{bp}bp"),
+            CrashSite::MediaBitErrors { bp } => format!("media@{bp}bp"),
         }
+    }
+
+    /// Whether this site models a faulty device (and therefore routes
+    /// recovery through the resilient engine and the O4 oracle).
+    pub fn is_device_fault(&self) -> bool {
+        matches!(
+            self,
+            CrashSite::TornWriteback { .. }
+                | CrashSite::TransientPersist { .. }
+                | CrashSite::MediaBitErrors { .. }
+        )
     }
 
     /// Whether this site needs the clean run's total store count.
@@ -100,6 +137,15 @@ impl CrashSite {
         for nth in [1u64, 4] {
             sites.push(CrashSite::DuringRecovery { nth });
         }
+        for bp in [50u32, 400] {
+            sites.push(CrashSite::TornWriteback { bp });
+        }
+        for bp in [50u32, 400] {
+            sites.push(CrashSite::TransientPersist { bp });
+        }
+        for bp in [50u32, 400] {
+            sites.push(CrashSite::MediaBitErrors { bp });
+        }
         sites
     }
 
@@ -121,6 +167,15 @@ impl CrashSite {
             }
             CrashSite::DuringRecovery { nth } if nth > 1 => {
                 Some(CrashSite::DuringRecovery { nth: nth / 2 })
+            }
+            CrashSite::TornWriteback { bp } if bp > 1 => {
+                Some(CrashSite::TornWriteback { bp: bp / 2 })
+            }
+            CrashSite::TransientPersist { bp } if bp > 1 => {
+                Some(CrashSite::TransientPersist { bp: bp / 2 })
+            }
+            CrashSite::MediaBitErrors { bp } if bp > 1 => {
+                Some(CrashSite::MediaBitErrors { bp: bp / 2 })
             }
             _ => None,
         }
@@ -150,7 +205,26 @@ mod tests {
         assert!(sites
             .iter()
             .any(|s| matches!(s, CrashSite::DuringRecovery { .. })));
-        assert_eq!(sites.len(), 16);
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::TornWriteback { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::TransientPersist { .. })));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::MediaBitErrors { .. })));
+        assert_eq!(sites.len(), 22);
+    }
+
+    #[test]
+    fn device_fault_classification_matches_the_taxonomy() {
+        let sites = CrashSite::catalog();
+        assert_eq!(sites.iter().filter(|s| s.is_device_fault()).count(), 6);
+        assert!(!CrashSite::BetweenKernels.is_device_fault());
+        for s in sites.iter().filter(|s| s.is_device_fault()) {
+            assert!(!s.needs_store_count(), "{s:?}");
+        }
     }
 
     #[test]

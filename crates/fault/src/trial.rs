@@ -14,12 +14,13 @@
 use crate::oracle::{self, OracleInput};
 use crate::site::CrashSite;
 use gpu_lp::{
-    LpConfig, LpRuntime, Recoverable, RecoveryEngine, RecoveryReport, ReduceStrategy, TableKind,
+    LpConfig, LpRuntime, Recoverable, RecoveryEngine, RecoveryReport, ReduceStrategy,
+    ResilientRecovery, ResilientReport, TableKind,
 };
 use lp_kernels::{workload_by_name, Scale, WORKLOAD_NAMES};
 use megakv::app::OpKind;
 use megakv::MegaKv;
-use nvm::{CrashLoss, NvmConfig, PersistMemory};
+use nvm::{CrashLoss, FaultConfig, NvmConfig, PersistMemory};
 use serde::{Deserialize, Serialize};
 use simt::{CrashPlan, DeviceConfig, Gpu};
 
@@ -118,16 +119,40 @@ pub struct TrialResult {
     pub failed_regions: u64,
     /// Region re-executions recovery performed.
     pub reexecutions: u64,
+    /// Validate/repair rounds (resilient engine) or passes (eager engine).
+    pub recovery_rounds: u32,
+    /// Lines the resilient engine retired and remapped.
+    pub quarantined_lines: u64,
+    /// Re-executions that ran in degraded (eager flush-per-store) mode.
+    pub degraded_reexecutions: u64,
+    /// Modelled recovery latency in nanoseconds.
+    pub recovery_ns: u64,
     /// O1: recovery converged and the output matches the CPU reference.
     pub o1_output: bool,
     /// O2: no phantom validation failures (`None` = not applicable).
     pub o2: Option<bool>,
     /// O3: no false-negative validations (`None` = not applicable).
     pub o3: Option<bool>,
+    /// O4: no silent corruption — recovery either restored correct durable
+    /// data or honestly reported what it could not save. Only applicable
+    /// (`Some`) for device-fault sites.
+    pub o4_no_silent_corruption: Option<bool>,
     /// All applicable oracles passed.
     pub passed: bool,
     /// Diagnostics for failures and skipped oracles.
     pub detail: String,
+}
+
+/// The device fault model a site implies, derived deterministically from
+/// the trial seed. `None` for the crash-only (perfect-device) sites.
+pub fn device_fault_config(site: &CrashSite, seed: u64) -> Option<FaultConfig> {
+    let fseed = seed ^ 0xFA17_C0DE;
+    match *site {
+        CrashSite::TornWriteback { bp } => Some(FaultConfig::torn(fseed, bp)),
+        CrashSite::TransientPersist { bp } => Some(FaultConfig::transient(fseed, bp)),
+        CrashSite::MediaBitErrors { bp } => Some(FaultConfig::media(fseed, bp, 0)),
+        _ => None,
+    }
 }
 
 /// The simulated machine every trial runs on: the test GPU and a small
@@ -308,6 +333,20 @@ fn inject(
                 (crashed, out.blocks_executed, reboot(mem), true)
             }
         }
+        CrashSite::TornWriteback { .. }
+        | CrashSite::TransientPersist { .. }
+        | CrashSite::MediaBitErrors { .. } => {
+            // The fault model is already attached (see `run_trial`). Run
+            // to completion under device faults, then lose power before
+            // any checkpoint: natural evictions were the only persists,
+            // and some of them tore, failed, or read back corrupted. The
+            // loss record cannot attribute torn lines (the device claimed
+            // success for them), so O2/O3 are replaced by O4.
+            let out = gpu.launch(kernel, mem).expect("launch");
+            mem.crash();
+            let _ = reboot(mem);
+            (true, out.blocks_executed, None, false)
+        }
         CrashSite::DuringRecovery { nth } => {
             // First crash mid-kernel, then a second power loss while the
             // recovery engine is re-executing. Only the output oracle is
@@ -385,8 +424,15 @@ pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
         &cfg.lp,
         |gpu, mem, kernel, rt, verify| {
             let num_blocks = kernel.config().num_blocks();
+            if let Some(fc) = device_fault_config(&id.site, id.seed) {
+                mem.set_fault_config(Some(fc));
+            }
             let injected = inject(id.site, gpu, mem, kernel, rt, clean_stores);
             let mut detail = injected.note.clone();
+
+            if id.site.is_device_fault() {
+                return judge_device_trial(id, &cfg, gpu, mem, kernel, rt, verify, &injected);
+            }
 
             let engine = RecoveryEngine::new(gpu);
             let failed = engine.validate_all(kernel, rt, mem);
@@ -428,14 +474,87 @@ pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
                 crashed: injected.crashed,
                 failed_regions: failed.len() as u64,
                 reexecutions: report.reexecutions,
+                recovery_rounds: report.passes,
+                quarantined_lines: 0,
+                degraded_reexecutions: 0,
+                recovery_ns: report.reexecution_ns_x1000 / 1000,
                 o1_output: o1,
                 o2: verdict.o2,
                 o3: verdict.o3,
+                o4_no_silent_corruption: None,
                 passed: o1 && verdict.ok(),
                 detail,
             }
         },
     )
+}
+
+/// Judges a device-fault trial with the O4 (no-silent-corruption) oracle:
+/// either the resilient engine claims `all_durable` and the output — read
+/// back after a fault-free power cycle — matches the reference, or it
+/// honestly names its exhausted regions / outstanding persist debt.
+/// Claiming success with a wrong output, or failing without naming any
+/// loss, is silent corruption and fails O4.
+#[allow(clippy::too_many_arguments)]
+fn judge_device_trial(
+    id: &TrialId,
+    cfg: &TrialConfig,
+    gpu: &Gpu,
+    mem: &mut PersistMemory,
+    kernel: &dyn Recoverable,
+    rt: &LpRuntime,
+    verify: &mut dyn FnMut(&mut PersistMemory) -> bool,
+    injected: &Injected,
+) -> TrialResult {
+    let mut detail = injected.note.clone();
+    let failed = RecoveryEngine::new(gpu).validate_all(kernel, rt, mem);
+
+    let (report, o1, o4) = if cfg.skip_recovery {
+        // Sabotage: claim success without repairing anything. Whatever the
+        // device faults corrupted stays corrupted, so O4 must fire.
+        detail.push_str("sabotage: recovery skipped; ");
+        let ok = verify(mem);
+        (ResilientReport::default(), ok, ok)
+    } else {
+        let report = ResilientRecovery::new(gpu).recover(kernel, rt, mem);
+        if report.all_durable {
+            // The durability claim must hold on a perfect device: disable
+            // faults, cut power, and check the output that actually
+            // reached media.
+            mem.set_fault_config(None);
+            mem.crash();
+            let ok = verify(mem);
+            if !ok {
+                detail.push_str("O4: silent corruption — durable claim, wrong output; ");
+            }
+            (report, ok, ok)
+        } else {
+            let honest = !report.exhausted_regions.is_empty() || report.persist_debt > 0;
+            detail.push_str(if honest {
+                "recovery gave up honestly (exhausted/debt reported); "
+            } else {
+                "O4: gave up without naming any loss; "
+            });
+            (report, false, honest)
+        }
+    };
+
+    TrialResult {
+        id: id.clone(),
+        crashed: injected.crashed,
+        failed_regions: failed.len() as u64,
+        reexecutions: report.reexecutions,
+        recovery_rounds: report.rounds,
+        quarantined_lines: report.quarantined_lines,
+        degraded_reexecutions: report.degraded_reexecutions,
+        recovery_ns: report.latency_ns(),
+        o1_output: o1,
+        o2: None,
+        o3: None,
+        o4_no_silent_corruption: Some(o4),
+        passed: o4,
+        detail,
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +635,77 @@ mod tests {
         );
         assert!(r.o1_output, "{r:?}");
         assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn torn_writeback_trial_recovers_without_silent_corruption() {
+        let r = run_trial(
+            &id("TMM", "recommended", CrashSite::TornWriteback { bp: 400 }),
+            Scale::Test,
+        );
+        assert_eq!(r.o4_no_silent_corruption, Some(true), "{r:?}");
+        assert!(r.o1_output, "moderate tear rates must fully recover: {r:?}");
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn transient_persist_trial_quarantines_and_recovers() {
+        let r = run_trial(
+            &id(
+                "SPMV",
+                "recommended",
+                CrashSite::TransientPersist { bp: 400 },
+            ),
+            Scale::Test,
+        );
+        assert_eq!(r.o4_no_silent_corruption, Some(true), "{r:?}");
+        assert!(r.o1_output, "{r:?}");
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn media_error_trial_passes_with_megakv() {
+        let r = run_trial(
+            &id(
+                "MEGAKV-INSERT",
+                "recommended",
+                CrashSite::MediaBitErrors { bp: 400 },
+            ),
+            Scale::Test,
+        );
+        assert_eq!(r.o4_no_silent_corruption, Some(true), "{r:?}");
+        assert!(r.o1_output, "{r:?}");
+    }
+
+    #[test]
+    fn device_trials_are_reproducible() {
+        let tid = id("TMM", "recommended", CrashSite::TornWriteback { bp: 400 });
+        let a = run_trial(&tid, Scale::Test);
+        let b = run_trial(&tid, Scale::Test);
+        assert_eq!(a.failed_regions, b.failed_regions);
+        assert_eq!(a.reexecutions, b.reexecutions);
+        assert_eq!(a.recovery_rounds, b.recovery_rounds);
+        assert_eq!(a.quarantined_lines, b.quarantined_lines);
+        assert_eq!(a.recovery_ns, b.recovery_ns);
+        assert_eq!(a.passed, b.passed);
+    }
+
+    #[test]
+    fn sabotaged_device_trial_fails_the_silent_corruption_oracle() {
+        let r = run_trial(
+            &id(
+                "TMM",
+                SABOTAGE_CONFIG,
+                CrashSite::TornWriteback { bp: 2_000 },
+            ),
+            Scale::Test,
+        );
+        assert_eq!(
+            r.o4_no_silent_corruption,
+            Some(false),
+            "claiming success over torn data is silent corruption: {r:?}"
+        );
+        assert!(!r.passed);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! crash point and batch mix, recovery must restore exactly the state a
 //! crash-free pipeline would have produced.
 
-use gpu_lp::LpConfig;
+use gpu_lp::{LpConfig, ResilientRecovery};
 use megakv::app::OpKind;
 use megakv::MegaKv;
-use nvm::{NvmConfig, PersistMemory};
+use nvm::{FaultConfig, NvmConfig, PersistMemory};
 use proptest::prelude::*;
 use simt::{DeviceConfig, Gpu};
 
@@ -49,5 +49,37 @@ proptest! {
         let report = app.run_with_crash_and_recover(&gpu, &mut mem, OpKind::Delete, &rt, crash_point);
         prop_assert!(report.recovered);
         prop_assert!(app.verify_deletes(&mut mem), "delete state wrong at crash point {}", crash_point);
+    }
+
+    /// Insert batch on a faulty device: write-backs tear and persists fail
+    /// transiently, then power is lost before any checkpoint. The resilient
+    /// engine must converge to a durable store whose every record survives
+    /// a final fault-free power cut.
+    #[test]
+    fn insert_on_faulty_device_recovers_durably(
+        seed in 0u64..100,
+        fault_seed in any::<u64>(),
+        (torn_bp, transient_bp) in (0u32..600, 0u32..600),
+    ) {
+        let (gpu, mut mem, app) = world(1024, seed);
+        let rt = app.lp_runtime(&mut mem, OpKind::Insert, LpConfig::recommended());
+        mem.flush_all();
+        mem.set_fault_config(Some(FaultConfig {
+            torn_writeback_bp: torn_bp,
+            transient_persist_bp: transient_bp,
+            ..FaultConfig::none(fault_seed)
+        }));
+        let kernel = app.kernel(OpKind::Insert, Some(&rt));
+        gpu.launch(kernel.as_ref(), &mut mem).expect("launch");
+        mem.crash();
+        mem.power_on();
+        let report = ResilientRecovery::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
+        prop_assert!(report.all_durable, "no convergence: {report:?}");
+        mem.set_fault_config(None);
+        mem.crash();
+        prop_assert!(
+            app.verify_inserts(&mut mem),
+            "records lost under device faults (torn {torn_bp}bp, transient {transient_bp}bp)"
+        );
     }
 }

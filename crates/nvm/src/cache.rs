@@ -4,8 +4,15 @@
 //! are *not yet durable*. Lines become durable when evicted (natural
 //! write-back, the mechanism Lazy Persistency relies on) or when explicitly
 //! flushed (what Eager Persistency would do with `clwb`).
+//!
+//! Every path that moves a line between the cache and the backing store
+//! consults a [`DeviceFaults`] instance: write-backs can tear or fail, and
+//! fills can surface media bit errors. With no fault model attached every
+//! hook reduces to a `None` check and the cache behaves exactly as the
+//! perfect device did.
 
 use crate::config::NvmConfig;
+use crate::fault::{DeviceFaults, FlushOutcome, WritebackFate};
 use crate::stats::NvmStats;
 
 /// One cache line: tag, payload, and bookkeeping bits.
@@ -96,9 +103,18 @@ impl WriteBackCache {
 
     /// Reads `buf.len()` bytes starting at `addr` through the cache.
     ///
-    /// Fills from `backing` on a miss (the fill is counted as an NVM read).
-    /// The read must not cross a line boundary.
-    pub fn read(&mut self, addr: u64, buf: &mut [u8], backing: &[u8], stats: &mut NvmStats) {
+    /// Fills from `backing` on a miss (the fill is counted as an NVM read;
+    /// the fault model may surface a media error on it, which is why the
+    /// backing store is mutable here). The read must not cross a line
+    /// boundary.
+    pub fn read(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) {
         let base = self.line_base(addr);
         debug_assert!(
             self.line_base(addr + buf.len() as u64 - 1) == base,
@@ -118,7 +134,7 @@ impl WriteBackCache {
         }
         stats.cache_misses += 1;
         // Miss: fill from NVM.
-        let line = self.fill_line(base, backing, stats);
+        let line = self.fill_line(base, backing, stats, faults);
         let off = (addr - base) as usize;
         buf.copy_from_slice(&line.data[off..off + buf.len()]);
     }
@@ -136,6 +152,7 @@ impl WriteBackCache {
         buf: &[u8],
         backing: &mut [u8],
         stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
         writer: Option<u64>,
     ) {
         let base = self.line_base(addr);
@@ -162,10 +179,11 @@ impl WriteBackCache {
         }
         stats.cache_misses += 1;
         // Write-allocate: fill, then overwrite the bytes.
-        self.evict_if_full(set_idx, backing, stats);
+        self.evict_if_full(set_idx, backing, stats, faults);
         let mut data = vec![0u8; self.line_size].into_boxed_slice();
         let b = base as usize;
         if b + self.line_size <= backing.len() {
+            faults.fill_fault(base, &mut backing[b..b + self.line_size], stats);
             data.copy_from_slice(&backing[b..b + self.line_size]);
             stats.nvm_reads += 1;
             stats.nvm_read_bytes += self.line_size as u64;
@@ -181,18 +199,23 @@ impl WriteBackCache {
         });
     }
 
-    fn fill_line(&mut self, base: u64, backing: &[u8], stats: &mut NvmStats) -> &CacheLine {
+    fn fill_line(
+        &mut self,
+        base: u64,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) -> &CacheLine {
         let set_idx = self.set_index(base);
-        // Reads never need to write back here: eviction on read miss may,
-        // but a read-only fill path keeps `backing` immutable, so instead we
-        // drop a *clean* victim and require the caller to use `write` (which
-        // takes `&mut backing`) for dirty traffic. If every way is dirty we
-        // evict the clean-est... there may be none; in that case we spill the
-        // victim into the pending list to be drained by the next write call.
+        // Reads never write back here: eviction on read miss drops a *clean*
+        // victim only, keeping dirty (non-durable) stores resident. If every
+        // way is dirty the set temporarily exceeds associativity; the
+        // overflow is repaid by the next `write`/`flush`.
         self.evict_clean_preferring(set_idx);
         let mut data = vec![0u8; self.line_size].into_boxed_slice();
         let b = base as usize;
         if b + self.line_size <= backing.len() {
+            faults.fill_fault(base, &mut backing[b..b + self.line_size], stats);
             data.copy_from_slice(&backing[b..b + self.line_size]);
         }
         stats.nvm_reads += 1;
@@ -231,61 +254,119 @@ impl WriteBackCache {
         }
     }
 
-    fn evict_if_full(&mut self, set_idx: usize, backing: &mut [u8], stats: &mut NvmStats) {
+    /// Makes room in a full set. Victims are tried in LRU order: a clean
+    /// victim is dropped, a dirty one is written back first. A write-back
+    /// the device fails (transient or stuck line) leaves its line dirty and
+    /// resident and the next-LRU candidate is tried instead; if *every* way
+    /// is stuck-dirty the set temporarily exceeds associativity rather than
+    /// lose a non-durable store. With faults off the first (true-LRU)
+    /// candidate always succeeds, preserving the historical eviction order
+    /// bit-for-bit.
+    fn evict_if_full(
+        &mut self,
+        set_idx: usize,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) {
         while self.sets[set_idx].len() >= self.associativity {
-            let pos = self.sets[set_idx]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("set is non-empty");
-            let victim = self.sets[set_idx].swap_remove(pos);
-            if victim.dirty {
-                Self::write_back(&victim, backing, stats);
-                stats.natural_evictions += 1;
+            let mut order: Vec<usize> = (0..self.sets[set_idx].len()).collect();
+            order.sort_by_key(|&i| self.sets[set_idx][i].last_use);
+            let mut removed = false;
+            for pos in order {
+                if self.sets[set_idx][pos].dirty {
+                    if !Self::write_back(&self.sets[set_idx][pos], backing, stats, faults) {
+                        continue;
+                    }
+                    stats.natural_evictions += 1;
+                }
+                self.sets[set_idx].swap_remove(pos);
+                removed = true;
+                break;
+            }
+            if !removed {
+                return;
             }
         }
     }
 
-    fn write_back(line: &CacheLine, backing: &mut [u8], stats: &mut NvmStats) {
-        let b = line.base as usize;
+    /// Copies a line into the backing store, subject to the fault model.
+    /// Returns whether the device accepted the persist (a torn write-back
+    /// *is* accepted — the tear is silent by definition).
+    fn write_back(
+        line: &CacheLine,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) -> bool {
         let len = line.data.len();
+        let fate = faults.writeback_fate(line.base, len / 8);
+        if fate == WritebackFate::Fail {
+            stats.transient_persist_fails += 1;
+            return false;
+        }
+        let b = line.base as usize;
         if b + len <= backing.len() {
-            backing[b..b + len].copy_from_slice(&line.data);
+            let keep = match fate {
+                WritebackFate::Torn(words) => words * 8,
+                _ => len,
+            };
+            backing[b..b + keep].copy_from_slice(&line.data[..keep]);
+        }
+        if let WritebackFate::Torn(_) = fate {
+            stats.torn_writebacks += 1;
         }
         stats.nvm_writes += 1;
         stats.nvm_write_bytes += len as u64;
+        true
     }
 
     /// Writes back every dirty line (an explicit whole-cache flush, the
     /// checkpoint boundary of §IV-A) and marks them clean. Lines stay
-    /// resident.
-    pub fn flush_all(&mut self, backing: &mut [u8], stats: &mut NvmStats) {
+    /// resident. Returns the number of lines whose write-back the device
+    /// *failed* (they stay dirty; zero on a perfect device).
+    pub fn flush_all(
+        &mut self,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) -> u64 {
+        let mut failed = 0;
         for set in &mut self.sets {
             for line in set.iter_mut() {
                 if line.dirty {
-                    Self::write_back(line, backing, stats);
-                    stats.explicit_flushes += 1;
-                    line.dirty = false;
-                    line.writers.clear();
+                    if Self::write_back(line, backing, stats, faults) {
+                        stats.explicit_flushes += 1;
+                        line.dirty = false;
+                        line.writers.clear();
+                    } else {
+                        failed += 1;
+                    }
                 }
             }
         }
+        failed
     }
 
     /// Writes back at most `budget` dirty lines, in deterministic
     /// (set-major) order, then stops. Returns how many lines were written
-    /// back. Used to model a crash landing in the middle of a checkpoint
-    /// `flush_all`.
-    pub fn flush_upto(&mut self, budget: u64, backing: &mut [u8], stats: &mut NvmStats) -> u64 {
+    /// back; device-failed write-backs leave their line dirty and do not
+    /// consume budget. Used to model a crash landing in the middle of a
+    /// checkpoint `flush_all`.
+    pub fn flush_upto(
+        &mut self,
+        budget: u64,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) -> u64 {
         let mut done = 0;
         for set in &mut self.sets {
             for line in set.iter_mut() {
                 if done >= budget {
                     return done;
                 }
-                if line.dirty {
-                    Self::write_back(line, backing, stats);
+                if line.dirty && Self::write_back(line, backing, stats, faults) {
                     stats.explicit_flushes += 1;
                     line.dirty = false;
                     line.writers.clear();
@@ -301,23 +382,74 @@ impl WriteBackCache {
         self.sets.iter().flat_map(|s| s.iter()).filter(|l| l.dirty)
     }
 
+    /// Sorted base addresses of the currently dirty lines.
+    pub fn dirty_line_bases(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.dirty_line_views().map(|l| l.base).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The resident line containing `addr`, if any.
+    pub fn line_view(&self, addr: u64) -> Option<&CacheLine> {
+        let base = self.line_base(addr);
+        self.sets[self.set_index(base)]
+            .iter()
+            .find(|l| l.base == base)
+    }
+
     /// Writes back the single line containing `addr` if it is resident and
     /// dirty (the `clwb` primitive Eager Persistency relies on). The line
-    /// stays resident and becomes clean. Returns whether a write-back
-    /// happened.
-    pub fn flush_line(&mut self, addr: u64, backing: &mut [u8], stats: &mut NvmStats) -> bool {
+    /// stays resident and becomes clean on success; a device-failed persist
+    /// leaves it dirty and reports [`FlushOutcome::TransientFail`].
+    pub fn flush_line(
+        &mut self,
+        addr: u64,
+        backing: &mut [u8],
+        stats: &mut NvmStats,
+        faults: &mut DeviceFaults,
+    ) -> FlushOutcome {
         let base = self.line_base(addr);
         let set_idx = self.set_index(base);
         if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.base == base) {
             if line.dirty {
-                Self::write_back(line, backing, stats);
-                stats.explicit_flushes += 1;
-                line.dirty = false;
-                line.writers.clear();
-                return true;
+                return if Self::write_back(line, backing, stats, faults) {
+                    stats.explicit_flushes += 1;
+                    line.dirty = false;
+                    line.writers.clear();
+                    FlushOutcome::Persisted
+                } else {
+                    FlushOutcome::TransientFail
+                };
             }
         }
-        false
+        FlushOutcome::Clean
+    }
+
+    /// Drops the resident line containing `addr` *without* write-back,
+    /// dirty or not. Used when a line is quarantined: its content has
+    /// already been copied to the remap target, so the stale physical line
+    /// must not linger (or ever be written back). Returns whether a line
+    /// was dropped.
+    pub fn discard_line(&mut self, addr: u64) -> bool {
+        let base = self.line_base(addr);
+        let set_idx = self.set_index(base);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.base == base) {
+            set.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every *clean* resident line, keeping dirty ones. After this,
+    /// reads of clean data observe the durable image — which is how
+    /// resilient recovery detects torn write-backs that a cached (intact)
+    /// copy would mask.
+    pub fn invalidate_clean(&mut self) {
+        for set in &mut self.sets {
+            set.retain(|l| l.dirty);
+        }
     }
 
     /// Simulates power loss: every resident line is discarded *without*
@@ -332,8 +464,9 @@ impl WriteBackCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
 
-    fn tiny() -> (WriteBackCache, Vec<u8>, NvmStats) {
+    fn tiny() -> (WriteBackCache, Vec<u8>, NvmStats, DeviceFaults) {
         let cfg = NvmConfig {
             line_size: 16,
             cache_lines: 4,
@@ -344,34 +477,35 @@ mod tests {
             WriteBackCache::new(&cfg),
             vec![0u8; 4096],
             NvmStats::default(),
+            DeviceFaults::off(),
         )
     }
 
     #[test]
     fn write_then_read_hits() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(32, &[1, 2, 3, 4], &mut back, &mut st, None);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(32, &[1, 2, 3, 4], &mut back, &mut st, &mut f, None);
         let mut buf = [0u8; 4];
-        c.read(32, &mut buf, &back, &mut st);
+        c.read(32, &mut buf, &mut back, &mut st, &mut f);
         assert_eq!(buf, [1, 2, 3, 4]);
         assert!(st.cache_hits >= 1);
     }
 
     #[test]
     fn dirty_line_not_in_backing_until_evicted() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[9; 8], &mut back, &mut st, None);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[9; 8], &mut back, &mut st, &mut f, None);
         assert_eq!(&back[0..8], &[0; 8]);
         assert!(c.is_dirty(0));
     }
 
     #[test]
     fn eviction_writes_back() {
-        let (mut c, mut back, mut st) = tiny();
+        let (mut c, mut back, mut st, mut f) = tiny();
         // 2 sets, 2 ways, 16B lines: addresses 0, 32, 64 map to set 0.
-        c.write(0, &[1; 8], &mut back, &mut st, None);
-        c.write(32, &[2; 8], &mut back, &mut st, None);
-        c.write(64, &[3; 8], &mut back, &mut st, None); // evicts line 0
+        c.write(0, &[1; 8], &mut back, &mut st, &mut f, None);
+        c.write(32, &[2; 8], &mut back, &mut st, &mut f, None);
+        c.write(64, &[3; 8], &mut back, &mut st, &mut f, None); // evicts line 0
         assert_eq!(&back[0..8], &[1; 8]);
         assert_eq!(st.natural_evictions, 1);
         assert!(st.nvm_writes >= 1);
@@ -379,45 +513,45 @@ mod tests {
 
     #[test]
     fn crash_loses_dirty_data() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st, None);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st, &mut f, None);
         c.crash();
         let mut buf = [0u8; 8];
-        c.read(0, &mut buf, &back, &mut st);
+        c.read(0, &mut buf, &mut back, &mut st, &mut f);
         assert_eq!(buf, [0; 8]);
     }
 
     #[test]
     fn flush_makes_data_durable() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st, None);
-        c.flush_all(&mut back, &mut st);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st, &mut f, None);
+        assert_eq!(c.flush_all(&mut back, &mut st, &mut f), 0);
         assert!(!c.is_dirty(0));
         c.crash();
         let mut buf = [0u8; 8];
-        c.read(0, &mut buf, &back, &mut st);
+        c.read(0, &mut buf, &mut back, &mut st, &mut f);
         assert_eq!(buf, [7; 8]);
     }
 
     #[test]
     fn flush_is_idempotent() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[7; 8], &mut back, &mut st, None);
-        c.flush_all(&mut back, &mut st);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[7; 8], &mut back, &mut st, &mut f, None);
+        c.flush_all(&mut back, &mut st, &mut f);
         let w = st.nvm_writes;
-        c.flush_all(&mut back, &mut st);
+        c.flush_all(&mut back, &mut st, &mut f);
         assert_eq!(st.nvm_writes, w, "clean lines must not be re-flushed");
     }
 
     #[test]
     fn lru_evicts_least_recent() {
-        let (mut c, mut back, mut st) = tiny();
-        c.write(0, &[1; 4], &mut back, &mut st, None);
-        c.write(32, &[2; 4], &mut back, &mut st, None);
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[1; 4], &mut back, &mut st, &mut f, None);
+        c.write(32, &[2; 4], &mut back, &mut st, &mut f, None);
         // Touch line 0 so line 32 becomes LRU.
         let mut buf = [0u8; 4];
-        c.read(0, &mut buf, &back, &mut st);
-        c.write(64, &[3; 4], &mut back, &mut st, None);
+        c.read(0, &mut buf, &mut back, &mut st, &mut f);
+        c.write(64, &[3; 4], &mut back, &mut st, &mut f, None);
         // Line 32 should be the victim.
         assert_eq!(&back[32..36], &[2; 4]);
         assert_eq!(&back[0..4], &[0; 4]);
@@ -425,27 +559,108 @@ mod tests {
 
     #[test]
     fn read_miss_counts_nvm_read() {
-        let (mut c, back, _) = tiny();
+        let (c, mut back, _, mut f) = tiny();
         let mut st = NvmStats::default();
         let mut c2 = c.clone();
         let mut buf = [0u8; 4];
-        c2.read(100, &mut buf, &back, &mut st);
+        c2.read(100, &mut buf, &mut back, &mut st, &mut f);
         assert_eq!(st.nvm_reads, 1);
         assert_eq!(st.cache_misses, 1);
-        // Silence unused warning.
-        let _ = &mut c;
     }
 
     #[test]
     fn partial_line_write_preserves_other_bytes() {
-        let (mut c, mut back, mut st) = tiny();
+        let (mut c, mut back, mut st, mut f) = tiny();
         back[16..32].copy_from_slice(&[5; 16]);
-        c.write(20, &[9, 9], &mut back, &mut st, None);
+        c.write(20, &[9, 9], &mut back, &mut st, &mut f, None);
         let mut buf = [0u8; 16];
-        c.read(16, &mut buf, &back, &mut st);
+        c.read(16, &mut buf, &mut back, &mut st, &mut f);
         let mut expect = [5u8; 16];
         expect[4] = 9;
         expect[5] = 9;
         assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn torn_writeback_persists_only_a_prefix() {
+        let (mut c, mut back, mut st, _) = tiny();
+        let mut f = DeviceFaults::new(Some(FaultConfig::torn(1, 10_000)));
+        c.write(0, &[0xEE; 16], &mut back, &mut st, &mut f, None);
+        assert_eq!(c.flush_all(&mut back, &mut st, &mut f), 0);
+        assert!(!c.is_dirty(0), "the device *reported* success");
+        assert_eq!(st.torn_writebacks, 1);
+        // A 16B line has 2 words; a strict-prefix tear keeps 0 or 1 of them.
+        assert_ne!(&back[0..16], &[0xEE; 16], "the tail must be missing");
+    }
+
+    #[test]
+    fn failed_writeback_keeps_line_dirty() {
+        let (mut c, mut back, mut st, _) = tiny();
+        let cfg = FaultConfig {
+            transient_persist_bp: 10_000,
+            ..FaultConfig::none(1)
+        };
+        let mut f = DeviceFaults::new(Some(cfg));
+        c.write(0, &[3; 16], &mut back, &mut st, &mut f, None);
+        assert_eq!(c.flush_all(&mut back, &mut st, &mut f), 1);
+        assert!(c.is_dirty(0));
+        assert_eq!(&back[0..16], &[0; 16], "nothing reached the media");
+        assert!(st.transient_persist_fails >= 1);
+        assert_eq!(st.nvm_writes, 0);
+        assert_eq!(
+            c.flush_line(0, &mut back, &mut st, &mut f),
+            FlushOutcome::TransientFail
+        );
+    }
+
+    #[test]
+    fn stuck_set_overflows_instead_of_losing_stores() {
+        let (mut c, mut back, mut st, _) = tiny();
+        let cfg = FaultConfig {
+            stuck_line_bp: 10_000, // every line is stuck
+            ..FaultConfig::none(1)
+        };
+        let mut f = DeviceFaults::new(Some(cfg));
+        // Three dirty lines in a 2-way set: eviction cannot persist any of
+        // them, so the set must overflow rather than drop a store.
+        c.write(0, &[1; 16], &mut back, &mut st, &mut f, None);
+        c.write(32, &[2; 16], &mut back, &mut st, &mut f, None);
+        c.write(64, &[3; 16], &mut back, &mut st, &mut f, None);
+        assert_eq!(c.dirty_lines(), 3);
+        let mut buf = [0u8; 16];
+        c.read(0, &mut buf, &mut back, &mut st, &mut f);
+        assert_eq!(buf, [1; 16], "the overflowed store is still visible");
+        assert_eq!(st.natural_evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_clean_keeps_dirty_lines() {
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[1; 8], &mut back, &mut st, &mut f, None);
+        c.flush_all(&mut back, &mut st, &mut f); // line 0 clean, resident
+        c.write(16, &[2; 8], &mut back, &mut st, &mut f, None); // dirty
+        c.invalidate_clean();
+        assert_eq!(c.resident_lines(), 1);
+        assert!(c.is_dirty(16));
+        assert!(c.line_view(0).is_none());
+    }
+
+    #[test]
+    fn discard_line_drops_without_writeback() {
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(0, &[9; 16], &mut back, &mut st, &mut f, None);
+        let w = st.nvm_writes;
+        assert!(c.discard_line(5)); // any addr inside the line
+        assert!(!c.discard_line(0));
+        assert_eq!(st.nvm_writes, w);
+        assert_eq!(&back[0..16], &[0; 16]);
+    }
+
+    #[test]
+    fn dirty_line_bases_are_sorted() {
+        let (mut c, mut back, mut st, mut f) = tiny();
+        c.write(48, &[1; 8], &mut back, &mut st, &mut f, None);
+        c.write(0, &[2; 8], &mut back, &mut st, &mut f, None);
+        assert_eq!(c.dirty_line_bases(), vec![0, 48]);
     }
 }

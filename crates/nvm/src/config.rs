@@ -77,6 +77,12 @@ impl NvmConfig {
                 self.line_size
             ));
         }
+        if self.line_size < 8 {
+            // The device persists lines in 8-byte words (the granularity the
+            // torn-write-back fault model tears at), so a line must hold at
+            // least one word.
+            return Err(format!("line_size {} is below 8 bytes", self.line_size));
+        }
         if self.associativity == 0 || self.cache_lines == 0 {
             return Err("cache geometry must be non-zero".to_string());
         }
@@ -141,6 +147,20 @@ mod tests {
             ..NvmConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_sub_word_line() {
+        let cfg = NvmConfig {
+            line_size: 4,
+            ..NvmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = NvmConfig {
+            line_size: 8,
+            ..NvmConfig::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

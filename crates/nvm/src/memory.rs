@@ -4,7 +4,9 @@
 use crate::alloc::{Addr, BumpAllocator};
 use crate::cache::WriteBackCache;
 use crate::config::NvmConfig;
+use crate::fault::{DeviceFaults, FaultConfig, FlushOutcome};
 use crate::stats::NvmStats;
+use std::collections::BTreeMap;
 
 /// A crash predicate over the live traffic statistics. Plain function
 /// pointer (not a boxed closure) so [`PersistMemory`] stays `Clone`.
@@ -113,18 +115,21 @@ pub struct PersistMemory {
     crash_loss: Option<CrashLoss>,
     writer: Option<u64>,
     dropped_stores: u64,
+    faults: DeviceFaults,
+    /// Quarantine remap: logical line base → physical line base. Lines the
+    /// runtime retired via [`Self::quarantine_line`] are transparently
+    /// redirected; an empty map (the normal case) costs one `is_empty`
+    /// check per access chunk.
+    remap: BTreeMap<u64, u64>,
 }
 
 impl PersistMemory {
-    /// Creates an empty memory with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` fails [`NvmConfig::validate`].
-    pub fn new(cfg: NvmConfig) -> Self {
-        cfg.validate().expect("invalid NvmConfig");
+    /// Creates an empty memory with the given configuration, rejecting an
+    /// invalid one instead of panicking.
+    pub fn try_new(cfg: NvmConfig) -> Result<Self, String> {
+        cfg.validate()?;
         let cache = WriteBackCache::new(&cfg);
-        Self {
+        Ok(Self {
             cfg,
             backing: Vec::new(),
             cache,
@@ -135,7 +140,36 @@ impl PersistMemory {
             crash_loss: None,
             writer: None,
             dropped_stores: 0,
-        }
+            faults: DeviceFaults::off(),
+            remap: BTreeMap::new(),
+        })
+    }
+
+    /// Creates an empty memory with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NvmConfig::validate`].
+    pub fn new(cfg: NvmConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid NvmConfig: {e}"))
+    }
+
+    /// Attaches (or with `None` removes) a device fault model. The model
+    /// restarts from the beginning of its deterministic fault sequence.
+    pub fn set_fault_config(&mut self, cfg: Option<FaultConfig>) {
+        self.faults = DeviceFaults::new(cfg);
+    }
+
+    /// The attached fault configuration, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.faults.config().copied()
+    }
+
+    /// Drains the physical line bases whose fills hit ECC-detected (and
+    /// corrected) media errors since the last call. One entry per event, so
+    /// a decaying line appears repeatedly — the runtime's cue to retire it.
+    pub fn take_ecc_log(&mut self) -> Vec<u64> {
+        self.faults.take_ecc_log()
     }
 
     /// The active configuration.
@@ -183,6 +217,21 @@ impl PersistMemory {
         );
     }
 
+    /// Translates a (logical) device address through the quarantine remap.
+    /// Identity unless the address' line has been retired; remap targets
+    /// are fresh allocations, so chains cannot form and one hop suffices.
+    fn translate(&self, a: u64) -> u64 {
+        if self.remap.is_empty() {
+            return a;
+        }
+        let line = self.cfg.line_size as u64;
+        let base = a & !(line - 1);
+        match self.remap.get(&base) {
+            Some(&phys) => phys + (a - base),
+            None => a,
+        }
+    }
+
     /// Reads raw bytes through the cache (volatile view). Accesses may cross
     /// line boundaries; they are split internally.
     pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
@@ -194,11 +243,13 @@ impl PersistMemory {
             let a = addr.raw() + off as u64;
             let in_line = (line - (a % line)) as usize;
             let chunk = in_line.min(buf.len() - off);
+            let phys = self.translate(a);
             self.cache.read(
-                a,
+                phys,
                 &mut buf[off..off + chunk],
-                &self.backing,
+                &mut self.backing,
                 &mut self.stats,
+                &mut self.faults,
             );
             off += chunk;
         }
@@ -222,11 +273,13 @@ impl PersistMemory {
             let a = addr.raw() + off as u64;
             let in_line = (line - (a % line)) as usize;
             let chunk = in_line.min(buf.len() - off);
+            let phys = self.translate(a);
             self.cache.write(
-                a,
+                phys,
                 &buf[off..off + chunk],
                 &mut self.backing,
                 &mut self.stats,
+                &mut self.faults,
                 self.writer,
             );
             off += chunk;
@@ -238,13 +291,26 @@ impl PersistMemory {
     /// Does not perturb the cache or statistics.
     pub fn read_durable_bytes(&self, addr: Addr, buf: &mut [u8]) {
         self.check(addr, buf.len());
-        let b = addr.raw() as usize;
-        buf.copy_from_slice(&self.backing[b..b + buf.len()]);
+        if self.remap.is_empty() {
+            let b = addr.raw() as usize;
+            buf.copy_from_slice(&self.backing[b..b + buf.len()]);
+            return;
+        }
+        let line = self.cfg.line_size as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.raw() + off as u64;
+            let in_line = (line - (a % line)) as usize;
+            let chunk = in_line.min(buf.len() - off);
+            let p = self.translate(a) as usize;
+            buf[off..off + chunk].copy_from_slice(&self.backing[p..p + chunk]);
+            off += chunk;
+        }
     }
 
     /// Whether the cache line holding `addr` has non-durable (dirty) data.
     pub fn is_volatile(&self, addr: Addr) -> bool {
-        self.cache.is_dirty(addr.raw())
+        self.cache.is_dirty(self.translate(addr.raw()))
     }
 
     /// Number of dirty (non-durable) lines currently in the cache.
@@ -370,35 +436,115 @@ impl PersistMemory {
     /// boundary, §IV-A of the paper). If a mid-flush crash is armed, only
     /// the armed number of lines persists before power fails.
     pub fn flush_all(&mut self) {
+        let _ = self.flush_all_result();
+    }
+
+    /// [`Self::flush_all`], reporting how many dirty lines remain because
+    /// the device failed their write-back (or power was already off / fails
+    /// mid-flush). Zero means everything persisted — on a perfect device
+    /// this always returns zero; under a fault model a non-zero result is
+    /// the caller's cue to retry or quarantine.
+    pub fn flush_all_result(&mut self) -> u64 {
         if self.power_failed {
-            return;
+            return self.cache.dirty_lines() as u64;
         }
         if let CrashTrigger::DuringFlush(budget) = self.trigger {
-            let flushed = self
-                .cache
-                .flush_upto(budget, &mut self.backing, &mut self.stats);
+            let flushed =
+                self.cache
+                    .flush_upto(budget, &mut self.backing, &mut self.stats, &mut self.faults);
             if flushed >= budget {
                 self.trip();
-                return;
+                return self.cache.dirty_lines() as u64;
             }
             // Fewer dirty lines than the budget: the flush completed
             // before the crash point — the trigger stays armed.
             self.trigger = CrashTrigger::DuringFlush(budget - flushed);
-            return;
+            return self.cache.dirty_lines() as u64;
         }
-        self.cache.flush_all(&mut self.backing, &mut self.stats);
+        self.cache
+            .flush_all(&mut self.backing, &mut self.stats, &mut self.faults)
     }
 
     /// Writes back the single cache line containing `addr` (`clwb`): the
     /// Eager Persistency primitive. Returns whether a dirty line was
     /// actually written back.
     pub fn flush_line(&mut self, addr: Addr) -> bool {
+        self.flush_line_checked(addr) == FlushOutcome::Persisted
+    }
+
+    /// [`Self::flush_line`] with the device's verdict: distinguishes
+    /// "nothing to do" from "persisted" from "the device refused and the
+    /// line is still dirty".
+    pub fn flush_line_checked(&mut self, addr: Addr) -> FlushOutcome {
         self.check(addr, 1);
         if self.power_failed {
-            return false;
+            return FlushOutcome::Clean;
         }
+        let phys = self.translate(addr.raw());
         self.cache
-            .flush_line(addr.raw(), &mut self.backing, &mut self.stats)
+            .flush_line(phys, &mut self.backing, &mut self.stats, &mut self.faults)
+    }
+
+    /// Sorted physical base addresses of the currently dirty lines.
+    pub fn dirty_line_bases(&self) -> Vec<u64> {
+        self.cache.dirty_line_bases()
+    }
+
+    /// The dirty lines with their writer tags, sorted by physical base.
+    pub fn dirty_line_info(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut v: Vec<(u64, Vec<u64>)> = self
+            .cache
+            .dirty_line_views()
+            .map(|l| (l.base, l.writers.clone()))
+            .collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    /// Drops every *clean* resident line so subsequent reads observe the
+    /// durable image. Dirty (non-durable) lines stay. Resilient recovery
+    /// calls this before validating: a torn write-back leaves the intact
+    /// copy cached, and validating against that copy would wrongly pass.
+    pub fn invalidate_clean_lines(&mut self) {
+        self.cache.invalidate_clean();
+    }
+
+    /// Retires the (physical) line containing `base` and remaps its logical
+    /// line to a freshly allocated one, copying the current content across
+    /// — the software analogue of a device firmware retiring a worn-out
+    /// line from its spare pool. The copy is made durable directly (it does
+    /// not pass through the cache or the fault model's write-back path), so
+    /// after quarantine the line's volatile and durable views agree.
+    /// Returns the new physical line address.
+    pub fn quarantine_line(&mut self, base: u64) -> Addr {
+        let line = self.cfg.line_size;
+        let base = base & !(line as u64 - 1);
+        // `base` may itself already be a remap target; resolve the logical
+        // key so the map stays single-hop (targets are fresh allocations,
+        // never logical keys, so chains cannot form).
+        let logical = self
+            .remap
+            .iter()
+            .find(|&(_, &v)| v == base)
+            .map(|(&k, _)| k)
+            .unwrap_or(base);
+        let phys = self.translate(logical);
+        let snapshot: Vec<u8> = match self.cache.line_view(phys) {
+            Some(l) => l.data.to_vec(),
+            None => match self.backing.get(phys as usize..phys as usize + line) {
+                Some(s) => s.to_vec(),
+                None => vec![0; line],
+            },
+        };
+        self.cache.discard_line(phys);
+        let new = self.alloc(line as u64, line as u64);
+        let nb = new.raw() as usize;
+        self.backing[nb..nb + line].copy_from_slice(&snapshot);
+        self.remap.insert(logical, new.raw());
+        self.stats.nvm_writes += 1;
+        self.stats.nvm_write_bytes += line as u64;
+        self.stats.quarantined_lines += 1;
+        new
     }
 
     // ---- typed volatile accessors ------------------------------------
@@ -723,6 +869,148 @@ mod tests {
             m.write_u64(a.offset(i * 32), i);
         }
         assert!(!m.power_failed());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let bad = NvmConfig {
+            associativity: 0,
+            ..NvmConfig::default()
+        };
+        assert!(PersistMemory::try_new(bad).is_err());
+        let bad_line = NvmConfig {
+            line_size: 4, // below the 8-byte persist word
+            ..NvmConfig::default()
+        };
+        assert!(PersistMemory::try_new(bad_line).is_err());
+        assert!(PersistMemory::try_new(NvmConfig::tiny_cache()).is_ok());
+    }
+
+    #[test]
+    fn inactive_fault_model_is_bit_identical_to_none() {
+        let drive = |m: &mut PersistMemory| {
+            let a = m.alloc(32 * 64, 32);
+            for i in 0..64 {
+                m.write_u64(a.offset(i * 32), i * 3);
+            }
+            for i in 0..64 {
+                m.read_u64(a.offset(i * 32));
+            }
+            m.flush_all();
+            a
+        };
+        let mut plain = evicting_mem();
+        let a1 = drive(&mut plain);
+        let mut modeled = evicting_mem();
+        modeled.set_fault_config(Some(FaultConfig::none(42)));
+        let a2 = drive(&mut modeled);
+        assert_eq!(plain.stats(), modeled.stats(), "zero-cost when off");
+        for i in 0..64 {
+            assert_eq!(
+                plain.read_durable_u64(a1.offset(i * 32)),
+                modeled.read_durable_u64(a2.offset(i * 32))
+            );
+        }
+    }
+
+    #[test]
+    fn torn_writeback_breaks_durable_view_silently() {
+        let mut m = evicting_mem();
+        m.set_fault_config(Some(FaultConfig::torn(7, 10_000)));
+        let a = m.alloc(32, 32);
+        for i in 0..4 {
+            m.write_u64(a.offset(i * 8), 0x1111_1111_1111_1111 * (i + 1));
+        }
+        assert_eq!(m.flush_all_result(), 0, "a torn persist reports success");
+        assert!(m.stats().torn_writebacks >= 1);
+        m.crash();
+        let intact = (0..4)
+            .filter(|&i| m.read_u64(a.offset(i * 8)) == 0x1111_1111_1111_1111 * (i + 1))
+            .count();
+        assert!(intact < 4, "the tear must have dropped a suffix");
+    }
+
+    #[test]
+    fn transient_failures_surface_through_flush_all_result() {
+        let mut m = evicting_mem();
+        m.set_fault_config(Some(FaultConfig {
+            transient_persist_bp: 10_000,
+            ..FaultConfig::none(7)
+        }));
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 99);
+        assert_eq!(m.flush_all_result(), 1, "the line stayed dirty");
+        assert!(m.is_volatile(a));
+        // Drop the model: the retry now succeeds, like a transient fault
+        // clearing.
+        m.set_fault_config(None);
+        assert_eq!(m.flush_all_result(), 0);
+        assert_eq!(m.read_durable_u64(a), 99);
+    }
+
+    #[test]
+    fn quarantine_remaps_transparently() {
+        let mut m = mem();
+        let a = m.alloc(64, 32);
+        m.write_u64(a, 41);
+        m.flush_all();
+        m.write_u64(a, 42); // dirty volatile content must survive the move
+        let old_phys = a.raw();
+        let new_phys = m.quarantine_line(old_phys);
+        assert_ne!(new_phys.raw(), old_phys);
+        assert_eq!(m.stats().quarantined_lines, 1);
+        assert_eq!(m.read_u64(a), 42, "volatile content carried across");
+        assert_eq!(m.read_durable_u64(a), 42, "firmware copy is durable");
+        assert!(!m.is_volatile(a), "remapped line starts clean");
+        // Stores keep flowing to the new physical line.
+        m.write_u64(a, 43);
+        m.flush_all();
+        assert_eq!(m.read_durable_u64(a), 43);
+        m.crash();
+        assert_eq!(m.read_u64(a), 43);
+    }
+
+    #[test]
+    fn quarantining_a_remapped_line_does_not_chain() {
+        let mut m = mem();
+        let a = m.alloc(32, 32);
+        m.write_u64(a, 7);
+        m.flush_all();
+        let first = m.quarantine_line(a.raw());
+        // Retire the *new* physical line: the logical address must follow.
+        let second = m.quarantine_line(first.raw());
+        assert_ne!(second.raw(), first.raw());
+        assert_eq!(m.read_u64(a), 7);
+        assert_eq!(m.read_durable_u64(a), 7);
+        assert_eq!(m.stats().quarantined_lines, 2);
+    }
+
+    #[test]
+    fn invalidate_clean_lines_exposes_durable_truth() {
+        let mut m = mem();
+        m.set_fault_config(Some(FaultConfig::torn(3, 10_000)));
+        let a = m.alloc(32, 32);
+        for i in 0..4 {
+            m.write_u64(a.offset(i * 8), u64::MAX);
+        }
+        m.flush_all(); // torn: durable differs, cache still holds intact copy
+        let volatile: Vec<u64> = (0..4).map(|i| m.read_u64(a.offset(i * 8))).collect();
+        assert_eq!(volatile, vec![u64::MAX; 4], "cache masks the tear");
+        m.invalidate_clean_lines();
+        let seen: Vec<u64> = (0..4).map(|i| m.read_u64(a.offset(i * 8))).collect();
+        assert_ne!(seen, vec![u64::MAX; 4], "now the tear is visible");
+    }
+
+    #[test]
+    fn ecc_log_drains_through_memory() {
+        let mut m = mem();
+        m.set_fault_config(Some(FaultConfig::media(9, 10_000, 0)));
+        let a = m.alloc(32, 32);
+        m.read_u64(a); // miss → fill → ECC event
+        let log = m.take_ecc_log();
+        assert_eq!(log, vec![a.raw()]);
+        assert_eq!(m.stats().ecc_detected_errors, 1);
+        assert_eq!(m.read_u64(a), 0, "ECC corrected: data intact");
     }
 
     #[test]

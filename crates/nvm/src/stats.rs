@@ -30,6 +30,20 @@ pub struct NvmStats {
     pub store_ops: u64,
     /// Program-level load operations issued (any size).
     pub load_ops: u64,
+    /// Write-backs that persisted only a prefix of the line's 8-byte words
+    /// while the device reported success (injected by the fault model).
+    pub torn_writebacks: u64,
+    /// Write-backs that failed and left the line dirty (transient persist
+    /// failures plus every attempt against a stuck line).
+    pub transient_persist_fails: u64,
+    /// Media bit errors on line fills that ECC detected and corrected.
+    pub ecc_detected_errors: u64,
+    /// Media bit errors on line fills that went undetected (one bit of the
+    /// durable image flipped silently).
+    pub silent_bit_errors: u64,
+    /// Lines retired and remapped to fresh physical lines by
+    /// [`crate::PersistMemory::quarantine_line`].
+    pub quarantined_lines: u64,
 }
 
 impl NvmStats {
@@ -63,6 +77,11 @@ impl Sub for NvmStats {
             explicit_flushes: self.explicit_flushes - rhs.explicit_flushes,
             store_ops: self.store_ops - rhs.store_ops,
             load_ops: self.load_ops - rhs.load_ops,
+            torn_writebacks: self.torn_writebacks - rhs.torn_writebacks,
+            transient_persist_fails: self.transient_persist_fails - rhs.transient_persist_fails,
+            ecc_detected_errors: self.ecc_detected_errors - rhs.ecc_detected_errors,
+            silent_bit_errors: self.silent_bit_errors - rhs.silent_bit_errors,
+            quarantined_lines: self.quarantined_lines - rhs.quarantined_lines,
         }
     }
 }

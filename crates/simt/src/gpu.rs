@@ -233,6 +233,35 @@ impl Gpu {
         ctx.finish()
     }
 
+    /// [`Self::run_single_block`] with every access reported to `obs`.
+    ///
+    /// Used by degraded-mode recovery: re-executing a failed block under
+    /// observation yields the exact set of lines it stores to, which the
+    /// recovery runtime then persists eagerly, line by line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_id` is outside the kernel's grid.
+    pub fn run_single_block_observed(
+        &self,
+        kernel: &dyn Kernel,
+        mem: &mut PersistMemory,
+        block_id: u64,
+        obs: &mut dyn AccessObserver,
+    ) -> crate::BlockCost {
+        let lc = kernel.config();
+        assert!(block_id < lc.num_blocks(), "block id outside grid");
+        let line = mem.config().line_size as u64;
+        let mut dev = DeviceState::new(&self.cfg, 1, line);
+        obs.on_block_begin(block_id);
+        let mut ctx =
+            BlockCtx::new_observed(lc, block_id, mem, &mut dev, &self.cfg, Some(&mut *obs));
+        kernel.run_block(&mut ctx);
+        let cost = ctx.finish();
+        obs.on_block_end(block_id);
+        cost
+    }
+
     fn launch_inner(
         &self,
         kernel: &dyn Kernel,

@@ -4,10 +4,10 @@
 //! mid-kernel *and again* during recovery — for one compute-bound (TMM)
 //! and one memory-bound (SPMV) workload.
 
-use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine};
+use lpgpu::gpu_lp::{LpConfig, LpRuntime, RecoveryEngine, ResilientRecovery};
 use lpgpu::lp_fault::{run_campaign, run_trial, CampaignSpec, CrashSite, TrialId, SABOTAGE_CONFIG};
 use lpgpu::lp_kernels::{workload_by_name, Scale};
-use lpgpu::nvm::{NvmConfig, PersistMemory};
+use lpgpu::nvm::{FaultConfig, NvmConfig, PersistMemory};
 use lpgpu::simt::{CrashPlan, DeviceConfig, Gpu};
 use proptest::prelude::*;
 
@@ -113,5 +113,110 @@ proptest! {
             w.verify(&mut mem),
             "{name}: output wrong after double crash at ({first_crash}, eviction {second_nth})"
         );
+    }
+
+    /// The double crash on a *faulty* device: a drawn fault model (torn
+    /// write-backs + transient persist failures) is active through the
+    /// kernel, the aborted recovery, and the post-reboot recovery. The
+    /// aborted pass must report honestly, and the resilient engine must
+    /// still converge to a durable, correct output.
+    #[test]
+    fn double_crash_under_device_faults_converges(
+        first_crash in 50u64..20_000,
+        second_nth in 1u64..6,
+        workload_pick in 0usize..2,
+        seed in 0u64..100,
+        (fault_seed, torn_bp, transient_bp) in (any::<u64>(), 0u32..800, 0u32..800),
+    ) {
+        let name = ["SPMV", "TMM"][workload_pick];
+        let gpu = Gpu::new(DeviceConfig::test_gpu());
+        let mut mem = PersistMemory::new(NvmConfig {
+            cache_lines: 256,
+            associativity: 8,
+            ..NvmConfig::default()
+        });
+        let mut w = workload_by_name(name, Scale::Test, seed).unwrap();
+        w.setup(&mut mem);
+        let lc = w.launch_config();
+        let rt = LpRuntime::setup(
+            &mut mem,
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            LpConfig::recommended(),
+        );
+        mem.flush_all();
+        mem.set_fault_config(Some(FaultConfig {
+            torn_writeback_bp: torn_bp,
+            transient_persist_bp: transient_bp,
+            ..FaultConfig::none(fault_seed)
+        }));
+        let kernel = w.kernel(Some(&rt));
+        let plan = CrashPlan { after_global_stores: Some(first_crash), after_blocks: None };
+        let outcome = gpu.launch_with_plan(kernel.as_ref(), &mut mem, plan).expect("launch");
+        if !outcome.crashed() {
+            mem.crash();
+        }
+        if mem.power_failed() {
+            mem.power_on();
+        }
+
+        let resilient = ResilientRecovery::new(&gpu);
+        mem.arm_crash_after_evictions(second_nth);
+        let aborted = resilient.recover(kernel.as_ref(), &rt, &mut mem);
+        mem.disarm_crash();
+        if mem.power_failed() {
+            prop_assert!(!aborted.all_durable, "durable claim mid-power-loss: {aborted:?}");
+            prop_assert!(
+                !aborted.exhausted_regions.is_empty() || aborted.persist_debt > 0,
+                "aborted recovery named no losses: {aborted:?}"
+            );
+            mem.power_on();
+        }
+
+        let report = resilient.recover(kernel.as_ref(), &rt, &mut mem);
+        prop_assert!(report.all_durable, "{name}: no convergence under faults: {report:?}");
+        // Durability claims must hold on a now-perfect device across a
+        // final power cut.
+        mem.set_fault_config(None);
+        mem.crash();
+        prop_assert!(
+            w.verify(&mut mem),
+            "{name}: wrong output after faulty double crash \
+             (crash {first_crash}, eviction {second_nth}, torn {torn_bp}bp, transient {transient_bp}bp)"
+        );
+    }
+
+    /// A device-fault TrialId fully determines its trial: replaying it
+    /// reproduces every judged field bit-for-bit, because the fault model's
+    /// PRNG is seeded from the trial seed.
+    #[test]
+    fn device_trial_ids_are_deterministic(
+        class_pick in 0usize..3,
+        bp in 1u32..1_000,
+        seed in 0u64..50,
+        workload_pick in 0usize..2,
+    ) {
+        let site = [
+            CrashSite::TornWriteback { bp },
+            CrashSite::TransientPersist { bp },
+            CrashSite::MediaBitErrors { bp },
+        ][class_pick];
+        let id = TrialId {
+            workload: ["TMM", "SPMV"][workload_pick].to_string(),
+            config: "recommended".to_string(),
+            seed,
+            site,
+        };
+        let a = run_trial(&id, Scale::Test);
+        let b = run_trial(&id, Scale::Test);
+        prop_assert_eq!(a.failed_regions, b.failed_regions);
+        prop_assert_eq!(a.reexecutions, b.reexecutions);
+        prop_assert_eq!(a.recovery_rounds, b.recovery_rounds);
+        prop_assert_eq!(a.quarantined_lines, b.quarantined_lines);
+        prop_assert_eq!(a.degraded_reexecutions, b.degraded_reexecutions);
+        prop_assert_eq!(a.recovery_ns, b.recovery_ns);
+        prop_assert_eq!(a.o4_no_silent_corruption, b.o4_no_silent_corruption);
+        prop_assert_eq!(a.passed, b.passed);
+        prop_assert!(a.passed, "device trials must never corrupt silently: {:?}", a);
     }
 }
