@@ -1,0 +1,160 @@
+//! `lpcuda-lint` — the CLI surface of the static LP-safety analysis.
+//!
+//! Runs `lp_directive::lint` (pragma rules LP001–LP005 plus the
+//! CFG/dataflow rules LP000, LP010–LP014) over CUDA sources and prints
+//! rustc-style diagnostics with source spans and caret underlines, or a
+//! machine-readable JSON report for CI:
+//!
+//! ```text
+//! lpcuda-lint kernel.cu               # human-readable diagnostics
+//! lpcuda-lint --json src/*.cu         # JSON report on stdout
+//! lpcuda-lint --fixtures              # self-check over the embedded
+//!                                     # clean corpus (CI smoke)
+//! ```
+//!
+//! Exit status: 0 when every file lints clean, 1 when any finding is
+//! reported, 2 on usage or I/O errors.
+
+use lp_directive::{lint, Diagnostic};
+use serde_json::json;
+
+/// The clean benchmark corpus, embedded so the binary can self-check
+/// without a source checkout (`--fixtures`). Kept in sync with
+/// `crates/directive/tests/fixtures/clean/` by `include_str!`.
+const CLEAN_CORPUS: [(&str, &str); 5] = [
+    (
+        "clean/matrixmul.cu",
+        include_str!("../../../directive/tests/fixtures/clean/matrixmul.cu"),
+    ),
+    (
+        "clean/spmv.cu",
+        include_str!("../../../directive/tests/fixtures/clean/spmv.cu"),
+    ),
+    (
+        "clean/tmm.cu",
+        include_str!("../../../directive/tests/fixtures/clean/tmm.cu"),
+    ),
+    (
+        "clean/histo.cu",
+        include_str!("../../../directive/tests/fixtures/clean/histo.cu"),
+    ),
+    (
+        "clean/plain.cu",
+        include_str!("../../../directive/tests/fixtures/clean/plain.cu"),
+    ),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: lpcuda-lint [--json] [--fixtures] [FILES...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json_mode = false;
+    let mut fixtures = false;
+    let mut files = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json_mode = true,
+            "--fixtures" => fixtures = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if !fixtures && files.is_empty() {
+        usage();
+    }
+
+    // (display name, source) for every input.
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    if fixtures {
+        for (name, src) in CLEAN_CORPUS {
+            inputs.push((name.to_string(), src.to_string()));
+        }
+    }
+    for path in files {
+        match std::fs::read_to_string(&path) {
+            Ok(src) => inputs.push((path, src)),
+            Err(e) => {
+                eprintln!("lpcuda-lint: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut total = 0usize;
+    let mut findings = Vec::new();
+    for (name, src) in &inputs {
+        for d in lint(src) {
+            total += 1;
+            if json_mode {
+                findings.push(json!({
+                    "file": name,
+                    "code": d.code,
+                    "line": d.span.line,
+                    "col": d.span.col,
+                    "end_col": d.span.end_col,
+                    "message": d.message,
+                }));
+            } else {
+                print!("{}", render(name, src, &d));
+            }
+        }
+    }
+
+    if json_mode {
+        let report = json!({
+            "files": inputs.len(),
+            "total": total,
+            "findings": findings,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+    } else if total == 0 {
+        println!(
+            "lpcuda-lint: {} file{} clean",
+            inputs.len(),
+            if inputs.len() == 1 { "" } else { "s" }
+        );
+    } else {
+        println!(
+            "lpcuda-lint: {total} finding{} in {} file{}",
+            if total == 1 { "" } else { "s" },
+            inputs.len(),
+            if inputs.len() == 1 { "" } else { "s" }
+        );
+    }
+    std::process::exit(i32::from(total > 0));
+}
+
+/// Renders one diagnostic rustc-style: code + message, file:line:col
+/// anchor, the offending source line, and a caret underline spanning the
+/// diagnostic's column range.
+fn render(file: &str, src: &str, d: &Diagnostic) -> String {
+    let text = src.lines().nth(d.span.line.saturating_sub(1)).unwrap_or("");
+    let num = d.span.line.to_string();
+    let pad = " ".repeat(num.len());
+    let indent: String = text
+        .chars()
+        .take(d.span.col.saturating_sub(1))
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    let carets = "^".repeat(d.span.end_col.saturating_sub(d.span.col).max(1));
+    format!(
+        "error[{code}]: {msg}\n\
+         {pad}--> {file}:{line}:{col}\n\
+         {pad} |\n\
+         {num} | {text}\n\
+         {pad} | {indent}{carets}\n",
+        code = d.code,
+        msg = d.message,
+        line = d.span.line,
+        col = d.span.col,
+    )
+}

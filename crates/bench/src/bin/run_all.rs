@@ -59,6 +59,20 @@ fn main() {
         failed.push("campaign");
     }
 
+    // E17: the static-analysis differential — lpcuda-lint over the
+    // embedded clean corpus must report zero findings (exit 0). Like the
+    // campaign, it has its own flag surface, so the invocation is fixed.
+    println!("\n================================================================");
+    println!("== E17 / static LP-safety analysis  (lpcuda-lint)");
+    println!("================================================================\n");
+    let status = Command::new(bin_dir.join("lpcuda-lint"))
+        .arg("--fixtures")
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn lpcuda-lint: {e}"));
+    if !status.success() {
+        failed.push("lpcuda-lint");
+    }
+
     if failed.is_empty() {
         println!("\nAll experiments completed.");
     } else {

@@ -1,0 +1,471 @@
+//! Per-kernel control-flow graph over the mini-IR.
+//!
+//! Nodes are statements plus a synthetic entry and exit; edges follow the
+//! structured control flow ([`super::ir`] guarantees there is no `goto`).
+//! Each node also records its *guard stack* — the conditions of every
+//! enclosing branch and loop — which is the structured-program form of
+//! control dependence the divergence rules (LP010/LP012) consume, while
+//! the dominator-based rules (LP011/LP014) use the edge lists.
+
+use super::ir::{KernelIr, Stmt, StmtKind};
+use crate::lexer::tokenize;
+
+/// A control-flow graph: nodes, forward edges, and the reverse edges the
+/// post-dominator computation walks.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All nodes; indices are node ids.
+    pub nodes: Vec<Node>,
+    /// Successor lists, indexed by node id.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor lists, indexed by node id.
+    pub preds: Vec<Vec<usize>>,
+    /// Synthetic entry node id (always 0).
+    pub entry: usize,
+    /// Synthetic exit node id.
+    pub exit: usize,
+}
+
+/// One CFG node.
+#[derive(Debug)]
+pub struct Node {
+    /// 1-based source line (0 for the synthetic entry/exit).
+    pub line: usize,
+    /// Conditions of every enclosing branch/loop, outermost first.
+    pub guards: Vec<String>,
+    /// The node payload.
+    pub kind: NodeKind,
+}
+
+/// Node payloads.
+#[derive(Debug)]
+pub enum NodeKind {
+    /// Synthetic entry.
+    Entry,
+    /// Synthetic exit.
+    Exit,
+    /// An `if` condition evaluation.
+    Branch {
+        /// Condition text.
+        cond: String,
+    },
+    /// A loop condition evaluation (back edges land here).
+    LoopHead {
+        /// Condition text.
+        cond: String,
+    },
+    /// `__syncthreads()`.
+    Sync,
+    /// An `lpcuda_checksum` fold site.
+    Fold {
+        /// Checksum-table identifier.
+        table: String,
+        /// Key expressions.
+        keys: Vec<String>,
+        /// Node id of the protected global store directly following the
+        /// pragma, when there is one.
+        store: Option<usize>,
+    },
+    /// A store through a pointer parameter — a (potentially persistent)
+    /// global store.
+    Store {
+        /// The pointer parameter written through.
+        ptr: String,
+        /// The index expression (`0` for a plain `*p` deref).
+        index: String,
+        /// Left-hand side, verbatim.
+        lhs: String,
+        /// Right-hand side (the stored value).
+        rhs: String,
+    },
+    /// A local assignment or initialised declaration: defines `var`.
+    Def {
+        /// The defined variable.
+        var: String,
+        /// The defining expression.
+        expr: String,
+    },
+    /// An uninitialised declaration (`float v;`): introduces `var` with no
+    /// value.
+    DeclOnly {
+        /// The declared variable.
+        var: String,
+    },
+    /// Everything else.
+    Other,
+}
+
+/// Builds the CFG for one kernel.
+pub fn build(ir: &KernelIr) -> Cfg {
+    let mut b = Builder {
+        cfg: Cfg {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            entry: 0,
+            exit: 0,
+        },
+        shared_or_local_arrays: collect_shadowing_names(&ir.body),
+        pointer_params: ir.pointer_params.clone(),
+    };
+    let entry = b.node(0, Vec::new(), NodeKind::Entry);
+    let frontier = b.seq(&ir.body, vec![entry], &[]);
+    let exit = b.node(0, Vec::new(), NodeKind::Exit);
+    for f in frontier {
+        b.edge(f, exit);
+    }
+    b.cfg.entry = entry;
+    b.cfg.exit = exit;
+    b.cfg
+}
+
+/// Names declared inside the body that shadow or aren't pointer params:
+/// `__shared__` arrays and any local declaration. A store whose root is
+/// one of these is not a global store.
+fn collect_shadowing_names(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Decl { name, .. } if !out.contains(name) => {
+                    out.push(name.clone());
+                }
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+                StmtKind::Loop { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
+struct Builder {
+    cfg: Cfg,
+    shared_or_local_arrays: Vec<String>,
+    pointer_params: Vec<String>,
+}
+
+impl Builder {
+    fn node(&mut self, line: usize, guards: Vec<String>, kind: NodeKind) -> usize {
+        self.cfg.nodes.push(Node { line, guards, kind });
+        self.cfg.succs.push(Vec::new());
+        self.cfg.preds.push(Vec::new());
+        self.cfg.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.cfg.succs[from].contains(&to) {
+            self.cfg.succs[from].push(to);
+            self.cfg.preds[to].push(from);
+        }
+    }
+
+    /// Lowers a statement sequence; `preds` flow into the first node, and
+    /// the returned frontier flows onward.
+    fn seq(&mut self, stmts: &[Stmt], mut preds: Vec<usize>, guards: &[String]) -> Vec<usize> {
+        let mut pending_fold: Option<usize> = None;
+        for stmt in stmts {
+            let fold_here = pending_fold.take();
+            match &stmt.kind {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let b = self.node(
+                        stmt.line,
+                        guards.to_vec(),
+                        NodeKind::Branch { cond: cond.clone() },
+                    );
+                    for p in preds {
+                        self.edge(p, b);
+                    }
+                    let mut inner = guards.to_vec();
+                    inner.push(cond.clone());
+                    let mut frontier = self.seq(then_branch, vec![b], &inner);
+                    if else_branch.is_empty() {
+                        frontier.push(b); // fall-through edge
+                    } else {
+                        frontier.extend(self.seq(else_branch, vec![b], &inner));
+                    }
+                    preds = frontier;
+                }
+                StmtKind::Loop { cond, body } => {
+                    let h = self.node(
+                        stmt.line,
+                        guards.to_vec(),
+                        NodeKind::LoopHead { cond: cond.clone() },
+                    );
+                    for p in preds {
+                        self.edge(p, h);
+                    }
+                    let mut inner = guards.to_vec();
+                    inner.push(cond.clone());
+                    let back = self.seq(body, vec![h], &inner);
+                    for p in back {
+                        self.edge(p, h); // back edge
+                    }
+                    preds = vec![h];
+                }
+                simple => {
+                    let kind = self.lower_simple(simple);
+                    let is_store = matches!(kind, NodeKind::Store { .. });
+                    let n = self.node(stmt.line, guards.to_vec(), kind);
+                    for p in preds {
+                        self.edge(p, n);
+                    }
+                    if let (Some(f), true) = (fold_here, is_store) {
+                        if let NodeKind::Fold { store, .. } = &mut self.cfg.nodes[f].kind {
+                            *store = Some(n);
+                        }
+                    }
+                    if matches!(self.cfg.nodes[n].kind, NodeKind::Fold { .. }) {
+                        pending_fold = Some(n);
+                    }
+                    preds = vec![n];
+                }
+            }
+        }
+        preds
+    }
+
+    fn lower_simple(&self, kind: &StmtKind) -> NodeKind {
+        match kind {
+            StmtKind::Sync => NodeKind::Sync,
+            StmtKind::Fold { table, keys } => NodeKind::Fold {
+                table: table.clone(),
+                keys: keys.clone(),
+                store: None,
+            },
+            // Arrays never get scalar defs (element writes are opaque), so
+            // modelling them as DeclOnly would make LP014 call every read
+            // "declared but never assigned". Keep them opaque instead.
+            StmtKind::Decl { array: true, .. } => NodeKind::Other,
+            StmtKind::Decl {
+                name,
+                init: Some(init),
+                ..
+            } => NodeKind::Def {
+                var: name.clone(),
+                expr: init.clone(),
+            },
+            StmtKind::Decl {
+                name, init: None, ..
+            } => NodeKind::DeclOnly { var: name.clone() },
+            StmtKind::Assign { lhs, rhs } => self.lower_assign(lhs, rhs),
+            _ => NodeKind::Other,
+        }
+    }
+
+    /// An assignment is a global store when its root is a pointer
+    /// parameter (`p[i] = …`, `*p = …`) not shadowed by a local; a plain
+    /// scalar assignment is a definition; anything else (shared-array
+    /// stores, member writes) is opaque.
+    fn lower_assign(&self, lhs: &str, rhs: &str) -> NodeKind {
+        let toks = tokenize(lhs);
+        let store = |ptr: &str, index: String| NodeKind::Store {
+            ptr: ptr.to_string(),
+            index,
+            lhs: lhs.to_string(),
+            rhs: rhs.to_string(),
+        };
+        match toks.as_slice() {
+            [first, rest @ ..] if first.is_punct("*") => {
+                if let Some(name) = rest.first().map(|t| t.text()) {
+                    if rest.len() == 1 && self.is_global_ptr(name) {
+                        return store(name, "0".to_string());
+                    }
+                }
+                NodeKind::Other
+            }
+            [first, second, ..] if second.is_punct("[") => {
+                let name = first.text();
+                let index: String = {
+                    // text between the first `[` and its matching `]`
+                    let mut depth = 0i64;
+                    let mut inner = Vec::new();
+                    for t in &toks[1..] {
+                        match t.text() {
+                            "[" => {
+                                depth += 1;
+                                if depth == 1 {
+                                    continue;
+                                }
+                            }
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        inner.push(t.clone());
+                    }
+                    crate::lexer::detokenize(&inner)
+                };
+                if self.is_global_ptr(name) {
+                    store(name, index)
+                } else {
+                    NodeKind::Other
+                }
+            }
+            [only] if matches!(only, crate::lexer::Token::Ident(_)) => NodeKind::Def {
+                var: only.text().to_string(),
+                expr: rhs.to_string(),
+            },
+            _ => NodeKind::Other,
+        }
+    }
+
+    fn is_global_ptr(&self, name: &str) -> bool {
+        self.pointer_params.iter().any(|p| p == name)
+            && !self.shared_or_local_arrays.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ir::parse_kernel;
+    use crate::kernel_scan::find_kernels;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let lines: Vec<&str> = src.lines().collect();
+        let ks = find_kernels(&lines).unwrap();
+        build(&parse_kernel(&lines, &ks[0]))
+    }
+
+    #[test]
+    fn straight_line_chains_entry_to_exit() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *out) {
+    int i = blockIdx.x;
+    out[i] = 1.0f;
+}
+"#,
+        );
+        assert_eq!(cfg.nodes.len(), 4); // entry, def, store, exit
+        assert_eq!(cfg.succs[cfg.entry], vec![1]);
+        assert_eq!(cfg.succs[1], vec![2]);
+        assert_eq!(cfg.succs[2], vec![cfg.exit]);
+        assert!(
+            matches!(&cfg.nodes[2].kind, NodeKind::Store { ptr, index, .. }
+            if ptr == "out" && index == "i")
+        );
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough_edge() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p) {
+    if (blockIdx.x == 0) {
+        p[threadIdx.x] = 1.0f;
+    }
+    p[blockIdx.x] = 2.0f;
+}
+"#,
+        );
+        let branch = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Branch { .. }))
+            .unwrap();
+        assert_eq!(cfg.succs[branch].len(), 2, "then edge + fall-through");
+        let guarded = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.kind, NodeKind::Store { index, .. } if index == "threadIdx.x"))
+            .unwrap();
+        assert_eq!(guarded.guards, vec!["blockIdx.x==0".to_string()]);
+    }
+
+    #[test]
+    fn loop_head_gets_back_edge() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p, int n) {
+    for (int i = 0; i < n; i++) {
+        p[blockIdx.x] = 1.0f;
+    }
+}
+"#,
+        );
+        let head = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::LoopHead { .. }))
+            .unwrap();
+        // The step def's successor is the loop head again.
+        let step = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(&n.kind, NodeKind::Def { var, expr } if var == "i" && expr.contains("i + 1")))
+            .unwrap();
+        assert!(cfg.succs[step].contains(&head));
+        // Loop head flows to both body and exit-side.
+        assert_eq!(cfg.succs[head].len(), 2);
+    }
+
+    #[test]
+    fn fold_attaches_to_following_store() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *out) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_checksum(+, tab, blockIdx.x)
+    out[i] = 3.0f;
+    out[i + 1] = 4.0f;
+}
+"#,
+        );
+        let folds: Vec<&Node> = cfg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Fold { .. }))
+            .collect();
+        assert_eq!(folds.len(), 1);
+        let NodeKind::Fold { store, .. } = &folds[0].kind else {
+            unreachable!()
+        };
+        let store = store.expect("fold must attach to the next store");
+        assert!(matches!(&cfg.nodes[store].kind, NodeKind::Store { rhs, .. } if rhs == "3.0f"));
+        // The second store has no fold attached.
+        let stores = cfg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn shared_array_stores_are_not_global_stores() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p) {
+    __shared__ float tile[32];
+    tile[threadIdx.x] = p[threadIdx.x];
+    p[blockIdx.x] = tile[0];
+}
+"#,
+        );
+        let stores: Vec<&Node> = cfg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Store { .. }))
+            .collect();
+        assert_eq!(stores.len(), 1);
+        assert!(matches!(&stores[0].kind, NodeKind::Store { ptr, .. } if ptr == "p"));
+    }
+}

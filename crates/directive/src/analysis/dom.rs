@@ -1,0 +1,182 @@
+//! Dominator and post-dominator computation.
+//!
+//! Classic iterative dataflow over bit sets: `dom(n) = {n} ∪ ⋂ dom(pred)`.
+//! Kernel CFGs are tens of nodes, so the O(n²) fixpoint is instant and the
+//! simple formulation beats Lengauer–Tarjan on clarity. Post-dominators
+//! are the same computation on the reversed graph, rooted at the exit.
+
+use super::cfg::Cfg;
+
+/// A fixed-capacity bit set over node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over `n` ids.
+    pub fn empty(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full set over `n` ids.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Whether `i` is a member.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Intersects in place.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+}
+
+/// `result[n]` = the nodes on every path from `root` to `n` (including
+/// `n`), where `edges_in[v]` lists the nodes a path reaches `v` from.
+/// Passing predecessors rooted at entry gives dominators; passing
+/// successors rooted at exit gives post-dominators.
+fn solve(n_nodes: usize, root: usize, edges_in: &[Vec<usize>]) -> Vec<BitSet> {
+    let mut dom: Vec<BitSet> = (0..n_nodes).map(|_| BitSet::full(n_nodes)).collect();
+    dom[root] = BitSet::empty(n_nodes);
+    dom[root].insert(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n_nodes {
+            if v == root {
+                continue;
+            }
+            let mut next = BitSet::full(n_nodes);
+            for &p in &edges_in[v] {
+                next.intersect_with(&dom[p]);
+            }
+            next.insert(v);
+            if next != dom[v] {
+                dom[v] = next;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Dominator sets: `doms(cfg)[n].contains(d)` ⇔ every path entry→`n`
+/// passes through `d`.
+pub fn dominators(cfg: &Cfg) -> Vec<BitSet> {
+    solve(cfg.nodes.len(), cfg.entry, &cfg.preds)
+}
+
+/// Post-dominator sets: `post_dominators(cfg)[n].contains(d)` ⇔ every path
+/// `n`→exit passes through `d`.
+pub fn post_dominators(cfg: &Cfg) -> Vec<BitSet> {
+    solve(cfg.nodes.len(), cfg.exit, &cfg.succs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cfg::{build, NodeKind};
+    use crate::analysis::ir::parse_kernel;
+    use crate::kernel_scan::find_kernels;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let lines: Vec<&str> = src.lines().collect();
+        let ks = find_kernels(&lines).unwrap();
+        build(&parse_kernel(&lines, &ks[0]))
+    }
+
+    fn find(cfg: &Cfg, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        cfg.nodes.iter().position(|n| pred(&n.kind)).unwrap()
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_the_join() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p) {
+    int i = blockIdx.x;
+    if (i == 0) {
+        p[0] = 1.0f;
+    } else {
+        p[1] = 2.0f;
+    }
+    p[i] = 3.0f;
+}
+"#,
+        );
+        let dom = dominators(&cfg);
+        let branch = find(&cfg, |k| matches!(k, NodeKind::Branch { .. }));
+        let then_store = find(
+            &cfg,
+            |k| matches!(k, NodeKind::Store { rhs, .. } if rhs == "1.0f"),
+        );
+        let join_store = find(
+            &cfg,
+            |k| matches!(k, NodeKind::Store { rhs, .. } if rhs == "3.0f"),
+        );
+        assert!(dom[join_store].contains(branch));
+        assert!(!dom[join_store].contains(then_store));
+        assert!(dom[then_store].contains(branch));
+    }
+
+    #[test]
+    fn post_dominators_see_through_loops() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p, int n) {
+    for (int i = 0; i < n; i++) {
+        p[blockIdx.x] = 1.0f;
+    }
+    p[blockIdx.x] = 2.0f;
+}
+"#,
+        );
+        let pdom = post_dominators(&cfg);
+        let in_loop = find(
+            &cfg,
+            |k| matches!(k, NodeKind::Store { rhs, .. } if rhs == "1.0f"),
+        );
+        let after = find(
+            &cfg,
+            |k| matches!(k, NodeKind::Store { rhs, .. } if rhs == "2.0f"),
+        );
+        // The store after the loop post-dominates the store inside it; the
+        // converse is false (the loop may run zero times).
+        assert!(pdom[in_loop].contains(after));
+        assert!(!pdom[after].contains(in_loop));
+        assert!(pdom[cfg.entry].contains(after));
+    }
+
+    #[test]
+    fn guarded_node_does_not_post_dominate_entry() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p) {
+    if (threadIdx.x == 0) {
+        p[blockIdx.x] = 1.0f;
+    }
+}
+"#,
+        );
+        let pdom = post_dominators(&cfg);
+        let store = find(&cfg, |k| matches!(k, NodeKind::Store { .. }));
+        assert!(!pdom[cfg.entry].contains(store));
+    }
+}

@@ -1,0 +1,26 @@
+//! Static control-flow and dataflow analysis of annotated kernels.
+//!
+//! The dynamic sanitizer (`lp-sanitizer`) can only certify the inputs it
+//! executes; this module proves LP-region safety properties from kernel
+//! *structure*, at compile time, with zero simulation cost. The pipeline:
+//!
+//! 1. [`ir`] — parse each `__global__` body into a statement-level mini-IR
+//!    with real control flow (`if`/`else`, `for`/`while`, barriers, global
+//!    stores, `lpcuda_checksum` fold sites);
+//! 2. [`cfg`] — lower the statement tree to a per-kernel control-flow
+//!    graph with guard stacks;
+//! 3. [`dom`] — dominators and post-dominators over that graph;
+//! 4. [`taint`] — thread-dependence and block-dependence dataflow (taint
+//!    seeded at `threadIdx` / `blockIdx`, with implicit control flows);
+//! 5. [`rules`] — the flow-sensitive rules LP010–LP014.
+//!
+//! [`lint::lint`](crate::lint::lint) runs all of it; the `lpcuda-lint`
+//! binary in `lp-bench` gives it a rustc-style CLI surface.
+
+pub mod cfg;
+pub mod dom;
+pub mod ir;
+pub mod rules;
+pub mod taint;
+
+pub use rules::{analyze, analyze_kernel};

@@ -1,0 +1,261 @@
+//! The flow-sensitive LP-safety rules, LP010–LP014.
+//!
+//! Each rule consumes the kernel CFG plus the dominator/post-dominator and
+//! taint results and proves a *structural* property — no inputs, no
+//! execution. The static rules deliberately mirror the dynamic sanitizer's
+//! passes where a structural proof exists (LP011 ↔ coverage, LP013 ↔
+//! global-conflict) and cover the divergence/ordering hazards the
+//! sanitizer can only witness on inputs that happen to trigger them
+//! (LP010, LP012, LP014). See `DESIGN.md` §3.11 for the coverage table.
+
+use super::cfg::{build, Cfg, NodeKind};
+use super::dom::{dominators, post_dominators};
+use super::ir::{parse_kernel, KernelIr};
+use super::taint::{self, Taint};
+use crate::error::{Diagnostic, Span};
+use crate::kernel_scan::KernelSpan;
+use crate::lexer::{tokenize, value_identifiers};
+
+/// Built-in index variables — uniform or defined by the launch, never a
+/// local definition the dominance rules should demand.
+const BUILTINS: [&str; 5] = ["threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize"];
+
+/// Runs LP010–LP014 over every kernel in `lines`.
+pub fn analyze(lines: &[&str], kernels: &[KernelSpan]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for span in kernels {
+        let ir = parse_kernel(lines, span);
+        out.extend(analyze_kernel(lines, &ir));
+    }
+    out
+}
+
+/// Runs the flow-sensitive rules over one kernel.
+pub fn analyze_kernel(lines: &[&str], ir: &KernelIr) -> Vec<Diagnostic> {
+    let cfg = build(ir);
+    let thread = taint::analyze(&cfg, taint::THREAD);
+    let block = taint::analyze(&cfg, taint::BLOCK);
+    let mut out = Vec::new();
+    lp010_barrier_divergence(&cfg, &thread, lines, &mut out);
+    if ir.is_protected() {
+        lp011_uncovered_store(&cfg, lines, ir, &mut out);
+        lp012_divergent_fold(&cfg, &thread, lines, &mut out);
+        lp014_fold_before_store(&cfg, lines, ir, &mut out);
+    }
+    lp013_cross_block_conflict(&cfg, &block, lines, ir, &mut out);
+    out
+}
+
+fn span_at(lines: &[&str], line: usize, needle: &str) -> Span {
+    let text = lines.get(line.wrapping_sub(1)).copied().unwrap_or("");
+    Span::of(line, text, needle)
+}
+
+/// LP010: `__syncthreads()` under a thread-dependent condition. Threads
+/// that take the other arm never reach the barrier — deadlock or undefined
+/// behaviour on real hardware.
+fn lp010_barrier_divergence(cfg: &Cfg, thread: &Taint, lines: &[&str], out: &mut Vec<Diagnostic>) {
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        if !matches!(node.kind, NodeKind::Sync) {
+            continue;
+        }
+        if let Some(guard) = thread.tainted_guard(cfg, id) {
+            out.push(Diagnostic {
+                code: "LP010",
+                span: span_at(lines, node.line, "__syncthreads"),
+                message: format!(
+                    "__syncthreads() under the thread-dependent condition `{guard}`; \
+                     threads that skip the branch never reach the barrier — \
+                     hoist the barrier out of the divergent branch or make the \
+                     condition uniform across the block"
+                ),
+            });
+        }
+    }
+}
+
+/// LP011: a global store in an LP-protected kernel that no checksum fold
+/// covers. A crash that loses the store's line still validates, so
+/// recovery silently returns wrong data — the exact false negative the
+/// dynamic coverage pass hunts, proven from structure alone.
+fn lp011_uncovered_store(cfg: &Cfg, lines: &[&str], ir: &KernelIr, out: &mut Vec<Diagnostic>) {
+    let pdom = post_dominators(cfg);
+    let covered: Vec<usize> = cfg
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.kind {
+            NodeKind::Fold { store, .. } => *store,
+            _ => None,
+        })
+        .collect();
+    let folds: Vec<(usize, &str)> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| match &n.kind {
+            NodeKind::Fold { table, .. } => Some((id, table.as_str())),
+            _ => None,
+        })
+        .collect();
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let NodeKind::Store { ptr, lhs, .. } = &node.kind else {
+            continue;
+        };
+        if covered.contains(&id) {
+            continue;
+        }
+        let table = folds.first().map(|(_, t)| *t).unwrap_or("tab");
+        let mut message = format!(
+            "global store `{lhs}` in LP-protected kernel `{}` is never folded \
+             into a checksum: a crash that loses it still validates and \
+             recovery silently drops the value; protect it with \
+             `#pragma nvm lpcuda_checksum(\"+\", {table}, blockIdx.x)` \
+             immediately before the store",
+            ir.name
+        );
+        if let Some((fid, _)) = folds.iter().find(|(fid, _)| pdom[id].contains(*fid)) {
+            let fold_line = cfg.nodes[*fid].line;
+            message.push_str(&format!(
+                " (the fold on line {fold_line} runs after this store on \
+                 every path, but folds a different value)"
+            ));
+        }
+        out.push(Diagnostic {
+            code: "LP011",
+            span: span_at(lines, node.line, ptr),
+            message,
+        });
+    }
+}
+
+/// LP012: a checksum fold under thread-dependent control. Threads that
+/// skip the fold leave their stores out of the block reduction, so the
+/// table entry is persistently wrong even without a crash.
+fn lp012_divergent_fold(cfg: &Cfg, thread: &Taint, lines: &[&str], out: &mut Vec<Diagnostic>) {
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let NodeKind::Fold { table, .. } = &node.kind else {
+            continue;
+        };
+        if let Some(guard) = thread.tainted_guard(cfg, id) {
+            out.push(Diagnostic {
+                code: "LP012",
+                span: span_at(lines, node.line, "lpcuda_checksum"),
+                message: format!(
+                    "checksum fold into `{table}` under the thread-dependent \
+                     condition `{guard}`: threads that skip it contribute \
+                     nothing to the block reduction and the table entry never \
+                     matches recomputation; restructure so every thread \
+                     reaches the fold, or make the condition uniform"
+                ),
+            });
+        }
+    }
+}
+
+/// LP013: a plain global store whose address provably does not depend on
+/// `blockIdx` — every block writes the same locations, the unsynchronised
+/// cross-block conflict the sanitizer's global-conflict pass detects
+/// dynamically. A `blockIdx`-dependent enclosing guard (e.g.
+/// `if (blockIdx.x == 0)`) restricts the writers and exempts the store.
+fn lp013_cross_block_conflict(
+    cfg: &Cfg,
+    block: &Taint,
+    lines: &[&str],
+    ir: &KernelIr,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let NodeKind::Store {
+            ptr, index, lhs, ..
+        } = &node.kind
+        else {
+            continue;
+        };
+        if block.expr_tainted(index) || block.tainted_guard(cfg, id).is_some() {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: "LP013",
+            span: span_at(lines, node.line, ptr),
+            message: format!(
+                "store `{lhs}` in kernel `{}` writes the same address in \
+                 every block: the index `{index}` does not depend on blockIdx \
+                 and no enclosing condition does either, so concurrent blocks \
+                 race on the location; partition the buffer by blockIdx or \
+                 guard the store with `if (blockIdx.x == 0)`",
+                ir.name
+            ),
+        });
+    }
+}
+
+/// LP014: a checksum fold whose folded value has no definition dominating
+/// the fold site. On the paths that skip the definition, the checksum
+/// accumulates an indeterminate value, so validation can neither pass nor
+/// fail meaningfully.
+fn lp014_fold_before_store(cfg: &Cfg, lines: &[&str], ir: &KernelIr, out: &mut Vec<Diagnostic>) {
+    let dom = dominators(cfg);
+    let declared: Vec<&str> = cfg
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.kind {
+            NodeKind::DeclOnly { var } => Some(var.as_str()),
+            _ => None,
+        })
+        .collect();
+    for node in &cfg.nodes {
+        let NodeKind::Fold {
+            store: Some(sid), ..
+        } = &node.kind
+        else {
+            continue;
+        };
+        let NodeKind::Store { rhs, .. } = &cfg.nodes[*sid].kind else {
+            continue;
+        };
+        let store_line = cfg.nodes[*sid].line;
+        for var in value_identifiers(&tokenize(rhs)) {
+            if BUILTINS.contains(&var.as_str()) || ir.param_names.contains(&var) {
+                continue;
+            }
+            let defs: Vec<usize> = cfg
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(id, n)| match &n.kind {
+                    NodeKind::Def { var: v, .. } if *v == var => Some(id),
+                    _ => None,
+                })
+                .collect();
+            if defs.is_empty() && !declared.contains(&var.as_str()) {
+                continue; // an external constant or macro, not a local
+            }
+            if defs.iter().any(|d| dom[*sid].contains(*d)) {
+                continue; // some definition reaches the fold on every path
+            }
+            let detail = if defs.is_empty() {
+                "it is declared but never assigned".to_string()
+            } else {
+                let def_lines: Vec<String> = defs
+                    .iter()
+                    .map(|d| cfg.nodes[*d].line.to_string())
+                    .collect();
+                format!(
+                    "its only definitions (line {}) are conditional",
+                    def_lines.join(", line ")
+                )
+            };
+            out.push(Diagnostic {
+                code: "LP014",
+                span: span_at(lines, store_line, &var),
+                message: format!(
+                    "checksum folds `{var}` but no definition of `{var}` \
+                     dominates the fold — {detail}; on the paths that skip \
+                     the definition the checksum accumulates an indeterminate \
+                     value, so define `{var}` unconditionally before the \
+                     protected store"
+                ),
+            });
+        }
+    }
+}

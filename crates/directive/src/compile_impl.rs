@@ -136,7 +136,7 @@ pub fn compile(source: &str) -> Result<CompiledLp, CompileError> {
                 let kernel = kernels
                     .iter()
                     .enumerate()
-                    .find(|(_, k)| idx > k.body_open_line && idx < k.body_close_line)
+                    .find(|(_, k)| k.contains_line(idx))
                     .ok_or(CompileError::ChecksumOutsideKernel { line })?;
                 let (kidx, kspan) = kernel;
                 let (stmt, stmt_end) = statement_at(&lines, idx + 1)

@@ -19,11 +19,27 @@ pub struct KernelSpan {
 }
 
 impl KernelSpan {
-    /// Whether 0-based `line` falls inside the kernel body.
+    /// Whether 0-based `line` falls strictly inside the kernel body — after
+    /// the opening `{`'s line and before the closing `}`'s line. The brace
+    /// lines themselves are outside: nothing on them belongs to the body in
+    /// the line-oriented model (`#pragma` lines in particular always stand
+    /// alone).
     pub fn contains_line(&self, line: usize) -> bool {
-        line > self.body_open_line && line < self.body_close_line
-            || (line == self.body_open_line && line == self.body_close_line)
-            || (line >= self.body_open_line && line <= self.body_close_line)
+        self.body_open_line < line && line < self.body_close_line
+    }
+
+    /// Names of the pointer-typed kernel parameters — the persistent
+    /// buffers a `__global__` kernel can store to.
+    pub fn pointer_params(&self) -> Vec<String> {
+        self.params
+            .split(',')
+            .filter(|p| p.contains('*'))
+            .filter_map(|p| {
+                p.rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                    .find(|s| !s.is_empty())
+                    .map(str::to_string)
+            })
+            .collect()
     }
 }
 
@@ -190,6 +206,33 @@ __global__ void other(int *p) {
         assert!(k.body_close_line > k.body_open_line);
         assert!(k.contains_line(k.body_open_line + 1));
         assert!(!k.contains_line(0));
+    }
+
+    #[test]
+    fn contains_line_excludes_the_brace_lines() {
+        let ks = find_kernels(&lines()).unwrap();
+        for k in &ks {
+            assert!(!k.contains_line(k.body_open_line), "{}: open brace", k.name);
+            assert!(
+                !k.contains_line(k.body_close_line),
+                "{}: close brace",
+                k.name
+            );
+            for l in k.body_open_line + 1..k.body_close_line {
+                assert!(k.contains_line(l), "{}: interior line {l}", k.name);
+            }
+            assert!(!k.contains_line(k.body_close_line + 1));
+        }
+    }
+
+    #[test]
+    fn pointer_params_extracted() {
+        let ks = find_kernels(&lines()).unwrap();
+        assert_eq!(
+            ks[0].pointer_params(),
+            vec!["C".to_string(), "A".into(), "B".into()]
+        );
+        assert_eq!(ks[1].pointer_params(), vec!["p".to_string()]);
     }
 
     #[test]

@@ -144,6 +144,38 @@ pub fn used_identifiers(tokens: &[Token]) -> Vec<String> {
     out
 }
 
+/// Collects the *value-bearing* identifiers of an expression: like
+/// [`used_identifiers`] but member names after `.` / `->` are skipped, so
+/// `blockIdx.x * blockDim.x + s->len` yields `blockIdx`, `blockDim`, `s` —
+/// the roots dataflow cares about, not the field selectors. Used by the
+/// thread-dependence taint analysis, where `threadIdx.x` must read as a use
+/// of `threadIdx` and never of a local variable that happens to be named
+/// `x`.
+pub fn value_identifiers(tokens: &[Token]) -> Vec<String> {
+    const KEYWORDS: [&str; 16] = [
+        "int", "float", "double", "char", "void", "unsigned", "long", "short", "const", "if",
+        "else", "for", "while", "return", "sizeof", "struct",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if let Token::Ident(name) = t {
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            if i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->")) {
+                continue; // member selector, not a value root
+            }
+            if matches!(tokens.get(i + 1), Some(tk) if tk.is_punct("(")) {
+                continue; // function call name
+            }
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
 /// Re-emits tokens as compact source text.
 ///
 /// A space is inserted between two tokens whenever gluing them would lex
@@ -206,6 +238,13 @@ mod tests {
         assert!(used.contains(&"bx".to_string()));
         assert!(!used.contains(&"int".to_string()));
         assert!(!used.contains(&"foo".to_string()));
+    }
+
+    #[test]
+    fn value_identifiers_skip_member_selectors() {
+        let ts = tokenize("blockIdx.x * blockDim.x + threadIdx.x + s->len + y");
+        let vals = value_identifiers(&ts);
+        assert_eq!(vals, vec!["blockIdx", "blockDim", "threadIdx", "s", "y"]);
     }
 
     #[test]

@@ -8,19 +8,30 @@
 //! the CUDA compiler would silently ignore (unknown pragmas don't warn,
 //! which is exactly how these bugs ship).
 //!
+//! The flow-sensitive rules (LP010–LP014) live in [`crate::analysis`] and
+//! run from here too: they parse each kernel into a mini-IR, build a CFG,
+//! and prove divergence/coverage/ordering properties from structure.
+//!
 //! Rules:
 //!
-//! | code  | finding                                                     |
-//! |-------|-------------------------------------------------------------|
-//! | LP001 | unknown / misspelled `lpcuda_*` directive                   |
-//! | LP002 | `lpcuda_checksum` outside any `__global__` kernel           |
-//! | LP003 | duplicate `lpcuda_init` for the same checksum table         |
-//! | LP004 | table initialised but never referenced by a checksum        |
-//! | LP005 | checksum references a table no `lpcuda_init` declared        |
+//! | code  | finding                                                      |
+//! |-------|--------------------------------------------------------------|
+//! | LP000 | source does not scan (unbalanced braces in a kernel body)    |
+//! | LP001 | unknown / misspelled `lpcuda_*` directive                    |
+//! | LP002 | `lpcuda_checksum` outside any `__global__` kernel            |
+//! | LP003 | duplicate `lpcuda_init` for the same checksum table          |
+//! | LP004 | table initialised but never referenced by a checksum         |
+//! | LP005 | checksum references a table no `lpcuda_init` declared         |
+//! | LP010 | `__syncthreads()` under a thread-dependent branch            |
+//! | LP011 | global store in a protected kernel covered by no fold        |
+//! | LP012 | checksum fold under thread-dependent control                 |
+//! | LP013 | store address provably independent of `blockIdx`             |
+//! | LP014 | fold on a value with no dominating definition                |
 //!
 //! Diagnostics are ordered by source position, then rule code.
 
-use crate::error::{Diagnostic, Span};
+use crate::analysis;
+use crate::error::{CompileError, Diagnostic, Span};
 use crate::kernel_scan::find_kernels;
 use crate::pragma::{is_nvm_pragma, parse_pragma, Pragma};
 
@@ -31,7 +42,13 @@ const KNOWN: [&str; 2] = ["lpcuda_init", "lpcuda_checksum"];
 /// A clean program — including a pragma-free one — yields an empty vector.
 pub fn lint(source: &str) -> Vec<Diagnostic> {
     let lines: Vec<&str> = source.lines().collect();
-    let kernels = find_kernels(&lines).unwrap_or_default();
+    let kernels = match find_kernels(&lines) {
+        Ok(kernels) => kernels,
+        // A source that does not scan gets exactly one LP000 finding: with
+        // no kernel extents, every body-sensitive rule would misfire, so
+        // reporting the scan failure alone is the only honest output.
+        Err(e) => return vec![lp000(&lines, &e)],
+    };
     let mut out = Vec::new();
 
     // (table, line, raw-line-text) of every successfully parsed directive.
@@ -125,8 +142,29 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
         }
     }
 
+    out.extend(analysis::analyze(&lines, &kernels));
+
     out.sort_by_key(|d| (d.span, d.code));
     out
+}
+
+/// The LP000 diagnostic for a source `find_kernels` rejects, anchored to
+/// the offending kernel's `__global__` line where it can be found.
+fn lp000(lines: &[&str], err: &CompileError) -> Diagnostic {
+    let (line_no, raw, needle) = match err {
+        CompileError::UnbalancedBraces { kernel } => lines
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.contains("__global__") && l.contains(kernel.as_str()))
+            .map(|(idx, l)| (idx + 1, *l, kernel.as_str()))
+            .unwrap_or((1, lines.first().copied().unwrap_or(""), "")),
+        _ => (1, lines.first().copied().unwrap_or(""), ""),
+    };
+    Diagnostic {
+        code: "LP000",
+        span: Span::of(line_no, raw, needle),
+        message: format!("{err}; the lint pass cannot see kernel bodies until the source scans"),
+    }
 }
 
 /// The identifier after `#pragma nvm`, or an empty string.
@@ -237,7 +275,7 @@ int host_fn(void) { return 0; }
 #pragma nvm lpcuda_init(tab, n, 1)
 __global__ void k(float *p) {
 #pragma nvm lpcuda_checksum("+", tab, i)
-    p[0] = 1.0f;
+    p[blockIdx.x] = 1.0f;
 }
 "#;
         let ds = lint(src);
@@ -266,7 +304,7 @@ __global__ void k(float *p) {
     fn lp005_checksum_into_undeclared_table() {
         let src = r#"__global__ void k(float *p) {
 #pragma nvm lpcuda_checksum("+", ghost, i)
-    p[0] = 1.0f;
+    p[blockIdx.x] = 1.0f;
 }
 "#;
         let ds = lint(src);
@@ -275,6 +313,174 @@ __global__ void k(float *p) {
         assert_eq!(d.code, "LP005");
         assert!(d.message.contains("no lpcuda_init declares it"));
         assert_eq!((d.span.line, d.span.col, d.span.end_col), (2, 34, 39));
+    }
+
+    #[test]
+    fn lp000_unbalanced_braces_surface_instead_of_silence() {
+        let src = "__global__ void broken(float *p) {\n    p[blockIdx.x] = 1.0f;\n";
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        let d = &ds[0];
+        assert_eq!(d.code, "LP000");
+        assert!(d.message.contains("unbalanced braces"));
+        assert!(d.message.contains("broken"));
+        // Anchored to the kernel name on the `__global__` line.
+        assert_eq!(d.span, Span::of(1, src.lines().next().unwrap(), "broken"));
+    }
+
+    #[test]
+    fn lp010_sync_under_thread_dependent_branch() {
+        let src = r#"__global__ void k(float *p) {
+    if (threadIdx.x < 16) {
+        __syncthreads();
+    }
+    p[blockIdx.x] = 1.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        assert_eq!(ds[0].code, "LP010");
+        assert_eq!(ds[0].span.line, 3);
+        assert!(ds[0].message.contains("threadIdx.x<16"));
+        assert!(ds[0].message.contains("hoist the barrier"));
+    }
+
+    #[test]
+    fn lp010_uniform_sync_is_clean() {
+        let src = r#"__global__ void k(float *p, int n) {
+    for (int t = 0; t < n; t++) {
+        __syncthreads();
+    }
+    if (blockIdx.x == 0) {
+        __syncthreads();
+    }
+    p[blockIdx.x] = 1.0f;
+}
+"#;
+        assert_eq!(lint(src), Vec::new());
+    }
+
+    #[test]
+    fn lp011_uncovered_store_in_protected_kernel() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out, float *log) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 1.0f;
+    log[i] = 2.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        assert_eq!(ds[0].code, "LP011");
+        assert_eq!(ds[0].span.line, 6);
+        assert!(ds[0].message.contains("log[i]"));
+        assert!(ds[0].message.contains("lpcuda_checksum(\"+\", tab"));
+    }
+
+    #[test]
+    fn lp011_notes_a_post_dominating_fold_of_another_value() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out, float *log) {
+    int i = blockIdx.x;
+    log[i] = 2.0f;
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 1.0f;
+}
+"#;
+        let ds = lint(src);
+        let lp011: Vec<_> = ds.iter().filter(|d| d.code == "LP011").collect();
+        assert_eq!(lp011.len(), 1, "got:\n{ds:?}");
+        assert!(lp011[0].message.contains("folds a different value"));
+        assert!(lp011[0].message.contains("line 5"));
+    }
+
+    #[test]
+    fn lp012_fold_under_thread_dependent_branch() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out) {
+    int i = blockIdx.x;
+    if (threadIdx.x == 0) {
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+        out[i] = 1.0f;
+    }
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        assert_eq!(ds[0].code, "LP012");
+        assert_eq!(ds[0].span.line, 5);
+        assert!(ds[0].message.contains("threadIdx.x==0"));
+    }
+
+    #[test]
+    fn lp013_store_index_independent_of_blockidx() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out) {
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[threadIdx.x] = 1.0f;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        assert_eq!(ds[0].code, "LP013");
+        assert!(ds[0].message.contains("does not depend on blockIdx"));
+    }
+
+    #[test]
+    fn lp013_blockidx_guard_exempts_the_store() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out, float *sum) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 1.0f;
+    if (blockIdx.x == 0) {
+        sum[threadIdx.x] = 2.0f;
+    }
+}
+"#;
+        let ds = lint(src);
+        // The guarded store still shows up as uncovered (LP011) but must
+        // not be a cross-block conflict.
+        assert!(ds.iter().any(|d| d.code == "LP011"), "got:\n{ds:?}");
+        assert!(ds.iter().all(|d| d.code != "LP013"), "got:\n{ds:?}");
+    }
+
+    #[test]
+    fn lp014_fold_on_conditionally_defined_value() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out, int n) {
+    int i = blockIdx.x;
+    float v;
+    if (n > 0) {
+        v = 1.0f;
+    }
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = v;
+}
+"#;
+        let ds = lint(src);
+        assert_eq!(ds.len(), 1, "got:\n{ds:?}");
+        assert_eq!(ds[0].code, "LP014");
+        assert!(ds[0].message.contains("no definition of `v` dominates"));
+        assert!(ds[0].message.contains("line 6"));
+        assert_eq!(ds[0].span.line, 9);
+    }
+
+    #[test]
+    fn lp014_unconditional_definition_is_clean() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void k(float *out, int n) {
+    int i = blockIdx.x;
+    float v = 0.0f;
+    if (n > 0) {
+        v = 1.0f;
+    }
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = v;
+}
+"#;
+        assert_eq!(lint(src), Vec::new());
     }
 
     #[test]
@@ -292,9 +498,9 @@ __global__ void k(float *p) {
     fn lp005_reported_once_per_table() {
         let src = r#"__global__ void k(float *p) {
 #pragma nvm lpcuda_checksum("+", ghost, i)
-    p[0] = 1.0f;
+    p[blockIdx.x] = 1.0f;
 #pragma nvm lpcuda_checksum("+", ghost, j)
-    p[1] = 2.0f;
+    p[blockIdx.x + 1] = 2.0f;
 }
 "#;
         let ds = lint(src);

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod coverage;
+pub mod fixtures;
 mod global;
 mod report;
 mod shared;

@@ -6,12 +6,13 @@
 //! each produce **exactly** the expected report, and observation must not
 //! perturb the simulated timing results.
 
-use gpu_lp::{LpBlockSession, LpConfig, LpRuntime};
+use gpu_lp::{LpConfig, LpRuntime};
 use lp_kernels::{all_workloads, Scale, Workload};
+use lp_sanitizer::fixtures::{MissingSyncFixture, UncoveredStoreFixture};
 use lp_sanitizer::{sanitize_launch, sanitize_launch_exempt, Finding, SanitizerReport};
-use nvm::{Addr, NvmConfig, PersistMemory};
+use nvm::{NvmConfig, PersistMemory};
 use proptest::prelude::*;
-use simt::{BlockCtx, DeviceConfig, Dim3, Gpu, Kernel, LaunchConfig, LaunchStats};
+use simt::{DeviceConfig, Gpu, LaunchStats};
 
 /// Same small-cache world the kernel testkit uses: evictions happen early,
 /// which is the regime both LP and the coverage pass care about.
@@ -121,40 +122,9 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// Seeded-bug fixtures
+// Seeded-bug fixtures (shared with tests/differential.rs via
+// lp_sanitizer::fixtures)
 // ---------------------------------------------------------------------------
-
-/// Fixture: two threads exchange values through shared memory but the
-/// author forgot the `sync_threads()` between write and read.
-struct MissingSyncFixture {
-    blocks: u32,
-}
-
-impl Kernel for MissingSyncFixture {
-    fn name(&self) -> &str {
-        "missing-sync-fixture"
-    }
-
-    fn config(&self) -> LaunchConfig {
-        LaunchConfig {
-            grid: Dim3::x(self.blocks),
-            block: Dim3::x(2),
-        }
-    }
-
-    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        let sh = ctx.shared_alloc(2);
-        for t in 0..2 {
-            ctx.set_active_thread(t);
-            ctx.shm_write(sh, t as usize, t + 1);
-        }
-        // BUG: no ctx.sync_threads() here.
-        for t in 0..2 {
-            ctx.set_active_thread(t);
-            let _ = ctx.shm_read(sh, (1 - t) as usize);
-        }
-    }
-}
 
 #[test]
 fn missing_sync_fixture_yields_exactly_the_expected_races() {
@@ -180,46 +150,6 @@ fn missing_sync_fixture_yields_exactly_the_expected_races() {
     assert_eq!(report.count_for_pass("shared-race"), 6);
     assert_eq!(report.count_for_pass("coverage"), 0);
     assert_eq!(report.count_for_pass("global-conflict"), 0);
-}
-
-/// Fixture: an LP kernel in which one store is issued directly through the
-/// context instead of through the session, so it never reaches the
-/// checksum accumulator — exactly the omission LP recovery cannot survive.
-struct UncoveredStoreFixture<'a> {
-    lp: &'a LpRuntime,
-    out: Addr,
-    blocks: u32,
-    tpb: u32,
-}
-
-impl Kernel for UncoveredStoreFixture<'_> {
-    fn name(&self) -> &str {
-        "uncovered-store-fixture"
-    }
-
-    fn config(&self) -> LaunchConfig {
-        LaunchConfig {
-            grid: Dim3::x(self.blocks),
-            block: Dim3::x(self.tpb),
-        }
-    }
-
-    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        let mut lp = LpBlockSession::begin_opt(Some(self.lp), ctx);
-        let tpb = ctx.threads_per_block();
-        for t in 0..tpb {
-            ctx.set_active_thread(t);
-            let i = ctx.global_thread_id(t);
-            if t == 1 {
-                // BUG: raw store inside the LP region; the checksum never
-                // sees this value, so recovery would silently lose it.
-                ctx.store_u32(self.out.index(i, 4), 0xBAD);
-            } else {
-                lp.store_u32(ctx, t, self.out.index(i, 4), i as u32);
-            }
-        }
-        lp.finalize(ctx);
-    }
 }
 
 #[test]
