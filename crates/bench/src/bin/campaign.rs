@@ -1,6 +1,6 @@
 //! E14 — the systematic crash-injection campaign.
 //!
-//! Sweeps `{workload} × {LP config} × {seed} × {crash site}` with the
+//! Sweeps `{workload} × {LP config} × {backend} × {seed} × {crash site}` with the
 //! `lp-fault` engine: every trial crashes a fresh simulated machine at one
 //! taxonomy site, recovers, and is judged by three oracles (output
 //! correctness, no phantom validation failures, no false negatives).
@@ -11,6 +11,7 @@
 //! This binary parses its own flags: its knobs (budget, threads, sabotage)
 //! don't exist in the shared `lp_bench::cli` surface.
 
+use gpu_lp::BackendKind;
 use lp_fault::SUBJECT_NAMES;
 use lp_fault::{
     run_campaign, sanitize_sweep, CampaignReport, CampaignSpec, CrashSite, SABOTAGE_CONFIG,
@@ -19,7 +20,8 @@ use lp_kernels::Scale;
 use std::io::Write;
 
 const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
-                     [--workload NAME] [--sabotage] [--sanitize] [--json] [--quiet]";
+                     [--workload NAME] [--backend lp|eager|epoch|sbrp|all] [--sabotage] \
+                     [--sanitize] [--json] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("campaign: {msg}\n{USAGE}");
@@ -34,6 +36,7 @@ struct CampaignArgs {
     sanitize: bool,
     json: bool,
     workload: Option<String>,
+    backends: Option<Vec<BackendKind>>,
     quiet: bool,
 }
 
@@ -46,6 +49,7 @@ fn parse_args() -> CampaignArgs {
         sanitize: false,
         json: false,
         workload: None,
+        backends: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -86,6 +90,14 @@ fn parse_args() -> CampaignArgs {
                     ));
                 }
                 out.workload = Some(w);
+            }
+            "--backend" => {
+                let v = value(&mut it, "--backend");
+                out.backends = Some(if v.eq_ignore_ascii_case("all") {
+                    BackendKind::ALL.to_vec()
+                } else {
+                    vec![v.parse().unwrap_or_else(|e: String| usage_err(&e))]
+                });
             }
             "--sabotage" => out.sabotage = true,
             "--sanitize" => out.sanitize = true,
@@ -157,6 +169,9 @@ fn main() {
     if let Some(w) = &args.workload {
         spec.workloads = vec![w.to_ascii_uppercase()];
     }
+    if let Some(backends) = &args.backends {
+        spec.backends = backends.clone();
+    }
     if args.sabotage {
         spec.configs = vec![SABOTAGE_CONFIG.to_string()];
         // Sabotage demo: sites that reliably lose mid-stream data, so the
@@ -216,9 +231,10 @@ fn main() {
     }
 
     eprintln!(
-        "# campaign: {} workloads x {} configs x {} seeds x {} sites{}",
+        "# campaign: {} workloads x {} configs x {} backends x {} seeds x {} sites{}",
         spec.workloads.len(),
         spec.configs.len(),
+        spec.backends.len(),
         spec.seeds.len(),
         spec.sites.len(),
         spec.budget

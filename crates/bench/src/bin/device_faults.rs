@@ -35,8 +35,10 @@ fn main() {
         None => WORKLOADS.to_vec(),
     };
 
+    let backend = args.backend.unwrap_or_default();
+
     println!(
-        "# Device-fault resilience — recovery effort vs. fault rate (seed {})\n",
+        "# Device-fault resilience — recovery effort vs. fault rate (seed {}, backend {backend})\n",
         args.seed
     );
     println!("Rates are basis points: faults per 10,000 device operations. 0 bp is the");
@@ -62,6 +64,7 @@ fn main() {
                 let id = TrialId {
                     workload: workload.to_string(),
                     config: "recommended".to_string(),
+                    backend,
                     seed: args.seed,
                     site,
                 };
@@ -87,6 +90,7 @@ fn main() {
                 ]);
                 json_rows.push(serde_json::json!({
                     "workload": workload,
+                    "backend": backend.name(),
                     "class": class,
                     "bp": bp,
                     "rounds": r.recovery_rounds,

@@ -1,10 +1,14 @@
 //! Runs the whole evaluation — every table and figure — by invoking the
 //! sibling experiment binaries in sequence and concatenating their reports.
 //! This is what regenerates the data behind EXPERIMENTS.md.
+//!
+//! `--only <experiment>` restricts the run to one experiment, named either
+//! by binary (`backend_sweep`) or by code (`E18`); every other argument is
+//! forwarded to the experiment binaries.
 
 use std::process::Command;
 
-const EXPERIMENTS: [(&str, &str); 13] = [
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("ep_comparison", "E0 / eager-vs-lazy motivation"),
     ("fig5_hash_tables", "E1 / Fig. 5"),
     ("table2_collisions", "E2 / Table II"),
@@ -18,16 +22,42 @@ const EXPERIMENTS: [(&str, &str); 13] = [
     ("recovery_cost", "E13 / recovery-cost trade-off"),
     ("sanitizer_overhead", "E15 / sanitizer overhead"),
     ("device_faults", "E16 / device-fault resilience"),
+    ("backend_sweep", "E18 / persistency-model spectrum"),
 ];
 const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
 
+/// Whether `label` (e.g. `"E18 / persistency-model spectrum"`) or `bin`
+/// matches the `--only` selector.
+fn selected(only: Option<&str>, bin: &str, label: &str) -> bool {
+    let Some(sel) = only else { return true };
+    bin.eq_ignore_ascii_case(sel)
+        || label
+            .split('/')
+            .next()
+            .is_some_and(|code| code.trim().eq_ignore_ascii_case(sel))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--only") {
+        if i + 1 >= args.len() {
+            eprintln!("run_all: --only needs an experiment name (binary or E-code)");
+            std::process::exit(2);
+        }
+        only = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let me = std::env::current_exe().expect("current_exe");
     let bin_dir = me.parent().expect("bin dir").to_path_buf();
 
+    let mut ran = 0usize;
     let mut failed = Vec::new();
     for (bin, label) in EXPERIMENTS.iter().chain(FAST_EXTRA.iter()) {
+        if !selected(only.as_deref(), bin, label) {
+            continue;
+        }
+        ran += 1;
         println!("\n================================================================");
         println!("== {label}  ({bin})");
         println!("================================================================\n");
@@ -41,38 +71,59 @@ fn main() {
     }
     // E14: the crash-injection campaign has its own flag surface, so it
     // gets a fixed, bounded invocation instead of the forwarded args.
-    println!("\n================================================================");
-    println!("== E14 / crash-injection campaign  (campaign)");
-    println!("================================================================\n");
-    let status = Command::new(bin_dir.join("campaign"))
-        .args([
-            "--scale",
-            "test",
-            "--budget",
-            "200",
-            "--sanitize",
-            "--quiet",
-        ])
-        .status()
-        .unwrap_or_else(|e| panic!("failed to spawn campaign: {e}"));
-    if !status.success() {
-        failed.push("campaign");
+    if selected(
+        only.as_deref(),
+        "campaign",
+        "E14 / crash-injection campaign",
+    ) {
+        ran += 1;
+        println!("\n================================================================");
+        println!("== E14 / crash-injection campaign  (campaign)");
+        println!("================================================================\n");
+        let status = Command::new(bin_dir.join("campaign"))
+            .args([
+                "--scale",
+                "test",
+                "--budget",
+                "200",
+                "--sanitize",
+                "--quiet",
+            ])
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn campaign: {e}"));
+        if !status.success() {
+            failed.push("campaign");
+        }
     }
 
     // E17: the static-analysis differential — lpcuda-lint over the
     // embedded clean corpus must report zero findings (exit 0). Like the
     // campaign, it has its own flag surface, so the invocation is fixed.
-    println!("\n================================================================");
-    println!("== E17 / static LP-safety analysis  (lpcuda-lint)");
-    println!("================================================================\n");
-    let status = Command::new(bin_dir.join("lpcuda-lint"))
-        .arg("--fixtures")
-        .status()
-        .unwrap_or_else(|e| panic!("failed to spawn lpcuda-lint: {e}"));
-    if !status.success() {
-        failed.push("lpcuda-lint");
+    if selected(
+        only.as_deref(),
+        "lpcuda-lint",
+        "E17 / static LP-safety analysis",
+    ) {
+        ran += 1;
+        println!("\n================================================================");
+        println!("== E17 / static LP-safety analysis  (lpcuda-lint)");
+        println!("================================================================\n");
+        let status = Command::new(bin_dir.join("lpcuda-lint"))
+            .arg("--fixtures")
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn lpcuda-lint: {e}"));
+        if !status.success() {
+            failed.push("lpcuda-lint");
+        }
     }
 
+    if ran == 0 {
+        eprintln!(
+            "run_all: --only {:?} matched no experiment",
+            only.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
     if failed.is_empty() {
         println!("\nAll experiments completed.");
     } else {

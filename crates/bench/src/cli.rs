@@ -1,6 +1,7 @@
 //! Tiny argument parsing shared by the experiment binaries (no external
 //! CLI dependency needed for `--scale`/`--seed`/`--json`).
 
+use gpu_lp::BackendKind;
 use lp_kernels::Scale;
 
 /// Parsed command-line options.
@@ -14,6 +15,8 @@ pub struct Args {
     pub json: bool,
     /// Restrict to one workload (`--workload NAME`).
     pub workload: Option<String>,
+    /// Restrict to one persistency backend (`--backend lp|eager|epoch|sbrp`).
+    pub backend: Option<BackendKind>,
 }
 
 impl Args {
@@ -34,6 +37,7 @@ impl Args {
             seed: 42,
             json: false,
             workload: None,
+            backend: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -56,9 +60,14 @@ impl Args {
                 }
                 "--json" => out.json = true,
                 "--workload" => out.workload = Some(it.next().expect("--workload needs a value")),
+                "--backend" => {
+                    let v = it.next().expect("--backend needs a value");
+                    out.backend = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale test|bench|paper] [--seed N] [--json] [--workload NAME]"
+                        "usage: [--scale test|bench|paper] [--seed N] [--json] \
+                         [--workload NAME] [--backend lp|eager|epoch|sbrp]"
                     );
                     std::process::exit(0);
                 }
@@ -95,16 +104,25 @@ mod tests {
             "--json",
             "--workload",
             "SPMV",
+            "--backend",
+            "sbrp",
         ]);
         assert_eq!(a.scale, Scale::Test);
         assert_eq!(a.seed, 7);
         assert!(a.json);
         assert_eq!(a.workload.as_deref(), Some("SPMV"));
+        assert_eq!(a.backend, Some(BackendKind::Sbrp));
     }
 
     #[test]
     #[should_panic(expected = "unknown scale")]
     fn bad_scale_panics() {
         parse(&["--scale", "huge"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend")]
+    fn bad_backend_panics() {
+        parse(&["--backend", "psyche"]);
     }
 }

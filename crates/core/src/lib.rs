@@ -25,6 +25,11 @@
 //!   their stores;
 //! * [`recovery`] — post-crash validation and eager re-execution.
 //!
+//! Beyond LP itself, [`region`] routes every region commit through the
+//! [`lp_persist`] crate's [`PersistencyBackend`] trait, so the same kernels
+//! also run under eager flush-per-store, strict/epoch, and SBRP-style
+//! scoped buffered persistency (the vocabulary types are re-exported here).
+//!
 //! # End-to-end shape
 //!
 //! ```text
@@ -51,6 +56,10 @@ pub mod table;
 
 pub use checkpoint::{CheckpointManager, CheckpointPolicy};
 pub use checksum::{ChecksumKind, ChecksumSet, MAX_CHECKSUMS};
+pub use lp_persist::{
+    BackendKind, BlockPersistSession, DurabilityContract, PersistScope, PersistencyBackend,
+    SbrpConfig, SessionStats,
+};
 pub use recovery::{Recoverable, RecoveryEngine, RecoveryReport};
 pub use reduce::ReduceStrategy;
 pub use region::{LpBlockSession, LpConfig, LpRuntime, PersistMode};

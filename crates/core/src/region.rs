@@ -12,6 +12,10 @@ use crate::table::{
     AtomicPolicy, ChecksumTableOps, CuckooTable, GlobalArrayTable, LockPolicy, QuadraticProbeTable,
     TableInstance, TableKind, TableStatsSnapshot,
 };
+use lp_persist::{
+    BackendKind, BlockPersistSession, DurabilityContract, EagerBackend, EpochBackend,
+    LpChecksumBackend, PersistScope, PersistencyBackend, SbrpBackend, SbrpConfig, SessionStats,
+};
 use nvm::{Addr, PersistMemory};
 use serde::{Deserialize, Serialize};
 use simt::BlockCtx;
@@ -53,12 +57,33 @@ pub enum PersistMode {
     /// 20–40 % slowdown and ~2× write amplification the paper cites as
     /// EP's price (§I).
     EagerLogged,
+    /// Strict/epoch persistency: stores buffer within an epoch that a
+    /// `__threadfence`-class fence closes by pushing every dirtied line
+    /// into the ADR-backed memory queue (acceptance = durability). The
+    /// region commit closes the final epoch and publishes a commit token.
+    Epoch,
+    /// SBRP-style scoped buffered release persistency: per-SM and L2-level
+    /// hardware persist buffers absorb persists off the critical path;
+    /// scope-aware release persists drain them, and the region commit is
+    /// a device-scope (or deep-flush) release plus a commit token.
+    Sbrp,
 }
 
 impl PersistMode {
-    /// Whether this mode is one of the eager baselines.
+    /// Whether this mode persists explicitly (everything but LP): regions
+    /// are validated by commit-token presence instead of checksums.
     pub fn is_eager(self) -> bool {
         !matches!(self, PersistMode::Lazy)
+    }
+
+    /// The persistency backend family implementing this mode.
+    pub fn backend_kind(self) -> BackendKind {
+        match self {
+            PersistMode::Lazy => BackendKind::LpChecksum,
+            PersistMode::Eager | PersistMode::EagerLogged => BackendKind::Eager,
+            PersistMode::Epoch => BackendKind::Epoch,
+            PersistMode::Sbrp => BackendKind::Sbrp,
+        }
     }
 }
 
@@ -77,6 +102,8 @@ pub struct LpConfig {
     pub atomic: AtomicPolicy,
     /// Block-level reduction strategy (Table IV axis).
     pub reduce: ReduceStrategy,
+    /// SBRP hardware knobs (only consulted under [`PersistMode::Sbrp`]).
+    pub sbrp: SbrpConfig,
 }
 
 impl LpConfig {
@@ -91,6 +118,7 @@ impl LpConfig {
             lock: LockPolicy::LockFree,
             atomic: AtomicPolicy::Atomic,
             reduce: ReduceStrategy::ParallelShuffle,
+            sbrp: SbrpConfig::default(),
         }
     }
 
@@ -109,6 +137,35 @@ impl LpConfig {
         Self {
             mode: PersistMode::EagerLogged,
             ..Self::recommended()
+        }
+    }
+
+    /// The strict/epoch persistency baseline: epoch ordering on
+    /// `__threadfence`-class fences, ADR-at-memory-queue durability.
+    pub fn epoch() -> Self {
+        Self {
+            mode: PersistMode::Epoch,
+            ..Self::recommended()
+        }
+    }
+
+    /// SBRP-style scoped buffered persistency with default buffer knobs.
+    pub fn sbrp() -> Self {
+        Self {
+            mode: PersistMode::Sbrp,
+            ..Self::recommended()
+        }
+    }
+
+    /// The design point characterising backend `kind` in a model sweep:
+    /// the recommended LP configuration with only the persistency
+    /// discipline swapped out.
+    pub fn for_backend(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::LpChecksum => Self::recommended(),
+            BackendKind::Eager => Self::eager(),
+            BackendKind::Epoch => Self::epoch(),
+            BackendKind::Sbrp => Self::sbrp(),
         }
     }
 
@@ -152,6 +209,18 @@ impl LpConfig {
         self
     }
 
+    /// Swaps the persistency discipline, keeping every other knob (table
+    /// organisation, checksums, reduction) of this design point.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.mode = match kind {
+            BackendKind::LpChecksum => PersistMode::Lazy,
+            BackendKind::Eager => PersistMode::Eager,
+            BackendKind::Epoch => PersistMode::Epoch,
+            BackendKind::Sbrp => PersistMode::Sbrp,
+        };
+        self
+    }
+
     /// Checks the configuration is self-consistent.
     ///
     /// # Errors
@@ -185,6 +254,8 @@ pub struct LpRuntime {
     table: TableInstance,
     scratch: Option<Addr>,
     undo_log: Option<Addr>,
+    /// The persistency model driving this launch's per-block sessions.
+    backend: Box<dyn PersistencyBackend>,
 }
 
 impl LpRuntime {
@@ -242,6 +313,13 @@ impl LpRuntime {
             let slots = num_regions.min(LOG_SLOTS);
             mem.alloc(slots * LOG_ENTRIES_PER_BLOCK * 128, 128)
         });
+        let backend: Box<dyn PersistencyBackend> = match config.mode {
+            PersistMode::Lazy => Box::new(LpChecksumBackend),
+            PersistMode::Eager => Box::new(EagerBackend::per_store()),
+            PersistMode::EagerLogged => Box::new(EagerBackend::at_commit()),
+            PersistMode::Epoch => Box::new(EpochBackend),
+            PersistMode::Sbrp => Box::new(SbrpBackend::new(config.sbrp)),
+        };
         Self {
             config,
             num_regions,
@@ -249,7 +327,18 @@ impl LpRuntime {
             table,
             scratch,
             undo_log,
+            backend,
         }
+    }
+
+    /// The persistency backend driving this launch.
+    pub fn backend(&self) -> &dyn PersistencyBackend {
+        self.backend.as_ref()
+    }
+
+    /// The durability contract of the active persistency model.
+    pub fn contract(&self) -> DurabilityContract {
+        self.backend.contract()
     }
 
     /// The configuration this runtime was built with.
@@ -338,9 +427,12 @@ impl LpRuntime {
     pub fn digest_region(&self, key: u64, images: impl IntoIterator<Item = u64>) -> Vec<u64> {
         match self.config.mode {
             PersistMode::Lazy => self.seal(key, self.config.checksums.digest(images)),
-            // Eager validation does not look at the data: presence of the
-            // commit token is the proof of durability.
-            PersistMode::Eager | PersistMode::EagerLogged => self.commit_token(key),
+            // Explicit-persistency validation does not look at the data:
+            // presence of the commit token is the proof of durability.
+            PersistMode::Eager
+            | PersistMode::EagerLogged
+            | PersistMode::Epoch
+            | PersistMode::Sbrp => self.commit_token(key),
         }
     }
 
@@ -392,9 +484,11 @@ pub struct LpBlockSession<'rt> {
     rt: Option<&'rt LpRuntime>,
     acc: Vec<u64>,
     arity: usize,
-    /// Line bases dirtied by this region (logged-eager bookkeeping).
-    dirtied: std::collections::HashSet<u64>,
-    /// Next free undo-log entry for this block.
+    /// Persistency actions for the explicit backends (eager/epoch/SBRP);
+    /// `None` under Lazy — LP issues zero persist instructions, and the
+    /// checksummed hot path stays free of dynamic dispatch.
+    psession: Option<Box<dyn BlockPersistSession>>,
+    /// Next free undo-log entry for this block (logged-eager bookkeeping).
     log_cursor: u64,
 }
 
@@ -427,24 +521,24 @@ impl<'rt> LpBlockSession<'rt> {
                     rt: Some(rt),
                     acc,
                     arity,
-                    dirtied: std::collections::HashSet::new(),
+                    psession: None,
                     log_cursor: 0,
                 }
             }
-            // Eager modes keep no accumulators: persistence comes from
-            // flushes, not checksums.
+            // Explicit modes keep no accumulators: persistence comes from
+            // the backend's flushes/queue acceptances, not checksums.
             Some(rt) => Self {
                 rt: Some(rt),
                 acc: Vec::new(),
                 arity: rt.config.checksums.arity(),
-                dirtied: std::collections::HashSet::new(),
+                psession: Some(rt.backend.begin_block(ctx.block_id())),
                 log_cursor: 0,
             },
             None => Self {
                 rt: None,
                 acc: Vec::new(),
                 arity: 0,
-                dirtied: std::collections::HashSet::new(),
+                psession: None,
                 log_cursor: 0,
             },
         }
@@ -472,37 +566,47 @@ impl<'rt> LpBlockSession<'rt> {
         }
     }
 
-    /// Eager-mode hook for a protected store to `addr`.
-    ///
-    /// * Strict eager: write the line back immediately (`clwb` per store).
-    /// * Logged eager: the first store to each line appends one undo-log
-    ///   entry (a line-sized record of the old contents) and flushes it;
-    ///   the data line itself is written back once, at `finalize`.
-    fn eager_flush(&mut self, ctx: &mut BlockCtx<'_>, addr: Addr) {
+    /// Backend hook for a protected store to `addr`: routes the store
+    /// through the active persistency model's per-block session (flush,
+    /// epoch bookkeeping, persist-buffer insertion — whatever the model
+    /// does). Under [`PersistMode::EagerLogged`] the first store to each
+    /// line additionally appends one undo-log entry and flushes it.
+    fn persist_store(&mut self, ctx: &mut BlockCtx<'_>, addr: Addr) {
+        let Some(s) = self.psession.as_deref_mut() else {
+            return;
+        };
+        let first_touch = s.on_store(ctx, addr);
         let Some(rt) = self.rt else { return };
-        match rt.config.mode {
-            PersistMode::Lazy => {}
-            PersistMode::Eager => {
-                ctx.flush_line(addr);
-            }
-            PersistMode::EagerLogged => {
-                let line = addr.raw() & !127;
-                if self.dirtied.insert(line) {
-                    if let Some(log) = rt.log_for_block(ctx.block_id()) {
-                        let entry = log.index(self.log_cursor % LOG_ENTRIES_PER_BLOCK, 128);
-                        self.log_cursor += 1;
-                        // Undo record: the old line image (16 words) — the
-                        // recovery path never rolls back (regions are
-                        // idempotent), but the traffic and durability cost
-                        // are real: 16 stores + one flush of the log line.
-                        for wordidx in 0..16u64 {
-                            ctx.store_u64(entry.offset(8 * wordidx), line ^ wordidx);
-                        }
-                        ctx.flush_line(entry);
-                    }
-                }
-            }
+        if !first_touch || rt.config.mode != PersistMode::EagerLogged {
+            return;
         }
+        if let Some(log) = rt.log_for_block(ctx.block_id()) {
+            let line = addr.raw() & !(ctx.line_size() - 1);
+            let entry = log.index(self.log_cursor % LOG_ENTRIES_PER_BLOCK, 128);
+            self.log_cursor += 1;
+            // Undo record: the old line image (16 words) — the recovery
+            // path never rolls back (regions are idempotent), but the
+            // traffic and durability cost are real: 16 stores + one flush
+            // of the log line.
+            for wordidx in 0..16u64 {
+                ctx.store_u64(entry.offset(8 * wordidx), line ^ wordidx);
+            }
+            ctx.flush_line(entry);
+        }
+    }
+
+    /// Issues a `__threadfence`-class fence at `scope` through the active
+    /// backend (a no-op under Lazy — LP has no fences to issue).
+    pub fn fence(&mut self, ctx: &mut BlockCtx<'_>, scope: PersistScope) {
+        if let Some(s) = self.psession.as_deref_mut() {
+            s.fence(ctx, scope);
+        }
+    }
+
+    /// Counters from the active backend session (`None` under Lazy or when
+    /// instrumentation is disabled).
+    pub fn persist_stats(&self) -> Option<SessionStats> {
+        self.psession.as_ref().map(|s| s.session_stats())
     }
 
     /// Marks `addr` as folded into the region's checksum accumulation for
@@ -522,7 +626,7 @@ impl<'rt> LpBlockSession<'rt> {
         ctx.store_f32(addr, v);
         self.update(ctx, t, f32_store_image(v));
         self.note_covered(ctx, addr);
-        self.eager_flush(ctx, addr);
+        self.persist_store(ctx, addr);
     }
 
     /// Protected `f64` store by thread `t`.
@@ -530,7 +634,7 @@ impl<'rt> LpBlockSession<'rt> {
         ctx.store_f64(addr, v);
         self.update(ctx, t, f64_store_image(v));
         self.note_covered(ctx, addr);
-        self.eager_flush(ctx, addr);
+        self.persist_store(ctx, addr);
     }
 
     /// Protected `u32` store by thread `t`.
@@ -538,7 +642,7 @@ impl<'rt> LpBlockSession<'rt> {
         ctx.store_u32(addr, v);
         self.update(ctx, t, v as u64);
         self.note_covered(ctx, addr);
-        self.eager_flush(ctx, addr);
+        self.persist_store(ctx, addr);
     }
 
     /// Protected `u64` store by thread `t`.
@@ -546,7 +650,29 @@ impl<'rt> LpBlockSession<'rt> {
         ctx.store_u64(addr, v);
         self.update(ctx, t, v);
         self.note_covered(ctx, addr);
-        self.eager_flush(ctx, addr);
+        self.persist_store(ctx, addr);
+    }
+
+    /// Protected atomic compare-and-swap: performs the CAS and, when it
+    /// wrote (`old == compare`), routes the dirtied line through the
+    /// active explicit backend's session so the mutation is covered by the
+    /// model's durability discipline. No checksum fold happens here —
+    /// atomic effects have kernel-specific post-state images that the
+    /// kernel folds via [`LpBlockSession::update`] (LP recovery recomputes
+    /// from post-state, not from the CAS argument), so under Lazy this is
+    /// exactly [`BlockCtx::atomic_cas_u64`].
+    pub fn atomic_cas_u64(
+        &mut self,
+        ctx: &mut BlockCtx<'_>,
+        addr: Addr,
+        compare: u64,
+        new: u64,
+    ) -> u64 {
+        let old = ctx.atomic_cas_u64(addr, compare, new);
+        if old == compare {
+            self.persist_store(ctx, addr);
+        }
+        old
     }
 
     /// Ends the LP region: reduces the per-thread accumulators with the
@@ -569,25 +695,21 @@ impl<'rt> LpBlockSession<'rt> {
                 ctx.charge_alu(set.arity() as u64); // seal fold
                 rt.table.insert(ctx, ctx.block_id(), &sealed);
             }
-            PersistMode::Eager | PersistMode::EagerLogged => {
-                // Epoch boundary. Logged mode first writes back each dirty
-                // data line exactly once (strict mode already flushed per
-                // store); then: barrier → commit token → flush token →
-                // barrier. The ordering makes the token a durable witness
-                // for the region's data.
-                if rt.config.mode == PersistMode::EagerLogged {
-                    for line in std::mem::take(&mut self.dirtied) {
-                        ctx.flush_line(Addr::new(line));
-                    }
-                }
-                ctx.sync_threads();
-                ctx.persist_barrier();
+            _ => {
+                // Region boundary of an explicit backend: the session
+                // makes every protected store durable per its model
+                // (flushes, epoch close, or buffer drain), the commit
+                // token is published, and the session persists the token.
+                // The ordering makes the token a durable witness for the
+                // region's data.
+                let mut s = self
+                    .psession
+                    .take()
+                    .expect("explicit persistency mode must carry a session");
+                s.commit(ctx);
                 let token = rt.commit_token(ctx.block_id());
                 rt.table.insert(ctx, ctx.block_id(), &token);
-                if let Some(addr) = rt.table.entry_addr(ctx.block_id()) {
-                    ctx.flush_line(addr);
-                }
-                ctx.persist_barrier();
+                s.persist_token(ctx, rt.table.entry_addr(ctx.block_id()));
             }
         }
     }

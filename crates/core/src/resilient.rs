@@ -30,7 +30,7 @@
 
 use crate::recovery::{Recoverable, RecoveryEngine};
 use crate::region::LpRuntime;
-use nvm::{Addr, FlushOutcome, PersistMemory};
+use nvm::PersistMemory;
 use serde::{Deserialize, Serialize};
 use simt::{AccessKind, AccessObserver, Gpu};
 use std::collections::{BTreeMap, BTreeSet};
@@ -273,16 +273,10 @@ impl<'g> ResilientRecovery<'g> {
             .run_single_block_observed(kernel, mem, block, &mut rec);
         report.degraded_reexecutions += 1;
         for base in rec.bases {
-            let mut persisted = false;
-            for attempt in 0..self.cfg.flush_retries {
-                match mem.flush_line_checked(Addr::new(base)) {
-                    FlushOutcome::Clean | FlushOutcome::Persisted => {
-                        persisted = true;
-                        break;
-                    }
-                    FlushOutcome::TransientFail => self.charge_backoff(attempt, report),
-                }
-            }
+            let persisted =
+                lp_persist::drain_line_with_retry(mem, base, self.cfg.flush_retries, |attempt| {
+                    self.charge_backoff(attempt, report)
+                });
             if !persisted {
                 mem.quarantine_line(base);
                 report.quarantined_lines += 1;
@@ -391,6 +385,7 @@ mod tests {
     use super::*;
     use crate::checksum::f32_store_image;
     use crate::region::{LpBlockSession, LpConfig};
+    use nvm::Addr;
     use nvm::{FaultConfig, NvmConfig};
     use simt::{BlockCtx, DeviceConfig, Kernel, LaunchConfig};
 

@@ -1,7 +1,7 @@
 //! Campaign orchestration: enumerate, fan out, judge, shrink, report.
 //!
-//! A campaign is the cross product `{workload} × {config} × {seed} ×
-//! {crash site}`, optionally down-sampled to a trial budget by
+//! A campaign is the cross product `{workload} × {config} × {backend} ×
+//! {seed} × {crash site}`, optionally down-sampled to a trial budget by
 //! deterministic striding (so two runs of the same spec execute the same
 //! trials). Trials are independent full-machine simulations, so the runner
 //! fans them out over OS threads; each trial is wrapped in
@@ -13,6 +13,7 @@
 use crate::shrink::{shrink, ShrinkOutcome};
 use crate::site::CrashSite;
 use crate::trial::{run_trial, TrialId, TrialResult, CONFIG_NAMES, SUBJECT_NAMES};
+use gpu_lp::BackendKind;
 use lp_kernels::Scale;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -27,6 +28,9 @@ pub struct CampaignSpec {
     pub workloads: Vec<String>,
     /// Config names resolvable by [`crate::trial_config`].
     pub configs: Vec<String>,
+    /// Persistency backends each config runs under (`[LpChecksum]` by
+    /// default; sweep [`BackendKind::ALL`] for a cross-model campaign).
+    pub backends: Vec<BackendKind>,
     /// Input seeds.
     pub seeds: Vec<u64>,
     /// Crash sites ([`CrashSite::catalog`] by default).
@@ -43,13 +47,14 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// The default sweep: every subject, the two most interesting design
-    /// points, two seeds, the full site catalog — 11 × 2 × 2 × 16 = 704
-    /// trials at `scale`.
+    /// points, the LP backend, two seeds, the full site catalog —
+    /// 11 × 2 × 1 × 2 × 22 = 968 trials at `scale`.
     pub fn default_sweep(scale: Scale) -> Self {
         CampaignSpec {
             scale,
             workloads: SUBJECT_NAMES.iter().map(|s| s.to_string()).collect(),
             configs: vec![CONFIG_NAMES[0].to_string(), CONFIG_NAMES[1].to_string()],
+            backends: vec![BackendKind::LpChecksum],
             seeds: vec![1, 2],
             sites: CrashSite::catalog(),
             budget: None,
@@ -64,14 +69,17 @@ impl CampaignSpec {
         let mut all = Vec::new();
         for workload in &self.workloads {
             for config in &self.configs {
-                for &seed in &self.seeds {
-                    for &site in &self.sites {
-                        all.push(TrialId {
-                            workload: workload.clone(),
-                            config: config.clone(),
-                            seed,
-                            site,
-                        });
+                for &backend in &self.backends {
+                    for &seed in &self.seeds {
+                        for &site in &self.sites {
+                            all.push(TrialId {
+                                workload: workload.clone(),
+                                config: config.clone(),
+                                backend,
+                                seed,
+                                site,
+                            });
+                        }
                     }
                 }
             }
@@ -287,8 +295,30 @@ mod tests {
 
     #[test]
     fn enumeration_is_the_full_cross_product() {
-        let spec = CampaignSpec::default_sweep(Scale::Test);
+        let mut spec = CampaignSpec::default_sweep(Scale::Test);
         assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 22);
+        spec.backends = BackendKind::ALL.to_vec();
+        assert_eq!(spec.enumerate().len(), 11 * 2 * 4 * 2 * 22);
+    }
+
+    #[test]
+    fn backend_sweep_campaign_is_green_for_every_backend() {
+        let spec = CampaignSpec {
+            workloads: vec!["SPMV".to_string()],
+            configs: vec!["recommended".to_string()],
+            backends: BackendKind::ALL.to_vec(),
+            seeds: vec![1],
+            sites: vec![
+                CrashSite::AfterStores { pct: 50 },
+                CrashSite::BetweenKernels,
+            ],
+            ..CampaignSpec::default_sweep(Scale::Test)
+        };
+        let report = run_campaign(&spec, |_, _| {});
+        assert_eq!(report.trials, 4 * 2);
+        assert!(report.all_passed(), "{:#?}", report.failures);
+        // Non-LP backends skip the loss-attribution oracles by contract.
+        assert_eq!(report.oracle_skips, 3 * 2);
     }
 
     #[test]

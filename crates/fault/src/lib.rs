@@ -12,8 +12,10 @@
 //! * [`CrashSite`] is a taxonomy of power-loss instants, parameterised and
 //!   serializable, covering every phase of the LP pipeline (including the
 //!   double-crash during recovery);
-//! * [`TrialId`] = `(workload, config, seed, site)` fully determines one
-//!   trial, so every result in a report is replayable bit-for-bit;
+//! * [`TrialId`] = `(workload, config, backend, seed, site)` fully
+//!   determines one trial — including which persistency backend the
+//!   subject runs under — so every result in a report is replayable
+//!   bit-for-bit;
 //! * [`run_trial`] executes one trial on a fresh simulated machine and
 //!   judges it with three oracles: **O1** the recovered output matches the
 //!   CPU reference, **O2** no region failed validation that the crash

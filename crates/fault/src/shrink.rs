@@ -7,16 +7,18 @@
 //! if the failure reproduces:
 //!
 //! 1. reset the seed to 1;
-//! 2. swap the config for `recommended` (the simplest design point) —
+//! 2. swap a non-default persistency backend for the LP default;
+//! 3. swap the config for `recommended` (the simplest design point) —
 //!    unless the config *is* the suspected bug (sabotage configs shrink to
 //!    themselves);
-//! 3. weaken the crash site ([`CrashSite::weakened`]).
+//! 4. weaken the crash site ([`CrashSite::weakened`]).
 //!
 //! Every acceptance re-runs the full trial, so the returned reproducer is
 //! guaranteed to fail, not merely suspected to. The search is budgeted:
 //! trials are whole simulated GPU executions, not cheap property checks.
 
 use crate::trial::{run_trial, TrialId};
+use gpu_lp::BackendKind;
 use lp_kernels::Scale;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -43,6 +45,14 @@ fn candidates(id: &TrialId) -> Vec<TrialId> {
     if id.seed != 1 {
         out.push(TrialId {
             seed: 1,
+            ..id.clone()
+        });
+    }
+    // A failure that reproduces under the default (LP) backend is a bug in
+    // the shared machinery, not in the swept persistency model.
+    if id.backend != BackendKind::default() {
+        out.push(TrialId {
+            backend: BackendKind::default(),
             ..id.clone()
         });
     }
@@ -97,24 +107,27 @@ mod tests {
         TrialId {
             workload: "SPMV".to_string(),
             config: SABOTAGE_CONFIG.to_string(),
+            backend: BackendKind::default(),
             seed,
             site,
         }
     }
 
     #[test]
-    fn candidate_order_prefers_seed_then_config_then_site() {
+    fn candidate_order_prefers_seed_then_backend_then_config_then_site() {
         let id = TrialId {
             workload: "TMM".to_string(),
             config: "cuckoo".to_string(),
+            backend: BackendKind::Sbrp,
             seed: 7,
             site: CrashSite::AfterStores { pct: 50 },
         };
         let c = candidates(&id);
-        assert_eq!(c.len(), 3);
+        assert_eq!(c.len(), 4);
         assert_eq!(c[0].seed, 1);
-        assert_eq!(c[1].config, "recommended");
-        assert_eq!(c[2].site, CrashSite::AfterStores { pct: 25 });
+        assert_eq!(c[1].backend, BackendKind::default());
+        assert_eq!(c[2].config, "recommended");
+        assert_eq!(c[3].site, CrashSite::AfterStores { pct: 25 });
     }
 
     #[test]

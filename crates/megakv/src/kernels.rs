@@ -71,7 +71,7 @@ impl Kernel for InsertKernel<'_> {
                         break 'probe;
                     }
                     if k == EMPTY {
-                        let old = ctx.atomic_cas_u64(kaddr, EMPTY, key);
+                        let old = lp.atomic_cas_u64(ctx, kaddr, EMPTY, key);
                         if old == EMPTY || old == key {
                             // Claimed: the key and value stores are this
                             // op's persistent effect.
@@ -227,7 +227,7 @@ impl Kernel for DeleteKernel<'_> {
                     let kaddr = self.store.key_addr(b, s);
                     let k = ctx.load_u64(kaddr);
                     if k == key {
-                        ctx.atomic_cas_u64(kaddr, key, TOMBSTONE);
+                        lp.atomic_cas_u64(ctx, kaddr, key, TOMBSTONE);
                         break 'probe;
                     }
                     ctx.charge_alu(1);

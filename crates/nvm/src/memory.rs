@@ -485,6 +485,30 @@ impl PersistMemory {
             .flush_line(phys, &mut self.backing, &mut self.stats, &mut self.faults)
     }
 
+    /// Pushes the line containing `addr` into the ADR-backed memory queue.
+    ///
+    /// ADR (asynchronous DRAM refresh) semantics: once a write reaches the
+    /// memory controller's queue it is guaranteed durable — residual energy
+    /// drains the queue on power loss. Accepting a line is therefore
+    /// observationally equivalent to an immediate durable write-back, which
+    /// is exactly how it is modelled; the separate [`NvmStats::adr_accepts`]
+    /// counter keeps the traffic distinguishable from `clwb`-style flushes.
+    /// Returns whether a dirty line was actually accepted.
+    pub fn adr_accept(&mut self, addr: Addr) -> bool {
+        self.adr_accept_checked(addr) == FlushOutcome::Persisted
+    }
+
+    /// [`Self::adr_accept`] with the device's verdict, so callers can
+    /// distinguish "already clean" from "the queue refused the line"
+    /// and retry the latter.
+    pub fn adr_accept_checked(&mut self, addr: Addr) -> FlushOutcome {
+        let outcome = self.flush_line_checked(addr);
+        if outcome == FlushOutcome::Persisted {
+            self.stats.adr_accepts += 1;
+        }
+        outcome
+    }
+
     /// Sorted physical base addresses of the currently dirty lines.
     pub fn dirty_line_bases(&self) -> Vec<u64> {
         self.cache.dirty_line_bases()

@@ -26,6 +26,9 @@ pub struct NvmStats {
     pub natural_evictions: u64,
     /// Dirty lines persisted by an explicit flush (checkpoint boundary).
     pub explicit_flushes: u64,
+    /// Dirty lines persisted by acceptance into the ADR-backed memory
+    /// queue (epoch/SBRP backends). A subset of `explicit_flushes`.
+    pub adr_accepts: u64,
     /// Program-level store operations issued (any size).
     pub store_ops: u64,
     /// Program-level load operations issued (any size).
@@ -75,6 +78,7 @@ impl Sub for NvmStats {
             cache_misses: self.cache_misses - rhs.cache_misses,
             natural_evictions: self.natural_evictions - rhs.natural_evictions,
             explicit_flushes: self.explicit_flushes - rhs.explicit_flushes,
+            adr_accepts: self.adr_accepts - rhs.adr_accepts,
             store_ops: self.store_ops - rhs.store_ops,
             load_ops: self.load_ops - rhs.load_ops,
             torn_writebacks: self.torn_writebacks - rhs.torn_writebacks,

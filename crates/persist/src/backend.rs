@@ -1,0 +1,231 @@
+//! The [`PersistencyBackend`] trait and its supporting vocabulary types.
+
+use nvm::Addr;
+use serde::{Deserialize, Serialize};
+use simt::BlockCtx;
+
+/// The four persistency models the simulator can run a launch under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Lazy Persistency with checksums (the paper; the default).
+    #[default]
+    LpChecksum,
+    /// Eager Persistency: flush-per-store + persist barrier + commit token.
+    Eager,
+    /// Strict/epoch persistency: `__threadfence`-class fences close epochs
+    /// by pushing dirtied lines into the ADR-backed memory queue.
+    Epoch,
+    /// SBRP-style scoped buffered release persistency: per-SM + L2-level
+    /// persist buffers with scope-aware release persists.
+    Sbrp,
+}
+
+impl BackendKind {
+    /// Every backend, in sweep order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::LpChecksum,
+        BackendKind::Eager,
+        BackendKind::Epoch,
+        BackendKind::Sbrp,
+    ];
+
+    /// Short stable name (CLI flag value, report row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::LpChecksum => "lp",
+            BackendKind::Eager => "eager",
+            BackendKind::Epoch => "epoch",
+            BackendKind::Sbrp => "sbrp",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lp" | "lp-checksum" | "lazy" => Ok(BackendKind::LpChecksum),
+            "eager" => Ok(BackendKind::Eager),
+            "epoch" | "strict" => Ok(BackendKind::Epoch),
+            "sbrp" => Ok(BackendKind::Sbrp),
+            other => Err(format!("unknown backend {other:?} (lp|eager|epoch|sbrp)")),
+        }
+    }
+}
+
+// The vendored serde derive has no `rename` support, so spell the impls out:
+// a kind serialises as its short CLI name and parses back through `FromStr`
+// (accepting the aliases too).
+impl Serialize for BackendKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for BackendKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected backend name string"))?;
+        s.parse().map_err(serde::Error::custom)
+    }
+}
+
+/// Visibility scope a release persist applies to (SBRP's scope axis,
+/// mirroring CUDA's `cta` / `gpu` / `sys` fence scopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PersistScope {
+    /// Block (CTA) scope: drain the SM-local persist buffer to the L2 one.
+    Block,
+    /// Device (GPU) scope: additionally push L2-buffered lines into the
+    /// ADR-backed memory queue.
+    Device,
+    /// System scope: flush all the way to the persistence domain, ignoring
+    /// any ADR guarantee (the deep-flush path).
+    System,
+}
+
+/// What a backend promises about crash-time durability — the contract the
+/// fault campaign's oracles judge each model by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityContract {
+    /// Which backend this contract describes.
+    pub kind: BackendKind,
+    /// Post-crash validation recomputes checksums over the data (LP). When
+    /// `false`, validation only checks commit-token presence.
+    pub checksum_validated: bool,
+    /// A region that finished `finalize` left a durable commit token, so a
+    /// surviving token proves the region's data persisted first.
+    pub commit_token_durable: bool,
+    /// Stores may sit in a volatile window (cache or persist buffer) after
+    /// the issuing instruction retires; a crash inside that window loses
+    /// them (and the model is expected to recover, not to have prevented
+    /// the loss).
+    pub buffered_window: bool,
+    /// One-line human summary for reports and docs.
+    pub summary: &'static str,
+}
+
+/// Counters a session accumulates; purely informational (tests, reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Protected stores routed through the session.
+    pub stores: u64,
+    /// Distinct cache lines those stores dirtied.
+    pub lines_touched: u64,
+    /// Lines this session explicitly persisted (flush or ADR acceptance).
+    pub lines_persisted: u64,
+    /// Fences/epoch boundaries the session executed.
+    pub fences: u64,
+}
+
+/// Per-block persistency actions for one region, created by
+/// [`PersistencyBackend::begin_block`] and driven by the LP runtime's
+/// block session. Implementations charge their costs through the
+/// [`BlockCtx`] they are handed, exactly like kernel code does.
+pub trait BlockPersistSession: std::fmt::Debug + Send {
+    /// Hook after a protected store to `addr`. Returns `true` iff this is
+    /// the first store of the region touching `addr`'s cache line (the
+    /// logged-eager mode uses that edge to write its undo-log entry).
+    fn on_store(&mut self, ctx: &mut BlockCtx<'_>, addr: Addr) -> bool;
+
+    /// `__threadfence`-class fence at `scope`: orders (and, depending on
+    /// the model, persists) the stores issued so far.
+    fn fence(&mut self, ctx: &mut BlockCtx<'_>, scope: PersistScope);
+
+    /// Region commit: make every protected store of the region durable per
+    /// the model's contract. Runs after the kernel's last protected store
+    /// and before the commit token is published.
+    fn commit(&mut self, ctx: &mut BlockCtx<'_>);
+
+    /// Persists the just-published commit token at `addr` (`None` when the
+    /// table organisation has no stable per-region entry address).
+    fn persist_token(&mut self, ctx: &mut BlockCtx<'_>, addr: Option<Addr>);
+
+    /// Counters accumulated so far.
+    fn session_stats(&self) -> SessionStats;
+}
+
+/// A persistency model: how protected stores become durable and what a
+/// crash may take. One backend serves a whole launch; per-block state lives
+/// in the [`BlockPersistSession`]s it creates.
+pub trait PersistencyBackend: std::fmt::Debug + Send + Sync {
+    /// Which model this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Stable display name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// The durability contract crash oracles judge this model by.
+    fn contract(&self) -> DurabilityContract;
+
+    /// Opens the per-block session for region `block`.
+    fn begin_block(&self, block: u64) -> Box<dyn BlockPersistSession>;
+}
+
+/// The do-nothing session (LP: no persist instructions, ever).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSession;
+
+impl BlockPersistSession for NoopSession {
+    fn on_store(&mut self, _ctx: &mut BlockCtx<'_>, _addr: Addr) -> bool {
+        false
+    }
+
+    fn fence(&mut self, _ctx: &mut BlockCtx<'_>, _scope: PersistScope) {}
+
+    fn commit(&mut self, _ctx: &mut BlockCtx<'_>) {}
+
+    fn persist_token(&mut self, _ctx: &mut BlockCtx<'_>, _addr: Option<Addr>) {}
+
+    fn session_stats(&self) -> SessionStats {
+        SessionStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_str(kind.name()).unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            BackendKind::from_str("lazy").unwrap(),
+            BackendKind::LpChecksum
+        );
+        assert_eq!(BackendKind::from_str("STRICT").unwrap(), BackendKind::Epoch);
+        assert!(BackendKind::from_str("nope").is_err());
+    }
+
+    #[test]
+    fn kind_serde_uses_short_names_and_defaults_to_lp() {
+        let j = serde_json::to_string(&BackendKind::LpChecksum).unwrap();
+        assert_eq!(j, "\"lp\"");
+        for kind in BackendKind::ALL {
+            let j = serde_json::to_string(&kind).unwrap();
+            let back: BackendKind = serde_json::from_str(&j).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert_eq!(BackendKind::default(), BackendKind::LpChecksum);
+    }
+
+    #[test]
+    fn scopes_order_by_strength() {
+        assert!(PersistScope::Block < PersistScope::Device);
+        assert!(PersistScope::Device < PersistScope::System);
+    }
+}

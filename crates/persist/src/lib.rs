@@ -1,0 +1,126 @@
+//! `lp-persist` — the persistency-model spectrum behind the LP runtime.
+//!
+//! The paper evaluates one point in the GPU persistency design space:
+//! Lazy Persistency with checksums. This crate defines the
+//! [`PersistencyBackend`] trait that abstracts *which* persistency model a
+//! kernel launch runs under, plus four concrete backends spanning the
+//! spectrum the literature compares LP against:
+//!
+//! * [`LpChecksumBackend`] — Lazy Persistency (the paper). The backend
+//!   itself performs **no** persist actions: durability comes from natural
+//!   cache eviction, and correctness from checksum validation +
+//!   re-execution. All checksum math stays in the LP runtime.
+//! * [`EagerBackend`] — Eager Persistency, the paper's §I/§II baseline:
+//!   `clwb` per protected store (or once per dirtied line for the logged
+//!   variant), persist barrier, durable commit token.
+//! * [`EpochBackend`] — strict/epoch persistency in the style of *Exploring
+//!   Memory Persistency Models for GPUs*: stores accumulate in an epoch
+//!   that a `__threadfence`-class fence closes by pushing every dirtied
+//!   line into the ADR-backed memory queue (acceptance = durability).
+//! * [`SbrpBackend`] — SBRP-style scoped buffered release persistency:
+//!   per-SM (L1) persist buffers draining into an L2-level buffer,
+//!   scope-aware release persists, and eager-drain / deep-flush knobs.
+//!
+//! Every backend produces the *same functional memory image* for a given
+//! kernel — they differ only in durability timing and cost. That invariant
+//! is what lets the whole benchmark suite, fault campaign, and sanitizer
+//! run unmodified across the spectrum (and is property-tested in the
+//! umbrella crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod eager;
+pub mod epoch;
+pub mod sbrp;
+
+pub use backend::{
+    BackendKind, BlockPersistSession, DurabilityContract, NoopSession, PersistScope,
+    PersistencyBackend, SessionStats,
+};
+pub use eager::{drain_line_with_retry, EagerBackend, EagerFlushPolicy, EagerSession};
+pub use epoch::{EpochBackend, EpochSession};
+pub use sbrp::{SbrpBackend, SbrpConfig, SbrpSession};
+
+/// The LP-checksum backend: persistency by natural eviction.
+///
+/// Its sessions are deliberate no-ops — Lazy Persistency's whole point is
+/// that the kernel issues *zero* persist instructions (§IV: current GPUs do
+/// not even expose `clwb`). Durability is supplied by capacity evictions
+/// and verified after a crash by checksum validation; both live in the LP
+/// runtime, not here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpChecksumBackend;
+
+impl PersistencyBackend for LpChecksumBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::LpChecksum
+    }
+
+    fn contract(&self) -> DurabilityContract {
+        DurabilityContract {
+            kind: BackendKind::LpChecksum,
+            checksum_validated: true,
+            commit_token_durable: false,
+            buffered_window: true,
+            summary: "no persist instructions; durability via natural eviction, \
+                      crash consistency via checksum validation + re-execution",
+        }
+    }
+
+    fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {
+        Box::new(NoopSession)
+    }
+}
+
+/// Constructs the backend for `kind` with default knobs.
+pub fn backend_for(kind: BackendKind) -> Box<dyn PersistencyBackend> {
+    match kind {
+        BackendKind::LpChecksum => Box::new(LpChecksumBackend),
+        BackendKind::Eager => Box::new(EagerBackend::per_store()),
+        BackendKind::Epoch => Box::new(EpochBackend),
+        BackendKind::Sbrp => Box::new(SbrpBackend::new(SbrpConfig::default())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_backend_sessions_do_nothing() {
+        let b = LpChecksumBackend;
+        assert_eq!(b.kind(), BackendKind::LpChecksum);
+        let s = b.begin_block(0);
+        assert_eq!(s.session_stats(), SessionStats::default());
+    }
+
+    #[test]
+    fn backend_for_covers_every_kind() {
+        for kind in BackendKind::ALL {
+            let b = backend_for(kind);
+            assert_eq!(b.kind(), kind);
+            assert_eq!(b.contract().kind, kind);
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn contracts_differ_where_the_models_do() {
+        // LP keeps a buffered window and validates with checksums; the
+        // explicit backends persist a commit token instead.
+        assert!(
+            backend_for(BackendKind::LpChecksum)
+                .contract()
+                .checksum_validated
+        );
+        for kind in [BackendKind::Eager, BackendKind::Epoch, BackendKind::Sbrp] {
+            let c = backend_for(kind).contract();
+            assert!(!c.checksum_validated, "{kind}");
+            assert!(c.commit_token_durable, "{kind}");
+        }
+        assert!(!backend_for(BackendKind::Eager).contract().buffered_window);
+        assert!(backend_for(BackendKind::Sbrp).contract().buffered_window);
+    }
+}

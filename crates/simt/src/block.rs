@@ -6,7 +6,7 @@ use crate::device::DeviceState;
 use crate::dim::{Dim3, LaunchConfig};
 use crate::observe::{AccessKind, AccessObserver};
 use crate::stats::BlockCost;
-use nvm::{Addr, PersistMemory};
+use nvm::{Addr, FlushOutcome, PersistMemory};
 
 /// Holds the block's optional observer; a newtype so [`BlockCtx`] can keep
 /// deriving `Debug` (trait objects have no `Debug` of their own).
@@ -485,6 +485,85 @@ impl<'a> BlockCtx<'a> {
     /// overlaps the drain.
     pub fn persist_barrier(&mut self) {
         self.cost.serial_cycles += self.cfg.cost.persist_barrier_ns * self.cfg.clock_ghz;
+    }
+
+    /// `__threadfence`-class epoch fence: orders this block's stores into
+    /// the memory queue. Much cheaper than [`BlockCtx::persist_barrier`] —
+    /// it does not wait for the device — which is exactly the cost gap the
+    /// epoch/SBRP persistency models exploit.
+    pub fn threadfence(&mut self) {
+        self.cost.serial_cycles += self.cfg.cost.epoch_fence_ns * self.cfg.clock_ghz;
+    }
+
+    /// Pushes the line containing `addr` into the ADR-backed memory queue
+    /// (epoch/SBRP persistency). Acceptance is durability (ADR drains the
+    /// queue on power loss), so a dirty line is written back immediately;
+    /// unlike [`BlockCtx::flush_line`] there is no barrier to pay — the
+    /// fence cost is charged separately by [`BlockCtx::threadfence`].
+    /// Returns whether a dirty line was actually accepted.
+    pub fn adr_accept(&mut self, addr: Addr) -> bool {
+        self.cost.parallel_cycles += self.cfg.cost.global_access;
+        let accepted = self.mem.adr_accept(addr);
+        if accepted {
+            self.cost.global_bytes += self.mem.config().line_size as u64;
+        }
+        self.sync_power();
+        accepted
+    }
+
+    /// Makes the line containing `addr` durable even on a refusing device:
+    /// the write-back (ADR-queue acceptance when `adr`, `clwb`-style flush
+    /// otherwise) is retried with a modelled stall after each transient
+    /// refusal, and a line the device keeps refusing is retired and
+    /// remapped by firmware (the quarantine copy is durable). This is the
+    /// loop real driver code wraps around `clwb`/`sfence` — the explicit
+    /// persistency models build their durability guarantee on it. Torn
+    /// write-backs stay invisible here: the device reports success for
+    /// them, and only checksum-validating models can catch the corruption
+    /// after the fact. Returns whether a dirty line was actually made
+    /// durable (`false`: the line was already clean).
+    pub fn persist_line_reliably(&mut self, addr: Addr, adr: bool) -> bool {
+        const PERSIST_RETRIES: u32 = 6;
+        for _ in 0..PERSIST_RETRIES {
+            self.cost.parallel_cycles += self.cfg.cost.global_access;
+            let outcome = if adr {
+                self.mem.adr_accept_checked(addr)
+            } else {
+                self.mem.flush_line_checked(addr)
+            };
+            match outcome {
+                FlushOutcome::Clean => {
+                    self.sync_power();
+                    return false;
+                }
+                FlushOutcome::Persisted => {
+                    self.cost.global_bytes += self.mem.config().line_size as u64;
+                    self.sync_power();
+                    return true;
+                }
+                FlushOutcome::TransientFail => {
+                    // Retry backoff: the refused drain stalls the block.
+                    self.cost.serial_cycles += self.cfg.cost.buffer_drain_ns * self.cfg.clock_ghz;
+                }
+            }
+        }
+        // The device refused every attempt: firmware retires the line and
+        // remaps it, preserving the in-flight copy (page offlining).
+        self.mem.quarantine_line(addr.raw());
+        self.sync_power();
+        true
+    }
+
+    /// Stalls the block for `lines` persist-buffer drain steps (SBRP: an
+    /// entry leaving the SM-level or L2-level persist buffer).
+    pub fn buffer_drain_stall(&mut self, lines: u64) {
+        self.cost.serial_cycles +=
+            lines as f64 * self.cfg.cost.buffer_drain_ns * self.cfg.clock_ghz;
+    }
+
+    /// Cache-line size of the attached memory, in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.mem.config().line_size as u64
     }
 
     // ---- atomics ---------------------------------------------------------

@@ -133,6 +133,15 @@ pub struct CostModel {
     /// while outstanding flushes drain to the NVM write queue. Used by the
     /// Eager Persistency baseline; LP never issues one.
     pub persist_barrier_ns: f64,
+    /// Nanoseconds a `__threadfence`-class epoch fence stalls a block.
+    /// Cheaper than a persist barrier: it only orders stores into the
+    /// (ADR-backed) memory queue instead of draining them to the device.
+    /// Used by the epoch and SBRP persistency backends; LP never issues one.
+    pub epoch_fence_ns: f64,
+    /// Nanoseconds to move one entry out of a hardware persist buffer
+    /// (SM-level or L2-level). The SBRP backend charges this per drained
+    /// line; it is the price of buffering persists off the critical path.
+    pub buffer_drain_ns: f64,
 }
 
 impl Default for CostModel {
@@ -149,6 +158,8 @@ impl Default for CostModel {
             lock_contender_cap: 64,
             launch_overhead_ns: 3000.0,
             persist_barrier_ns: 480.0,
+            epoch_fence_ns: 160.0,
+            buffer_drain_ns: 60.0,
         }
     }
 }

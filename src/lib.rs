@@ -10,6 +10,8 @@
 //!   reductions, recovery) — the paper's core contribution.
 //! * [`lp_kernels`] — the TMM + Parboil benchmark kernels.
 //! * [`megakv`] — a batched GPU key-value store (the paper's §VII-4 app).
+//! * [`lp_persist`] — the persistency-model spectrum: the
+//!   `PersistencyBackend` trait plus LP / eager / epoch / SBRP backends.
 //! * [`lp_directive`] — the `#pragma nvm lpcuda_*` compiler front end (§VI).
 //! * [`lp_fault`] — systematic crash-injection campaigns: site taxonomy,
 //!   trial oracles, failure shrinking, JSON reports.
@@ -24,6 +26,7 @@ pub use lp_bench;
 pub use lp_directive;
 pub use lp_fault;
 pub use lp_kernels;
+pub use lp_persist;
 pub use megakv;
 pub use nvm;
 pub use simt;

@@ -1,12 +1,18 @@
-//! The Eager Persistency baseline (per-store flush + persist barrier +
-//! durable commit token), exercised through the same workloads and
-//! recovery machinery as LP. Verifies both its *stronger* durability
-//! guarantee and its higher cost — the contrast that motivates the paper.
+//! The explicit persistency baselines (eager flush-per-store, strict/epoch,
+//! SBRP scoped buffers — all ending in a durable commit token), exercised
+//! through the same workloads and recovery machinery as LP. Verifies both
+//! their *stronger* durability guarantee and their higher cost — the
+//! contrast that motivates the paper. Every test is parameterised over the
+//! explicit backends, so the three models are held to the same contract.
 
-use lpgpu::gpu_lp::{LpConfig, LpRuntime, PersistMode, RecoveryEngine};
+use lpgpu::gpu_lp::{BackendKind, LpConfig, LpRuntime, PersistMode, RecoveryEngine};
 use lpgpu::lp_kernels::{workload_by_name, Scale};
 use lpgpu::nvm::{NvmConfig, PersistMemory};
 use lpgpu::simt::{CrashSpec, DeviceConfig, Gpu};
+
+/// The backends that issue persist instructions (everything but LP).
+const EXPLICIT_BACKENDS: [BackendKind; 3] =
+    [BackendKind::Eager, BackendKind::Epoch, BackendKind::Sbrp];
 
 fn world() -> (Gpu, PersistMemory) {
     let mem = PersistMemory::new(NvmConfig {
@@ -18,34 +24,36 @@ fn world() -> (Gpu, PersistMemory) {
 }
 
 #[test]
-fn eager_mode_survives_crash_with_no_recovery_work() {
-    // EP's whole point: after the kernel completes, a crash loses nothing —
-    // no flush_all, no recovery re-execution. (LP would need the cache to
-    // drain first.)
-    for name in ["TMM", "SPMV", "HISTO"] {
-        let (gpu, mut mem) = world();
-        let mut w = workload_by_name(name, Scale::Test, 31).unwrap();
-        w.setup(&mut mem);
-        let lc = w.launch_config();
-        let rt = LpRuntime::setup(
-            &mut mem,
-            lc.num_blocks(),
-            lc.threads_per_block(),
-            LpConfig::eager(),
-        );
-        let kernel = w.kernel(Some(&rt));
-        gpu.launch(kernel.as_ref(), &mut mem).unwrap();
-        // Power loss immediately after the kernel, no flush.
-        mem.crash();
-        let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
-        assert!(
-            failed.is_empty(),
-            "{name}: eager regions must already be durable, lost {failed:?}"
-        );
-        assert!(
-            w.verify(&mut mem),
-            "{name}: output lost despite eager persistency"
-        );
+fn explicit_backends_survive_crash_with_no_recovery_work() {
+    // The explicit models' whole point: after the kernel completes, a crash
+    // loses nothing — no flush_all, no recovery re-execution. (LP would
+    // need the cache to drain first.)
+    for backend in EXPLICIT_BACKENDS {
+        for name in ["TMM", "SPMV", "HISTO"] {
+            let (gpu, mut mem) = world();
+            let mut w = workload_by_name(name, Scale::Test, 31).unwrap();
+            w.setup(&mut mem);
+            let lc = w.launch_config();
+            let rt = LpRuntime::setup(
+                &mut mem,
+                lc.num_blocks(),
+                lc.threads_per_block(),
+                LpConfig::for_backend(backend),
+            );
+            let kernel = w.kernel(Some(&rt));
+            gpu.launch(kernel.as_ref(), &mut mem).unwrap();
+            // Power loss immediately after the kernel, no flush.
+            mem.crash();
+            let failed = RecoveryEngine::new(&gpu).validate_all(kernel.as_ref(), &rt, &mut mem);
+            assert!(
+                failed.is_empty(),
+                "{name}/{backend}: committed regions must already be durable, lost {failed:?}"
+            );
+            assert!(
+                w.verify(&mut mem),
+                "{name}/{backend}: output lost despite explicit persistency"
+            );
+        }
     }
 }
 
@@ -79,56 +87,72 @@ fn lazy_mode_does_lose_data_without_flush_in_the_same_scenario() {
 }
 
 #[test]
-fn eager_mode_recovers_from_mid_kernel_crash() {
-    let (gpu, mut mem) = world();
-    let mut w = workload_by_name("SPMV", Scale::Test, 32).unwrap();
-    w.setup(&mut mem);
-    let lc = w.launch_config();
-    let rt = LpRuntime::setup(
-        &mut mem,
-        lc.num_blocks(),
-        lc.threads_per_block(),
-        LpConfig::eager(),
-    );
-    let kernel = w.kernel(Some(&rt));
-    let outcome = gpu
-        .launch_with_crash(
-            kernel.as_ref(),
+fn explicit_backends_recover_from_mid_kernel_crash() {
+    for backend in EXPLICIT_BACKENDS {
+        let (gpu, mut mem) = world();
+        let mut w = workload_by_name("SPMV", Scale::Test, 32).unwrap();
+        w.setup(&mut mem);
+        let lc = w.launch_config();
+        let rt = LpRuntime::setup(
             &mut mem,
-            CrashSpec {
-                after_global_stores: 300,
-            },
-        )
-        .unwrap();
-    assert!(outcome.crashed());
-    let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
-    assert!(report.recovered);
-    assert!(
-        report.failed_first_pass < report.regions,
-        "committed regions must not re-execute"
-    );
-    assert!(w.verify(&mut mem));
-}
-
-#[test]
-fn eager_is_slower_than_lazy() {
-    // The paper's Table-zero claim: EP pays for flushes and barriers at
-    // run time; LP does not.
-    for name in ["SPMV", "TMM"] {
-        let lazy =
-            lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::recommended(), false);
-        let eager = lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::eager(), false);
-        assert!(
-            eager.slowdown > lazy.slowdown,
-            "{name}: eager ({}) must cost more than lazy ({})",
-            eager.slowdown,
-            lazy.slowdown
+            lc.num_blocks(),
+            lc.threads_per_block(),
+            LpConfig::for_backend(backend),
         );
+        let kernel = w.kernel(Some(&rt));
+        let outcome = gpu
+            .launch_with_crash(
+                kernel.as_ref(),
+                &mut mem,
+                CrashSpec {
+                    after_global_stores: 300,
+                },
+            )
+            .unwrap();
+        assert!(outcome.crashed());
+        let report = RecoveryEngine::new(&gpu).recover(kernel.as_ref(), &rt, &mut mem);
+        assert!(report.recovered, "{backend}: {report:?}");
+        assert!(
+            report.failed_first_pass < report.regions,
+            "{backend}: committed regions must not re-execute"
+        );
+        assert!(w.verify(&mut mem), "{backend}: wrong output after recovery");
     }
 }
 
 #[test]
-fn eager_mode_flag_is_wired() {
+fn every_explicit_backend_is_slower_than_lazy() {
+    // The paper's Table-zero claim, extended across the model spectrum:
+    // every explicit discipline pays for its persists/fences/drains at run
+    // time; LP does not.
+    for name in ["SPMV", "TMM"] {
+        let lazy =
+            lp_bench::measure_workload(name, Scale::Test, 33, &LpConfig::recommended(), false);
+        for backend in EXPLICIT_BACKENDS {
+            let explicit = lp_bench::measure_workload(
+                name,
+                Scale::Test,
+                33,
+                &LpConfig::for_backend(backend),
+                false,
+            );
+            assert!(
+                explicit.slowdown > lazy.slowdown,
+                "{name}: {backend} ({}) must cost more than lazy ({})",
+                explicit.slowdown,
+                lazy.slowdown
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_modes_are_wired() {
     assert_eq!(LpConfig::eager().mode, PersistMode::Eager);
+    assert_eq!(LpConfig::epoch().mode, PersistMode::Epoch);
+    assert_eq!(LpConfig::sbrp().mode, PersistMode::Sbrp);
     assert_eq!(LpConfig::recommended().mode, PersistMode::Lazy);
+    for backend in BackendKind::ALL {
+        assert_eq!(LpConfig::for_backend(backend).mode.backend_kind(), backend);
+    }
 }

@@ -40,6 +40,7 @@ fn sabotaged_trial_is_caught_and_replayable() {
     let id = TrialId {
         workload: "TMM".to_string(),
         config: SABOTAGE_CONFIG.to_string(),
+        backend: Default::default(),
         seed: 1,
         site: CrashSite::AfterStores { pct: 50 },
     };
@@ -204,6 +205,7 @@ proptest! {
         let id = TrialId {
             workload: ["TMM", "SPMV"][workload_pick].to_string(),
             config: "recommended".to_string(),
+            backend: Default::default(),
             seed,
             site,
         };
