@@ -5,7 +5,9 @@
 //! the two costs the models trade against each other: run-time overhead on
 //! every execution, and recovery cost after a mid-kernel crash.
 //!
-//! `--backend lp|eager|epoch|sbrp` restricts the sweep to one model;
+//! `--backend lp|eager|epoch|sbrp|adaptive` restricts the sweep to one
+//! model (`adaptive` runs the policy engine over the fixed disciplines;
+//! the phase-change comparison lives in `adaptive_sweep`/E19);
 //! `--workload NAME` to one subject.
 
 use gpu_lp::{BackendKind, LpConfig};

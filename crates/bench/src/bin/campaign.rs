@@ -20,8 +20,8 @@ use lp_kernels::Scale;
 use std::io::Write;
 
 const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
-                     [--workload NAME] [--backend lp|eager|epoch|sbrp|all] [--sabotage] \
-                     [--sanitize] [--json] [--quiet]";
+                     [--workload NAME] [--backend lp|eager|epoch|sbrp|adaptive|all] \
+                     [--sabotage] [--sanitize] [--json] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("campaign: {msg}\n{USAGE}");
@@ -94,7 +94,11 @@ fn parse_args() -> CampaignArgs {
             "--backend" => {
                 let v = value(&mut it, "--backend");
                 out.backends = Some(if v.eq_ignore_ascii_case("all") {
-                    BackendKind::ALL.to_vec()
+                    // "all" means the whole spectrum: the four fixed
+                    // models plus the adaptive meta-policy over them.
+                    let mut all = BackendKind::ALL.to_vec();
+                    all.push(BackendKind::Adaptive);
+                    all
                 } else {
                     vec![v.parse().unwrap_or_else(|e: String| usage_err(&e))]
                 });
@@ -171,6 +175,13 @@ fn main() {
     }
     if let Some(backends) = &args.backends {
         spec.backends = backends.clone();
+    } else {
+        // An unknown --backend value hard-errors in the parser; an omitted
+        // flag still names the backend the sweep will actually run.
+        eprintln!(
+            "campaign: --backend not given, defaulting to {}",
+            BackendKind::default()
+        );
     }
     if args.sabotage {
         spec.configs = vec![SABOTAGE_CONFIG.to_string()];

@@ -10,6 +10,7 @@
 //! recovery must restore correct data or honestly report its losses,
 //! never corrupt silently.
 
+use gpu_lp::BackendKind;
 use lp_bench::{Args, Table};
 use lp_fault::{run_trial, CrashSite, TrialId};
 
@@ -35,7 +36,14 @@ fn main() {
         None => WORKLOADS.to_vec(),
     };
 
-    let backend = args.backend.unwrap_or_default();
+    // An unknown `--backend` value already hard-errors in the parser; when
+    // the flag is omitted entirely, say which backend was chosen rather
+    // than silently running the default.
+    let backend = args.backend.unwrap_or_else(|| {
+        let chosen = BackendKind::default();
+        eprintln!("device_faults: --backend not given, defaulting to {chosen}");
+        chosen
+    });
 
     println!(
         "# Device-fault resilience — recovery effort vs. fault rate (seed {}, backend {backend})\n",

@@ -1,7 +1,7 @@
 //! `lpcuda-lint` — the CLI surface of the static LP-safety analysis.
 //!
 //! Runs `lp_directive::lint` (pragma rules LP001–LP005 plus the
-//! CFG/dataflow rules LP000, LP010–LP014) over CUDA sources and prints
+//! CFG/dataflow rules LP000, LP010–LP015) over CUDA sources and prints
 //! rustc-style diagnostics with source spans and caret underlines, or a
 //! machine-readable JSON report for CI:
 //!

@@ -15,7 +15,8 @@ pub struct Args {
     pub json: bool,
     /// Restrict to one workload (`--workload NAME`).
     pub workload: Option<String>,
-    /// Restrict to one persistency backend (`--backend lp|eager|epoch|sbrp`).
+    /// Restrict to one persistency backend
+    /// (`--backend lp|eager|epoch|sbrp|adaptive`).
     pub backend: Option<BackendKind>,
 }
 
@@ -67,7 +68,7 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale test|bench|paper] [--seed N] [--json] \
-                         [--workload NAME] [--backend lp|eager|epoch|sbrp]"
+                         [--workload NAME] [--backend lp|eager|epoch|sbrp|adaptive]"
                     );
                     std::process::exit(0);
                 }

@@ -60,6 +60,10 @@ pub use lp_persist::{
     BackendKind, BlockPersistSession, DurabilityContract, PersistScope, PersistencyBackend,
     SbrpConfig, SessionStats,
 };
+pub use lp_policy::{
+    JournalRecord, PolicyConfig, PolicyEngine, PolicyJournal, PolicyMode, RegionSignals,
+    SwitchEvent,
+};
 pub use recovery::{Recoverable, RecoveryEngine, RecoveryReport};
 pub use reduce::ReduceStrategy;
 pub use region::{LpBlockSession, LpConfig, LpRuntime, PersistMode};

@@ -76,6 +76,11 @@ impl<'g> RecoveryEngine<'g> {
         rt: &LpRuntime,
         mem: &mut PersistMemory,
     ) -> Vec<u64> {
+        // Adaptive runtimes first resync every region's contract from the
+        // durable policy journal (no-op for fixed modes): a region is
+        // always judged under the mode the journal proves it last switched
+        // to, never under a half-applied switch.
+        rt.reload_policy(mem);
         let blocks = kernel.config().num_blocks();
         let mut failed = Vec::new();
         for b in 0..blocks {

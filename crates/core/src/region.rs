@@ -13,12 +13,17 @@ use crate::table::{
     TableInstance, TableKind, TableStatsSnapshot,
 };
 use lp_persist::{
-    BackendKind, BlockPersistSession, DurabilityContract, EagerBackend, EpochBackend,
-    LpChecksumBackend, PersistScope, PersistencyBackend, SbrpBackend, SbrpConfig, SessionStats,
+    AdaptiveBackend, BackendKind, BlockPersistSession, DurabilityContract, EagerBackend,
+    EpochBackend, LpChecksumBackend, NoopSession, PersistScope, PersistencyBackend, SbrpBackend,
+    SbrpConfig, SessionStats,
+};
+use lp_policy::{
+    PolicyConfig, PolicyEngine, PolicyJournal, PolicyMode, RegionSignals, SwitchEvent,
 };
 use nvm::{Addr, PersistMemory};
 use serde::{Deserialize, Serialize};
 use simt::BlockCtx;
+use std::sync::{Mutex, RwLock};
 
 /// Scratch slots for the sequential-reduction spill buffer. Blocks reuse
 /// slots modulo this count (matching how many blocks are ever in flight).
@@ -67,13 +72,24 @@ pub enum PersistMode {
     /// scope-aware release persists drain them, and the region commit is
     /// a device-scope (or deep-flush) release plus a commit token.
     Sbrp,
+    /// Adaptive: an `lp-policy` engine observes live per-region signals
+    /// and moves each region along the degradation ladder (LP → epoch →
+    /// eager → checkpoint+quarantine) at launch boundaries. Every switch
+    /// is recorded in a durable, checksummed journal *before* it takes
+    /// effect, so a crash mid-switch recovers under exactly one contract.
+    Adaptive,
 }
 
 impl PersistMode {
-    /// Whether this mode persists explicitly (everything but LP): regions
-    /// are validated by commit-token presence instead of checksums.
+    /// Whether this mode persists every region explicitly: regions are
+    /// validated by commit-token presence instead of checksums. Adaptive
+    /// is *not* eager — each of its regions follows whatever rung the
+    /// policy journal currently assigns it.
     pub fn is_eager(self) -> bool {
-        !matches!(self, PersistMode::Lazy)
+        matches!(
+            self,
+            PersistMode::Eager | PersistMode::EagerLogged | PersistMode::Epoch | PersistMode::Sbrp
+        )
     }
 
     /// The persistency backend family implementing this mode.
@@ -83,6 +99,7 @@ impl PersistMode {
             PersistMode::Eager | PersistMode::EagerLogged => BackendKind::Eager,
             PersistMode::Epoch => BackendKind::Epoch,
             PersistMode::Sbrp => BackendKind::Sbrp,
+            PersistMode::Adaptive => BackendKind::Adaptive,
         }
     }
 }
@@ -104,6 +121,9 @@ pub struct LpConfig {
     pub reduce: ReduceStrategy,
     /// SBRP hardware knobs (only consulted under [`PersistMode::Sbrp`]).
     pub sbrp: SbrpConfig,
+    /// Policy-engine tunables (only consulted under
+    /// [`PersistMode::Adaptive`]).
+    pub policy: PolicyConfig,
 }
 
 impl LpConfig {
@@ -119,6 +139,7 @@ impl LpConfig {
             atomic: AtomicPolicy::Atomic,
             reduce: ReduceStrategy::ParallelShuffle,
             sbrp: SbrpConfig::default(),
+            policy: PolicyConfig::default(),
         }
     }
 
@@ -157,6 +178,22 @@ impl LpConfig {
         }
     }
 
+    /// The adaptive design point: every region starts at LP and the policy
+    /// engine moves it along the ladder as the observed phase and device
+    /// health demand.
+    pub fn adaptive() -> Self {
+        Self {
+            mode: PersistMode::Adaptive,
+            ..Self::recommended()
+        }
+    }
+
+    /// Replaces the policy-engine tunables (adaptive mode).
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The design point characterising backend `kind` in a model sweep:
     /// the recommended LP configuration with only the persistency
     /// discipline swapped out.
@@ -166,6 +203,7 @@ impl LpConfig {
             BackendKind::Eager => Self::eager(),
             BackendKind::Epoch => Self::epoch(),
             BackendKind::Sbrp => Self::sbrp(),
+            BackendKind::Adaptive => Self::adaptive(),
         }
     }
 
@@ -217,6 +255,7 @@ impl LpConfig {
             BackendKind::Eager => PersistMode::Eager,
             BackendKind::Epoch => PersistMode::Epoch,
             BackendKind::Sbrp => PersistMode::Sbrp,
+            BackendKind::Adaptive => PersistMode::Adaptive,
         };
         self
     }
@@ -240,6 +279,44 @@ impl Default for LpConfig {
     }
 }
 
+/// How a region's stores and finalize are handled, resolved from the
+/// launch mode (and, under adaptive, the region's current policy rung).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionPath {
+    /// Checksummed region (LP, or the adaptive ladder's checksummed
+    /// rungs); `drain` adds the checkpoint rung's proactive line drain.
+    Checksummed {
+        /// Persist every dirtied line (retry + quarantine) at finalize.
+        drain: bool,
+    },
+    /// Explicit-persistency region driven by a backend session.
+    Explicit,
+}
+
+/// Mutable policy state (engine + journal) behind one lock; the lock order
+/// throughout is `inner` before `modes`.
+#[derive(Debug)]
+struct AdaptiveInner {
+    engine: PolicyEngine,
+    journal: PolicyJournal,
+}
+
+/// Everything [`PersistMode::Adaptive`] adds to a runtime.
+#[derive(Debug)]
+struct AdaptiveState {
+    inner: Mutex<AdaptiveInner>,
+    /// Effective per-region modes. Updated only *after* the journal has
+    /// durably recorded a switch, and rebuilt from the journal on
+    /// [`LpRuntime::reload_policy`] — so it never disagrees with the
+    /// durable record for longer than the switch call itself.
+    modes: RwLock<Vec<PolicyMode>>,
+    /// Byte range of the journal storage (oracle exclusions).
+    journal_range: (u64, u64),
+    /// Fixed backends explicit rungs route their sessions to.
+    eager: EagerBackend,
+    epoch: EpochBackend,
+}
+
 /// Launch-level LP state: the checksum table and scratch space in device
 /// memory, plus the configuration.
 ///
@@ -256,6 +333,8 @@ pub struct LpRuntime {
     undo_log: Option<Addr>,
     /// The persistency model driving this launch's per-block sessions.
     backend: Box<dyn PersistencyBackend>,
+    /// Policy engine + journal (adaptive mode only).
+    adaptive: Option<AdaptiveState>,
 }
 
 impl LpRuntime {
@@ -319,7 +398,23 @@ impl LpRuntime {
             PersistMode::EagerLogged => Box::new(EagerBackend::at_commit()),
             PersistMode::Epoch => Box::new(EpochBackend),
             PersistMode::Sbrp => Box::new(SbrpBackend::new(config.sbrp)),
+            PersistMode::Adaptive => Box::new(AdaptiveBackend),
         };
+        let adaptive = (config.mode == PersistMode::Adaptive).then(|| {
+            let capacity = (num_regions * 8).clamp(64, 8192);
+            let journal = PolicyJournal::create(mem, capacity);
+            let journal_range = journal.storage_range();
+            AdaptiveState {
+                inner: Mutex::new(AdaptiveInner {
+                    engine: PolicyEngine::new(num_regions, config.policy),
+                    journal,
+                }),
+                modes: RwLock::new(vec![PolicyMode::Lp; num_regions as usize]),
+                journal_range,
+                eager: EagerBackend::per_store(),
+                epoch: EpochBackend,
+            }
+        });
         Self {
             config,
             num_regions,
@@ -328,6 +423,7 @@ impl LpRuntime {
             scratch,
             undo_log,
             backend,
+            adaptive,
         }
     }
 
@@ -381,7 +477,132 @@ impl LpRuntime {
     /// failure of whichever regions' entries it held — it is accounted for
     /// separately from lost workload data by crash-loss oracles.
     pub fn table_ranges(&self) -> Vec<(u64, u64)> {
-        self.table.storage_ranges()
+        let mut ranges = self.table.storage_ranges();
+        if let Some(a) = &self.adaptive {
+            // The policy journal is instrumentation metadata like the
+            // table: losing its lines degrades regions to an older (still
+            // well-defined) contract, it never loses workload data.
+            ranges.push(a.journal_range);
+        }
+        ranges
+    }
+
+    /// Whether this runtime runs under the adaptive policy engine.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// The current policy rung of region `key` (`None` for fixed-mode
+    /// runtimes).
+    pub fn policy_mode(&self, key: u64) -> Option<PolicyMode> {
+        let a = self.adaptive.as_ref()?;
+        let modes = a.modes.read().unwrap();
+        Some(modes.get(key as usize).copied().unwrap_or_default())
+    }
+
+    /// Snapshot of every region's current policy rung (adaptive only).
+    pub fn policy_modes(&self) -> Option<Vec<PolicyMode>> {
+        Some(self.adaptive.as_ref()?.modes.read().unwrap().clone())
+    }
+
+    /// The engine's monotone device-fault floor (adaptive only).
+    pub fn policy_floor(&self) -> Option<PolicyMode> {
+        let a = self.adaptive.as_ref()?;
+        Some(a.inner.lock().unwrap().engine.floor())
+    }
+
+    /// Every committed mode switch so far, in commit order (adaptive only;
+    /// empty after a reload — the journal, not this log, is the durable
+    /// record).
+    pub fn policy_history(&self) -> Vec<SwitchEvent> {
+        match &self.adaptive {
+            Some(a) => a.inner.lock().unwrap().engine.history().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Rebuilds the effective per-region modes from the durable policy
+    /// journal — the reboot path, also invoked at the top of recovery
+    /// validation so every region is judged under the contract the journal
+    /// proves it last switched to. A no-op for fixed-mode runtimes.
+    pub fn reload_policy(&self, mem: &PersistMemory) {
+        let Some(a) = &self.adaptive else { return };
+        let mut inner = a.inner.lock().unwrap();
+        let records = inner.journal.replay(mem);
+        let modes = PolicyJournal::effective_modes(&records, self.num_regions);
+        for (r, m) in modes.iter().enumerate() {
+            inner.engine.resync(r as u64, *m);
+        }
+        *a.modes.write().unwrap() = modes;
+    }
+
+    /// Feeds one observation window for `region` into the policy engine.
+    /// Returns the engine's proposed switch target once hysteresis is
+    /// satisfied (`None` for fixed-mode runtimes or steady state).
+    pub fn adaptive_observe(&self, region: u64, signals: &RegionSignals) -> Option<PolicyMode> {
+        let a = self.adaptive.as_ref()?;
+        a.inner.lock().unwrap().engine.observe(region, signals)
+    }
+
+    /// Durably switches `region` to `target`: appends a journal record,
+    /// verifies it against the durable image, and only then updates the
+    /// in-memory mode map. Returns `false` — and leaves the region on its
+    /// old contract — when the device refused durability or the journal is
+    /// full. Call between launches, never while the region is executing.
+    pub fn switch_region(&self, mem: &mut PersistMemory, region: u64, target: PolicyMode) -> bool {
+        let Some(a) = &self.adaptive else {
+            return false;
+        };
+        let mut inner = a.inner.lock().unwrap();
+        let old = a.modes.read().unwrap()[region as usize];
+        if old == target {
+            return true;
+        }
+        if !inner.journal.append(mem, region, old, target) {
+            return false;
+        }
+        inner.engine.commit(region, target);
+        a.modes.write().unwrap()[region as usize] = target;
+        true
+    }
+
+    /// Convenience: observe one window for `region` and, if the engine
+    /// proposes a switch, perform it. Returns the committed target.
+    pub fn adaptive_step(
+        &self,
+        mem: &mut PersistMemory,
+        region: u64,
+        signals: &RegionSignals,
+    ) -> Option<PolicyMode> {
+        let target = self.adaptive_observe(region, signals)?;
+        self.switch_region(mem, region, target).then_some(target)
+    }
+
+    /// Resolves how region `key`'s stores and finalize are handled.
+    fn region_path(&self, key: u64) -> RegionPath {
+        match self.config.mode {
+            PersistMode::Lazy => RegionPath::Checksummed { drain: false },
+            PersistMode::Adaptive => match self.policy_mode(key).unwrap_or_default() {
+                PolicyMode::Lp => RegionPath::Checksummed { drain: false },
+                PolicyMode::Checkpoint => RegionPath::Checksummed { drain: true },
+                PolicyMode::Epoch | PolicyMode::Eager => RegionPath::Explicit,
+            },
+            _ => RegionPath::Explicit,
+        }
+    }
+
+    /// Opens the backend session for an explicit region, routing adaptive
+    /// regions to the fixed backend their current rung selects.
+    fn session_for(&self, block: u64) -> Box<dyn BlockPersistSession> {
+        match &self.adaptive {
+            Some(a) => match self.policy_mode(block).unwrap_or_default() {
+                PolicyMode::Eager => a.eager.begin_block(block),
+                PolicyMode::Epoch => a.epoch.begin_block(block),
+                // Checksummed rungs never open a session.
+                PolicyMode::Lp | PolicyMode::Checkpoint => Box::new(NoopSession),
+            },
+            None => self.backend.begin_block(block),
+        }
     }
 
     /// Whether `recomputed` matches the published checksums of `key`.
@@ -425,14 +646,14 @@ impl LpRuntime {
     /// store-image sequence `images` — the recovery-side recomputation
     /// (Listing 7's `validate()` input). Folds in the region seal.
     pub fn digest_region(&self, key: u64, images: impl IntoIterator<Item = u64>) -> Vec<u64> {
-        match self.config.mode {
-            PersistMode::Lazy => self.seal(key, self.config.checksums.digest(images)),
+        match self.region_path(key) {
+            RegionPath::Checksummed { .. } => self.seal(key, self.config.checksums.digest(images)),
             // Explicit-persistency validation does not look at the data:
             // presence of the commit token is the proof of durability.
-            PersistMode::Eager
-            | PersistMode::EagerLogged
-            | PersistMode::Epoch
-            | PersistMode::Sbrp => self.commit_token(key),
+            // (Under adaptive, which arm applies is per region, decided by
+            // the replayed policy journal — so validation always judges a
+            // region under the contract it durably switched to.)
+            RegionPath::Explicit => self.commit_token(key),
         }
     }
 
@@ -490,6 +711,9 @@ pub struct LpBlockSession<'rt> {
     psession: Option<Box<dyn BlockPersistSession>>,
     /// Next free undo-log entry for this block (logged-eager bookkeeping).
     log_cursor: u64,
+    /// Line bases the region dirtied — kept only on the adaptive ladder's
+    /// checkpoint rung, whose finalize proactively drains each one.
+    ckpt_lines: Option<Vec<u64>>,
 }
 
 impl<'rt> LpBlockSession<'rt> {
@@ -506,33 +730,39 @@ impl<'rt> LpBlockSession<'rt> {
     /// and LP variants.
     pub fn begin_opt(rt: Option<&'rt LpRuntime>, ctx: &mut BlockCtx<'_>) -> Self {
         match rt {
-            Some(rt) if rt.config.mode == PersistMode::Lazy => {
-                // Checksummed region opens here: tell any attached access
-                // observer (zero-cost; feeds the persistency-coverage pass).
-                ctx.note_region_begin();
-                let threads = ctx.threads_per_block() as usize;
-                let arity = rt.config.checksums.arity();
-                let mut acc = vec![0u64; threads * arity];
-                let init = rt.config.checksums.init();
-                for t in 0..threads {
-                    acc[t * arity..(t + 1) * arity].copy_from_slice(&init);
+            Some(rt) => match rt.region_path(ctx.block_id()) {
+                RegionPath::Checksummed { drain } => {
+                    // Checksummed region opens here: tell any attached
+                    // access observer (zero-cost; feeds the
+                    // persistency-coverage pass).
+                    ctx.note_region_begin();
+                    let threads = ctx.threads_per_block() as usize;
+                    let arity = rt.config.checksums.arity();
+                    let mut acc = vec![0u64; threads * arity];
+                    let init = rt.config.checksums.init();
+                    for t in 0..threads {
+                        acc[t * arity..(t + 1) * arity].copy_from_slice(&init);
+                    }
+                    Self {
+                        rt: Some(rt),
+                        acc,
+                        arity,
+                        psession: None,
+                        log_cursor: 0,
+                        ckpt_lines: drain.then(Vec::new),
+                    }
                 }
-                Self {
+                // Explicit regions keep no accumulators: persistence comes
+                // from the backend's flushes/queue acceptances, not
+                // checksums.
+                RegionPath::Explicit => Self {
                     rt: Some(rt),
-                    acc,
-                    arity,
-                    psession: None,
+                    acc: Vec::new(),
+                    arity: rt.config.checksums.arity(),
+                    psession: Some(rt.session_for(ctx.block_id())),
                     log_cursor: 0,
-                }
-            }
-            // Explicit modes keep no accumulators: persistence comes from
-            // the backend's flushes/queue acceptances, not checksums.
-            Some(rt) => Self {
-                rt: Some(rt),
-                acc: Vec::new(),
-                arity: rt.config.checksums.arity(),
-                psession: Some(rt.backend.begin_block(ctx.block_id())),
-                log_cursor: 0,
+                    ckpt_lines: None,
+                },
             },
             None => Self {
                 rt: None,
@@ -540,6 +770,7 @@ impl<'rt> LpBlockSession<'rt> {
                 arity: 0,
                 psession: None,
                 log_cursor: 0,
+                ckpt_lines: None,
             },
         }
     }
@@ -554,7 +785,8 @@ impl<'rt> LpBlockSession<'rt> {
     /// A no-op under [`PersistMode::Eager`] (no checksums there).
     pub fn update(&mut self, ctx: &mut BlockCtx<'_>, t: u64, value_image: u64) {
         if let Some(rt) = self.rt {
-            if rt.config.mode != PersistMode::Lazy {
+            if self.acc.is_empty() {
+                // Explicit region: no checksum accumulators to fold into.
                 return;
             }
             let set = &rt.config.checksums;
@@ -572,6 +804,16 @@ impl<'rt> LpBlockSession<'rt> {
     /// does). Under [`PersistMode::EagerLogged`] the first store to each
     /// line additionally appends one undo-log entry and flushes it.
     fn persist_store(&mut self, ctx: &mut BlockCtx<'_>, addr: Addr) {
+        if let Some(lines) = self.ckpt_lines.as_mut() {
+            // Checkpoint rung: remember the dirtied line for the finalize
+            // drain (regions touch few distinct lines; linear scan is the
+            // same trick the eager backend's first-touch set uses).
+            let line = addr.raw() & !(ctx.line_size() - 1);
+            if !lines.contains(&line) {
+                lines.push(line);
+            }
+            return;
+        }
         let Some(s) = self.psession.as_deref_mut() else {
             return;
         };
@@ -613,10 +855,8 @@ impl<'rt> LpBlockSession<'rt> {
     /// an attached access observer (Lazy mode only — eager modes have no
     /// checksum coverage to check).
     fn note_covered(&self, ctx: &mut BlockCtx<'_>, addr: Addr) {
-        if let Some(rt) = self.rt {
-            if rt.config.mode == PersistMode::Lazy {
-                ctx.note_protected_store(addr);
-            }
+        if self.rt.is_some() && !self.acc.is_empty() {
+            ctx.note_protected_store(addr);
         }
     }
 
@@ -680,36 +920,43 @@ impl<'rt> LpBlockSession<'rt> {
     /// under the block's ID. Must be the block's last LP action.
     pub fn finalize(mut self, ctx: &mut BlockCtx<'_>) {
         let Some(rt) = self.rt else { return };
-        match rt.config.mode {
-            PersistMode::Lazy => {
-                // The region's protected stores end here: everything the
-                // reduction and table insert write below (shuffle staging,
-                // scratch spills, the checksum entry itself) is
-                // instrumentation, not region data, so close the observed
-                // region first.
-                ctx.note_region_end();
-                let set = &rt.config.checksums;
-                let scratch = rt.scratch_for_block(ctx.block_id());
-                let reduced = block_reduce(ctx, set, &self.acc, rt.config.reduce, scratch);
-                let sealed = rt.seal(ctx.block_id(), reduced);
-                ctx.charge_alu(set.arity() as u64); // seal fold
-                rt.table.insert(ctx, ctx.block_id(), &sealed);
-            }
-            _ => {
-                // Region boundary of an explicit backend: the session
-                // makes every protected store durable per its model
-                // (flushes, epoch close, or buffer drain), the commit
-                // token is published, and the session persists the token.
-                // The ordering makes the token a durable witness for the
-                // region's data.
-                let mut s = self
-                    .psession
-                    .take()
-                    .expect("explicit persistency mode must carry a session");
-                s.commit(ctx);
-                let token = rt.commit_token(ctx.block_id());
-                rt.table.insert(ctx, ctx.block_id(), &token);
-                s.persist_token(ctx, rt.table.entry_addr(ctx.block_id()));
+        if let Some(mut s) = self.psession.take() {
+            // Region boundary of an explicit backend: the session
+            // makes every protected store durable per its model
+            // (flushes, epoch close, or buffer drain), the commit
+            // token is published, and the session persists the token.
+            // The ordering makes the token a durable witness for the
+            // region's data.
+            s.commit(ctx);
+            let token = rt.commit_token(ctx.block_id());
+            rt.table.insert(ctx, ctx.block_id(), &token);
+            s.persist_token(ctx, rt.table.entry_addr(ctx.block_id()));
+        } else {
+            // The region's protected stores end here: everything the
+            // reduction and table insert write below (shuffle staging,
+            // scratch spills, the checksum entry itself) is
+            // instrumentation, not region data, so close the observed
+            // region first.
+            ctx.note_region_end();
+            let set = &rt.config.checksums;
+            let scratch = rt.scratch_for_block(ctx.block_id());
+            let reduced = block_reduce(ctx, set, &self.acc, rt.config.reduce, scratch);
+            let sealed = rt.seal(ctx.block_id(), reduced);
+            ctx.charge_alu(set.arity() as u64); // seal fold
+            rt.table.insert(ctx, ctx.block_id(), &sealed);
+            if let Some(lines) = self.ckpt_lines.take() {
+                // Checkpoint rung: nothing is left to natural eviction.
+                // Drain every line the region dirtied (retry + quarantine
+                // for refusing lines), then the published checksum entry —
+                // the data stays covered end-to-end by the checksums, so a
+                // device that lies about these drains is still caught by
+                // validation.
+                for base in lines {
+                    ctx.persist_line_reliably(Addr::new(base), false);
+                }
+                if let Some(entry) = rt.table.entry_addr(ctx.block_id()) {
+                    ctx.persist_line_reliably(entry, false);
+                }
             }
         }
     }
@@ -887,6 +1134,90 @@ mod tests {
         let ranges = logged.transient_ranges();
         assert_eq!(ranges.len(), 1);
         assert!(ranges[0].1 > 0);
+    }
+
+    #[test]
+    fn adaptive_regions_follow_the_journal() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::adaptive());
+        assert!(rt.is_adaptive());
+        assert_eq!(rt.policy_mode(3), Some(PolicyMode::Lp));
+        // Region 3 switches to epoch; every other region stays checksummed.
+        assert!(rt.switch_region(&mut rig.mem, 3, PolicyMode::Epoch));
+        assert_eq!(rt.policy_mode(3), Some(PolicyMode::Epoch));
+        let out = rig.mem.alloc(64 * 8, 8);
+        for b in [2u64, 3] {
+            let mut ctx =
+                simt::BlockCtx::standalone(rig.lc, b, &mut rig.mem, &mut rig.dev, &rig.cfg);
+            let mut lp = LpBlockSession::begin(&rt, &mut ctx);
+            lp.store_u64(&mut ctx, 0, out.index(b, 8), b * 7);
+            lp.finalize(&mut ctx);
+            let _ = ctx.into_cost();
+        }
+        // Region 2 validates by data checksum; region 3 by token presence.
+        let d2 = rt.digest_region(2, [2 * 7u64]);
+        assert!(rt.validate_region(&mut rig.mem, 2, &d2));
+        let d3 = rt.digest_region(3, [3 * 7u64]);
+        assert!(rt.validate_region(&mut rig.mem, 3, &d3));
+        assert_eq!(
+            rt.digest_region(3, [1u64]),
+            rt.digest_region(3, [2u64]),
+            "token validation must ignore the data"
+        );
+        assert_ne!(
+            rt.digest_region(2, [1u64]),
+            rt.digest_region(2, [2u64]),
+            "checksum validation must depend on the data"
+        );
+    }
+
+    #[test]
+    fn reload_policy_restores_journalled_modes_after_a_crash() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::adaptive());
+        assert!(rt.switch_region(&mut rig.mem, 5, PolicyMode::Checkpoint));
+        assert!(rt.switch_region(&mut rig.mem, 6, PolicyMode::Eager));
+        rig.mem.crash();
+        rig.mem.power_on();
+        rt.reload_policy(&rig.mem);
+        assert_eq!(rt.policy_mode(5), Some(PolicyMode::Checkpoint));
+        assert_eq!(rt.policy_mode(6), Some(PolicyMode::Eager));
+        assert_eq!(rt.policy_mode(0), Some(PolicyMode::Lp));
+    }
+
+    #[test]
+    fn checkpoint_rung_survives_an_immediate_crash() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::adaptive());
+        assert!(rt.switch_region(&mut rig.mem, 0, PolicyMode::Checkpoint));
+        let out = rig.mem.alloc(64 * 8, 8);
+        let mut ctx = simt::BlockCtx::standalone(rig.lc, 0, &mut rig.mem, &mut rig.dev, &rig.cfg);
+        let mut lp = LpBlockSession::begin(&rt, &mut ctx);
+        for t in 0..64u64 {
+            lp.store_u64(&mut ctx, t, out.index(t, 8), t + 1);
+        }
+        lp.finalize(&mut ctx);
+        let _ = ctx.into_cost();
+        // A crash right after finalize loses nothing: the checkpoint rung
+        // drained every dirtied line and the published checksum entry.
+        rig.mem.crash();
+        rig.mem.power_on();
+        for t in 0..64u64 {
+            assert_eq!(rig.mem.read_u64(out.index(t, 8)), t + 1);
+        }
+        let want = rt.digest_region(0, (0..64u64).map(|t| t + 1));
+        assert!(rt.validate_region(&mut rig.mem, 0, &want));
+    }
+
+    #[test]
+    fn fixed_mode_runtimes_have_no_policy_surface() {
+        let mut rig = Rig::new();
+        let rt = runtime(&mut rig, LpConfig::recommended());
+        assert!(!rt.is_adaptive());
+        assert_eq!(rt.policy_mode(0), None);
+        assert!(!rt.switch_region(&mut rig.mem, 0, PolicyMode::Eager));
+        assert!(rt.policy_history().is_empty());
+        rt.reload_policy(&rig.mem); // no-op, must not panic
     }
 
     #[test]

@@ -174,6 +174,16 @@ pub fn compile(source: &str) -> Result<CompiledLp, CompileError> {
                 instrumented_kernels.push((kidx, plan.clone()));
                 plans.push(plan);
             }
+            Pragma::Mode { mode, .. } => {
+                // A persist-mode pin is a runtime policy hint, not device
+                // code: the host runtime reads it when configuring the
+                // kernel's regions. Lower it to a comment so the emitted
+                // CUDA carries no unknown pragma.
+                replace[idx] = Some(format!(
+                    "{indent}/* lpcuda_mode({mode}): runtime persist-mode pin */",
+                    indent = indent_of(raw)
+                ));
+            }
         }
     }
 

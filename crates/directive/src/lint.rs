@@ -27,6 +27,7 @@
 //! | LP012 | checksum fold under thread-dependent control                 |
 //! | LP013 | store address provably independent of `blockIdx`             |
 //! | LP014 | fold on a value with no dominating definition                |
+//! | LP015 | pinned persist mode provably dominated by the write profile  |
 //!
 //! Diagnostics are ordered by source position, then rule code.
 
@@ -35,8 +36,9 @@ use crate::error::{CompileError, Diagnostic, Span};
 use crate::kernel_scan::find_kernels;
 use crate::pragma::{is_nvm_pragma, parse_pragma, Pragma};
 
-/// The two directives §VI of the paper defines.
-const KNOWN: [&str; 2] = ["lpcuda_init", "lpcuda_checksum"];
+/// The two directives §VI of the paper defines, plus the persist-mode pin
+/// this runtime adds on top of them.
+const KNOWN: [&str; 3] = ["lpcuda_init", "lpcuda_checksum", "lpcuda_mode"];
 
 /// Lints `source` and returns every finding, ordered by source position.
 /// A clean program — including a pragma-free one — yields an empty vector.
@@ -106,6 +108,34 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                 }
                 checksum_tables.push(table);
             }
+            Pragma::Mode { mode, .. } => {
+                // LP015: eager pinned on a write-dense kernel. A store
+                // inside a loop pays one synchronous flush per iteration
+                // under `eager`; the lazy-checksum modes amortise the same
+                // durability to one table write per region, so the pin is
+                // dominated on every execution, not just unlucky ones.
+                let Some(k) = kernels.iter().find(|k| k.contains_line(idx)) else {
+                    continue;
+                };
+                if mode != "eager" {
+                    continue;
+                }
+                let ir = analysis::ir::parse_kernel(&lines, k);
+                let looped = looped_global_stores(&ir.body, &ir.pointer_params, false);
+                if looped > 0 {
+                    out.push(Diagnostic {
+                        code: "LP015",
+                        span: Span::of(line_no, raw, &mode),
+                        message: format!(
+                            "kernel `{}` pins persist mode `eager` but makes {looped} global \
+                             store(s) inside loops; a synchronous flush per iteration is \
+                             provably dominated by lazy checksums on this write profile; \
+                             did you mean `lpcuda_mode(adaptive)`?",
+                            ir.name
+                        ),
+                    });
+                }
+            }
         }
     }
 
@@ -165,6 +195,46 @@ fn lp000(lines: &[&str], err: &CompileError) -> Diagnostic {
         span: Span::of(line_no, raw, needle),
         message: format!("{err}; the lint pass cannot see kernel bodies until the source scans"),
     }
+}
+
+/// Counts global stores — assignments through a pointer parameter's
+/// indexed element — that sit inside at least one loop. This is the static
+/// write-density profile LP015 reasons about: each such store repeats per
+/// iteration, so per-store persist costs multiply where per-region costs
+/// do not.
+fn looped_global_stores(
+    stmts: &[analysis::ir::Stmt],
+    pointer_params: &[String],
+    in_loop: bool,
+) -> usize {
+    use analysis::ir::StmtKind;
+    let mut n = 0;
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { lhs, .. } if in_loop => {
+                let base: String = lhs
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if lhs.contains('[') && pointer_params.contains(&base) {
+                    n += 1;
+                }
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                n += looped_global_stores(then_branch, pointer_params, in_loop);
+                n += looped_global_stores(else_branch, pointer_params, in_loop);
+            }
+            StmtKind::Loop { body, .. } => {
+                n += looped_global_stores(body, pointer_params, true);
+            }
+            _ => {}
+        }
+    }
+    n
 }
 
 /// The identifier after `#pragma nvm`, or an empty string.
@@ -481,6 +551,73 @@ __global__ void k(float *out, int n) {
 }
 "#;
         assert_eq!(lint(src), Vec::new());
+    }
+
+    #[test]
+    fn lp015_eager_pin_on_looped_stores() {
+        let src = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void hot(float *out) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_mode(eager)
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 0.0f;
+    for (int j = 0; j < 64; j++) {
+        out[i] = out[i] + 1.0f;
+    }
+}
+"#;
+        let ds = lint(src);
+        let lp015: Vec<_> = ds.iter().filter(|d| d.code == "LP015").collect();
+        assert_eq!(lp015.len(), 1, "got:\n{ds:?}");
+        let d = lp015[0];
+        assert_eq!(d.span.line, 4);
+        assert!(d.message.contains("kernel `hot` pins persist mode `eager`"));
+        assert!(d.message.contains("1 global store(s) inside loops"));
+        assert!(d.message.contains("did you mean `lpcuda_mode(adaptive)`?"));
+    }
+
+    #[test]
+    fn lp015_quiet_for_sparse_writes_or_unpinned_modes() {
+        // Eager over a single straight-line store: not dominated, the
+        // kernel persists once either way.
+        let sparse = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void once(float *out) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_mode(eager)
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 1.0f;
+}
+"#;
+        assert_eq!(lint(sparse), Vec::new());
+        // Adaptive over the dense loop: the pin LP015 suggests.
+        let adaptive = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void hot(float *out) {
+    int i = blockIdx.x;
+#pragma nvm lpcuda_mode(adaptive)
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 0.0f;
+    for (int j = 0; j < 64; j++) {
+        out[i] = out[i] + 1.0f;
+    }
+}
+"#;
+        // (The uncovered loop store still draws LP011 — that is a different
+        // mistake; the *pin* is the one LP015 suggests, so no LP015.)
+        assert!(lint(adaptive).iter().all(|d| d.code != "LP015"));
+        // A loop that only writes locals is not write-dense.
+        let local = r#"#pragma nvm lpcuda_init(tab, n, 1)
+__global__ void cool(float *out) {
+    int i = blockIdx.x;
+    float acc = 0.0f;
+#pragma nvm lpcuda_mode(eager)
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = 0.0f;
+    for (int j = 0; j < 64; j++) {
+        acc = acc + 1.0f;
+    }
+}
+"#;
+        assert_eq!(lint(local), Vec::new());
     }
 
     #[test]

@@ -28,13 +28,30 @@ pub enum Pragma {
         /// Key expressions used to index the table.
         keys: Vec<String>,
     },
+    /// `#pragma nvm lpcuda_mode(mode)` — kernel side. Pins the runtime
+    /// persist mode for the enclosing kernel's regions instead of letting
+    /// the adaptive policy engine choose. Generates no device code; the
+    /// lint pass checks the pin is not provably dominated (LP015).
+    Mode {
+        /// Source line of the pragma.
+        line: usize,
+        /// The pinned mode: `lp`, `epoch`, `eager`, `checkpoint` or
+        /// `adaptive`.
+        mode: String,
+    },
 }
+
+/// The persist-mode names `lpcuda_mode` accepts, mirroring the runtime's
+/// backend spectrum plus the adaptive meta-policy.
+pub const MODE_NAMES: [&str; 5] = ["lp", "epoch", "eager", "checkpoint", "adaptive"];
 
 impl Pragma {
     /// Source line of the pragma.
     pub fn line(&self) -> usize {
         match self {
-            Pragma::Init { line, .. } | Pragma::Checksum { line, .. } => *line,
+            Pragma::Init { line, .. }
+            | Pragma::Checksum { line, .. }
+            | Pragma::Mode { line, .. } => *line,
         }
     }
 }
@@ -153,6 +170,29 @@ pub fn parse_pragma(line_no: usize, line: &str) -> Result<Pragma, CompileError> 
                 keys: args[2..].to_vec(),
             })
         }
+        "lpcuda_mode" => {
+            if args.len() != 1 {
+                return Err(CompileError::MalformedPragma {
+                    line: line_no,
+                    reason: format!("lpcuda_mode expects 1 argument, got {}", args.len()),
+                });
+            }
+            let mode = args[0].trim_matches('"').to_ascii_lowercase();
+            if !MODE_NAMES.contains(&mode.as_str()) {
+                return Err(CompileError::MalformedPragma {
+                    line: line_no,
+                    reason: format!(
+                        "unknown persist mode {:?} (one of {})",
+                        args[0],
+                        MODE_NAMES.join(", ")
+                    ),
+                });
+            }
+            Ok(Pragma::Mode {
+                line: line_no,
+                mode,
+            })
+        }
         other => Err(CompileError::MalformedPragma {
             line: line_no,
             reason: format!("unknown directive `{other}`"),
@@ -208,6 +248,39 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_mode_pin() {
+        let p = parse_pragma(4, "#pragma nvm lpcuda_mode(eager)").unwrap();
+        assert_eq!(
+            p,
+            Pragma::Mode {
+                line: 4,
+                mode: "eager".into(),
+            }
+        );
+        // Case-insensitive, quotes tolerated like the checksum op.
+        let p = parse_pragma(5, r#"#pragma nvm lpcuda_mode("Adaptive")"#).unwrap();
+        assert_eq!(
+            p,
+            Pragma::Mode {
+                line: 5,
+                mode: "adaptive".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_mode_pins() {
+        // Wrong arity.
+        assert!(matches!(
+            parse_pragma(6, "#pragma nvm lpcuda_mode(eager, epoch)"),
+            Err(CompileError::MalformedPragma { line: 6, .. })
+        ));
+        // A misspelled mode must not silently ship as a no-op pin.
+        let err = parse_pragma(7, "#pragma nvm lpcuda_mode(eagre)").unwrap_err();
+        assert!(err.to_string().contains("unknown persist mode"));
     }
 
     #[test]

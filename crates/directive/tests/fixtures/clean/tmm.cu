@@ -9,6 +9,7 @@ void launch_tmm(float *C, float *A, float *B, int n) {
 }
 
 __global__ void tmm(float *C, float *A, float *B, int n) {
+#pragma nvm lpcuda_mode(adaptive)
     __shared__ float As[TILE][TILE];
     __shared__ float Bs[TILE][TILE];
     int tx = threadIdx.x;

@@ -48,7 +48,7 @@ pub struct CampaignSpec {
 impl CampaignSpec {
     /// The default sweep: every subject, the two most interesting design
     /// points, the LP backend, two seeds, the full site catalog —
-    /// 11 × 2 × 1 × 2 × 22 = 968 trials at `scale`.
+    /// 11 × 2 × 1 × 2 × 26 = 1144 trials at `scale`.
     pub fn default_sweep(scale: Scale) -> Self {
         CampaignSpec {
             scale,
@@ -186,6 +186,7 @@ fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
             o2: None,
             o3: None,
             o4_no_silent_corruption: None,
+            o5_journal_agreement: None,
             passed: false,
             detail: format!("panic: {msg}"),
         }
@@ -296,9 +297,9 @@ mod tests {
     #[test]
     fn enumeration_is_the_full_cross_product() {
         let mut spec = CampaignSpec::default_sweep(Scale::Test);
-        assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 22);
+        assert_eq!(spec.enumerate().len(), 11 * 2 * 2 * 26);
         spec.backends = BackendKind::ALL.to_vec();
-        assert_eq!(spec.enumerate().len(), 11 * 2 * 4 * 2 * 22);
+        assert_eq!(spec.enumerate().len(), 11 * 2 * 4 * 2 * 26);
     }
 
     #[test]

@@ -80,6 +80,19 @@ pub enum CrashSite {
         /// ECC-corrected error probability in basis points.
         bp: u32,
     },
+    /// Power loss inside the adaptive policy engine's mode-switch window.
+    /// `step` picks the instant relative to the journalled transition:
+    /// 0 = before the journal record is written, 1 = while the record's
+    /// write-back tears, 2 = after the record is durable but before the
+    /// region ever runs under the new mode, 3 = mid-run under the new
+    /// mode. Recovery must land on exactly the old or the new contract —
+    /// never a hybrid — and the journal must agree with the data.
+    /// Backends without a policy engine degrade this to a between-kernels
+    /// crash.
+    MidPolicySwitch {
+        /// Which instant of the switch window loses power (0–3).
+        step: u8,
+    },
 }
 
 impl CrashSite {
@@ -95,6 +108,7 @@ impl CrashSite {
             CrashSite::TornWriteback { bp } => format!("torn@{bp}bp"),
             CrashSite::TransientPersist { bp } => format!("transient@{bp}bp"),
             CrashSite::MediaBitErrors { bp } => format!("media@{bp}bp"),
+            CrashSite::MidPolicySwitch { step } => format!("policy-switch#{step}"),
         }
     }
 
@@ -146,6 +160,9 @@ impl CrashSite {
         for bp in [50u32, 400] {
             sites.push(CrashSite::MediaBitErrors { bp });
         }
+        for step in 0u8..=3 {
+            sites.push(CrashSite::MidPolicySwitch { step });
+        }
         sites
     }
 
@@ -176,6 +193,11 @@ impl CrashSite {
             }
             CrashSite::MediaBitErrors { bp } if bp > 1 => {
                 Some(CrashSite::MediaBitErrors { bp: bp / 2 })
+            }
+            // Earlier switch-window steps exercise less machinery: a
+            // failing step-3 trial shrinks toward the pre-journal crash.
+            CrashSite::MidPolicySwitch { step } if step > 0 => {
+                Some(CrashSite::MidPolicySwitch { step: step - 1 })
             }
             _ => None,
         }
@@ -214,7 +236,10 @@ mod tests {
         assert!(sites
             .iter()
             .any(|s| matches!(s, CrashSite::MediaBitErrors { .. })));
-        assert_eq!(sites.len(), 22);
+        assert!(sites
+            .iter()
+            .any(|s| matches!(s, CrashSite::MidPolicySwitch { .. })));
+        assert_eq!(sites.len(), 26);
     }
 
     #[test]

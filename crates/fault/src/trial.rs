@@ -14,8 +14,8 @@
 use crate::oracle::{self, OracleInput};
 use crate::site::CrashSite;
 use gpu_lp::{
-    BackendKind, LpConfig, LpRuntime, Recoverable, RecoveryEngine, RecoveryReport, ReduceStrategy,
-    ResilientRecovery, ResilientReport, TableKind,
+    BackendKind, LpConfig, LpRuntime, PolicyMode, Recoverable, RecoveryEngine, RecoveryReport,
+    ReduceStrategy, ResilientRecovery, ResilientReport, TableKind,
 };
 use lp_kernels::{workload_by_name, Scale, WORKLOAD_NAMES};
 use megakv::app::OpKind;
@@ -145,6 +145,11 @@ pub struct TrialResult {
     /// data or honestly reported what it could not save. Only applicable
     /// (`Some`) for device-fault sites.
     pub o4_no_silent_corruption: Option<bool>,
+    /// O5: the policy journal and the data it governs agree — after
+    /// recovery and a clean power cycle, re-validating from the durable
+    /// image alone finds zero failing regions. Only applicable (`Some`)
+    /// for mid-policy-switch trials on the adaptive backend.
+    pub o5_journal_agreement: Option<bool>,
     /// All applicable oracles passed.
     pub passed: bool,
     /// Diagnostics for failures and skipped oracles.
@@ -355,6 +360,17 @@ fn inject(
             let _ = reboot(mem);
             (true, out.blocks_executed, None, false)
         }
+        CrashSite::MidPolicySwitch { .. } => {
+            // Fixed backends have no policy engine to switch, so the site
+            // degenerates to a between-kernels power loss: the backend
+            // still pays for a crash at that instant. Adaptive trials
+            // never reach here — `run_trial` routes them to the dedicated
+            // switch-window path.
+            note.push_str("no policy engine: degraded to between-kernels; ");
+            let out = gpu.launch(kernel, mem).expect("launch");
+            mem.crash();
+            (true, out.blocks_executed, reboot(mem), true)
+        }
         CrashSite::DuringRecovery { nth } => {
             // First crash mid-kernel, then a second power loss while the
             // recovery engine is re-executing. Only the output oracle is
@@ -409,6 +425,15 @@ pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
     let mut cfg =
         trial_config(&id.config).unwrap_or_else(|| panic!("unknown config {:?}", id.config));
     cfg.lp = cfg.lp.with_backend(id.backend);
+
+    // The switch window only exists on the adaptive backend, where the
+    // trial must drive the policy engine explicitly; every other backend
+    // degrades the site inside `inject`.
+    if let CrashSite::MidPolicySwitch { step } = id.site {
+        if id.backend == BackendKind::Adaptive {
+            return run_policy_switch_trial(id, &kind, &cfg, step, scale);
+        }
+    }
 
     // Sites defined relative to the store stream need the clean run's
     // length, measured on an identical (fresh) instance.
@@ -503,7 +528,141 @@ pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
                 o2: verdict.o2,
                 o3: verdict.o3,
                 o4_no_silent_corruption: None,
+                o5_journal_agreement: None,
                 passed: o1 && verdict.ok(),
+                detail,
+            }
+        },
+    )
+}
+
+/// Runs a mid-policy-switch trial on the adaptive backend.
+///
+/// The subject first completes one launch under the initial all-LP policy
+/// and drains it to media, so the switch window is the only thing under
+/// test. One region (seed-derived) is then switched to a deterministic
+/// non-LP rung, with power lost at the requested step of the window:
+/// before the journal record, while the record's write-back tears, after
+/// the record is durable, or mid-run under the new mode. Recovery must
+/// restore the output under exactly the old or the new contract (O1), and
+/// a post-recovery power cycle must find the journal and the data in full
+/// agreement — zero failing regions on a fresh validation (O5).
+fn run_policy_switch_trial(
+    id: &TrialId,
+    kind: &SubjectKind,
+    cfg: &TrialConfig,
+    step: u8,
+    scale: Scale,
+) -> TrialResult {
+    with_instance(
+        kind,
+        scale,
+        id.seed,
+        &cfg.lp,
+        |gpu, mem, kernel, rt, verify| {
+            assert!(
+                rt.is_adaptive(),
+                "policy-switch trials need the adaptive backend"
+            );
+            let num_blocks = kernel.config().num_blocks();
+            gpu.launch(kernel, mem).expect("launch");
+            mem.flush_all();
+
+            // Deterministic transition: region and target rung are
+            // functions of the seed, so the trial is fully replayable.
+            let region = id.seed % num_blocks;
+            let target = [PolicyMode::Epoch, PolicyMode::Eager, PolicyMode::Checkpoint]
+                [(id.seed % 3) as usize];
+            let mut detail = format!("switch r{region} -> {target}; ");
+            match step {
+                0 => {
+                    // Power dies before the journal record is attempted:
+                    // recovery must see the old (all-LP) policy untouched.
+                    mem.crash();
+                }
+                1 => {
+                    // Every write-back tears while the record is appended.
+                    // The append either survives (the torn prefix kept the
+                    // whole record) or is refused after retries — both are
+                    // legal, and replay must land on whichever happened.
+                    mem.set_fault_config(Some(FaultConfig::torn(id.seed ^ 0xFA17_C0DE, 10_000)));
+                    let committed = rt.switch_region(mem, region, target);
+                    mem.set_fault_config(None);
+                    detail.push_str(if committed {
+                        "journal survived the tears; "
+                    } else {
+                        "journal append refused under tears; "
+                    });
+                    mem.crash();
+                }
+                2 => {
+                    // The record is durable but the region never runs
+                    // under the new mode before power dies.
+                    assert!(
+                        rt.switch_region(mem, region, target),
+                        "clean switch must commit"
+                    );
+                    mem.crash();
+                }
+                3 => {
+                    // Mid-run under the new mode.
+                    assert!(
+                        rt.switch_region(mem, region, target),
+                        "clean switch must commit"
+                    );
+                    mem.arm_crash_after_evictions(2);
+                    gpu.launch(kernel, mem).expect("relaunch");
+                    mem.disarm_crash();
+                    if !mem.power_failed() {
+                        detail.push_str("site missed mid-run, crashing between kernels; ");
+                        mem.crash();
+                    }
+                }
+                _ => unreachable!("the switch window has steps 0-3"),
+            }
+            let _ = reboot(mem);
+
+            // Recovery reloads the journal before judging any region, so
+            // each region is validated under exactly one contract — the
+            // old or the new, never a hybrid.
+            let engine = RecoveryEngine::new(gpu);
+            let failed = engine.validate_all(kernel, rt, mem);
+            let report = engine.recover(kernel, rt, mem);
+            let o1 = report.recovered && verify(mem);
+            if !o1 {
+                detail.push_str("O1: output wrong after recovery; ");
+            }
+
+            // O5: journal/data agreement. Drain everything, power-cycle,
+            // and re-validate from the durable image alone — a fresh
+            // journal replay must agree with the data it governs.
+            mem.flush_all();
+            mem.crash();
+            let _ = reboot(mem);
+            let disagreements = engine.validate_all(kernel, rt, mem);
+            let o5 = disagreements.is_empty();
+            if !o5 {
+                detail.push_str(&format!(
+                    "O5: journal/data disagreement in {} region(s) after a clean power cycle; ",
+                    disagreements.len()
+                ));
+            }
+
+            TrialResult {
+                id: id.clone(),
+                crashed: true,
+                failed_regions: failed.len() as u64,
+                reexecutions: report.reexecutions,
+                recovery_rounds: report.passes,
+                quarantined_lines: 0,
+                degraded_reexecutions: 0,
+                recovery_ns: report.reexecution_ns_x1000 / 1000,
+                o1_output: o1,
+                o2: None,
+                o3: None,
+                o4_no_silent_corruption: None,
+                o5_journal_agreement: Some(o5),
+                passed: o1 && o5,
                 detail,
             }
         },
@@ -589,6 +748,7 @@ fn judge_device_trial(
         o2: None,
         o3: None,
         o4_no_silent_corruption: Some(o4),
+        o5_journal_agreement: None,
         passed: o4,
         detail,
     }
@@ -800,6 +960,90 @@ mod tests {
             "skipping recovery must corrupt the output: {r:?}"
         );
         assert!(!r.passed);
+    }
+
+    #[test]
+    fn adaptive_backend_survives_the_standard_crash_sites() {
+        for site in [
+            CrashSite::AfterStores { pct: 50 },
+            CrashSite::BetweenKernels,
+        ] {
+            let r = run_trial(
+                &backend_id("SPMV", BackendKind::Adaptive, site),
+                Scale::Test,
+            );
+            assert!(r.passed, "{site:?}: {r:?}");
+            assert_eq!(r.o2, None, "adaptive must skip the loss oracles");
+        }
+    }
+
+    #[test]
+    fn every_switch_window_step_lands_on_exactly_one_contract() {
+        for step in 0..=3 {
+            let r = run_trial(
+                &backend_id(
+                    "TMM",
+                    BackendKind::Adaptive,
+                    CrashSite::MidPolicySwitch { step },
+                ),
+                Scale::Test,
+            );
+            assert!(r.o1_output, "step {step}: {r:?}");
+            assert_eq!(r.o5_journal_agreement, Some(true), "step {step}: {r:?}");
+            assert!(r.passed, "step {step}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn switch_window_covers_every_target_rung_across_seeds() {
+        // Seeds 1..=3 pick Eager, Checkpoint and Epoch as the target rung;
+        // the torn-journal step must hold for each of them.
+        for seed in 1..=3 {
+            let r = run_trial(
+                &TrialId {
+                    seed,
+                    ..backend_id(
+                        "SPMV",
+                        BackendKind::Adaptive,
+                        CrashSite::MidPolicySwitch { step: 1 },
+                    )
+                },
+                Scale::Test,
+            );
+            assert_eq!(r.o5_journal_agreement, Some(true), "seed {seed}: {r:?}");
+            assert!(r.passed, "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_backends_degrade_the_switch_site_to_a_between_kernels_crash() {
+        let r = run_trial(
+            &backend_id(
+                "SPMV",
+                BackendKind::Sbrp,
+                CrashSite::MidPolicySwitch { step: 2 },
+            ),
+            Scale::Test,
+        );
+        assert!(r.crashed, "{r:?}");
+        assert!(r.passed, "{r:?}");
+        assert!(r.detail.contains("degraded to between-kernels"), "{r:?}");
+        assert_eq!(r.o5_journal_agreement, None);
+    }
+
+    #[test]
+    fn policy_switch_trials_are_reproducible() {
+        let tid = backend_id(
+            "SPMV",
+            BackendKind::Adaptive,
+            CrashSite::MidPolicySwitch { step: 1 },
+        );
+        let a = run_trial(&tid, Scale::Test);
+        let b = run_trial(&tid, Scale::Test);
+        assert_eq!(a.detail, b.detail);
+        assert_eq!(a.failed_regions, b.failed_regions);
+        assert_eq!(a.reexecutions, b.reexecutions);
+        assert_eq!(a.passed, b.passed);
     }
 
     #[test]

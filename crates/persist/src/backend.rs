@@ -18,10 +18,16 @@ pub enum BackendKind {
     /// SBRP-style scoped buffered release persistency: per-SM + L2-level
     /// persist buffers with scope-aware release persists.
     Sbrp,
+    /// Adaptive: a policy engine picks one of the fixed disciplines per
+    /// region at runtime (and may change its mind between launches). Not
+    /// part of [`BackendKind::ALL`] — it is a meta-policy over the fixed
+    /// spectrum, not a fifth point on it.
+    Adaptive,
 }
 
 impl BackendKind {
-    /// Every backend, in sweep order.
+    /// Every *fixed* backend, in sweep order ([`BackendKind::Adaptive`] is
+    /// a meta-policy over these and is deliberately excluded).
     pub const ALL: [BackendKind; 4] = [
         BackendKind::LpChecksum,
         BackendKind::Eager,
@@ -36,6 +42,7 @@ impl BackendKind {
             BackendKind::Eager => "eager",
             BackendKind::Epoch => "epoch",
             BackendKind::Sbrp => "sbrp",
+            BackendKind::Adaptive => "adaptive",
         }
     }
 }
@@ -55,7 +62,10 @@ impl std::str::FromStr for BackendKind {
             "eager" => Ok(BackendKind::Eager),
             "epoch" | "strict" => Ok(BackendKind::Epoch),
             "sbrp" => Ok(BackendKind::Sbrp),
-            other => Err(format!("unknown backend {other:?} (lp|eager|epoch|sbrp)")),
+            "adaptive" | "auto" => Ok(BackendKind::Adaptive),
+            other => Err(format!(
+                "unknown backend {other:?} (lp|eager|epoch|sbrp|adaptive)"
+            )),
         }
     }
 }
@@ -209,6 +219,24 @@ mod tests {
         );
         assert_eq!(BackendKind::from_str("STRICT").unwrap(), BackendKind::Epoch);
         assert!(BackendKind::from_str("nope").is_err());
+    }
+
+    #[test]
+    fn adaptive_is_parseable_but_not_in_the_fixed_sweep() {
+        assert_eq!(
+            BackendKind::from_str("adaptive").unwrap(),
+            BackendKind::Adaptive
+        );
+        assert_eq!(BackendKind::Adaptive.name(), "adaptive");
+        assert_eq!(
+            BackendKind::from_str(BackendKind::Adaptive.name()).unwrap(),
+            BackendKind::Adaptive
+        );
+        assert!(!BackendKind::ALL.contains(&BackendKind::Adaptive));
+        let j = serde_json::to_string(&BackendKind::Adaptive).unwrap();
+        assert_eq!(j, "\"adaptive\"");
+        let back: BackendKind = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, BackendKind::Adaptive);
     }
 
     #[test]

@@ -74,6 +74,42 @@ impl PersistencyBackend for LpChecksumBackend {
     }
 }
 
+/// The adaptive meta-backend: a policy engine (the `lp-policy` crate,
+/// driven by the LP runtime) picks one of the fixed disciplines per region
+/// and may move regions between them across launches. Like
+/// [`LpChecksumBackend`], its sessions are no-ops — the runtime routes each
+/// region to the *chosen* discipline's machinery; this type exists so the
+/// launch has a kind and a durability contract to report.
+///
+/// The contract advertises checksum validation: every rung the policy
+/// ladder ends on under device faults (LP at the bottom, checkpoint at the
+/// top) validates data by checksum, so a device that lies about durability
+/// is always caught — the adaptive mode never waives the recovery oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveBackend;
+
+impl PersistencyBackend for AdaptiveBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Adaptive
+    }
+
+    fn contract(&self) -> DurabilityContract {
+        DurabilityContract {
+            kind: BackendKind::Adaptive,
+            checksum_validated: true,
+            commit_token_durable: false,
+            buffered_window: true,
+            summary: "per-region policy engine over the fixed spectrum; \
+                      mode switches journalled for crash consistency, \
+                      checksum validation at both ends of the ladder",
+        }
+    }
+
+    fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {
+        Box::new(NoopSession)
+    }
+}
+
 /// Constructs the backend for `kind` with default knobs.
 pub fn backend_for(kind: BackendKind) -> Box<dyn PersistencyBackend> {
     match kind {
@@ -81,6 +117,7 @@ pub fn backend_for(kind: BackendKind) -> Box<dyn PersistencyBackend> {
         BackendKind::Eager => Box::new(EagerBackend::per_store()),
         BackendKind::Epoch => Box::new(EpochBackend),
         BackendKind::Sbrp => Box::new(SbrpBackend::new(SbrpConfig::default())),
+        BackendKind::Adaptive => Box::new(AdaptiveBackend),
     }
 }
 

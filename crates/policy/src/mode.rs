@@ -1,0 +1,161 @@
+//! The per-region durability modes the policy engine switches between.
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of the adaptive durability ladder.
+///
+/// The variants are ordered by [`PolicyMode::rank`]: each step to the right
+/// trades throughput for resilience against a less trustworthy device. The
+/// engine's fault floor only ever climbs this ladder (monotone degradation),
+/// so a decaying NVM sheds performance instead of correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyMode {
+    /// Lazy Persistency with checksums (the paper's design; the default).
+    /// Fastest; recovery re-executes regions whose checksums fail.
+    #[default]
+    Lp,
+    /// Epoch persistency: fences push dirtied lines into the ADR-backed
+    /// queue, commit tokens witness durability. Bounds post-crash loss.
+    Epoch,
+    /// Eager persistency: flush per store + persist barrier + token.
+    /// Minimal volatile window at maximal traffic.
+    Eager,
+    /// Checkpoint interval: LP's checksum validation *plus* a proactive
+    /// drain of every dirtied line (with retry + quarantine) at each region
+    /// boundary. The top rung for a device that drops or tears write-backs:
+    /// nothing is left to natural eviction, yet every line remains covered
+    /// by end-to-end checksums.
+    Checkpoint,
+}
+
+impl PolicyMode {
+    /// Every mode, in ladder (degradation) order.
+    pub const ALL: [PolicyMode; 4] = [
+        PolicyMode::Lp,
+        PolicyMode::Epoch,
+        PolicyMode::Eager,
+        PolicyMode::Checkpoint,
+    ];
+
+    /// Position on the degradation ladder (0 = LP … 3 = checkpoint).
+    pub fn rank(self) -> u8 {
+        match self {
+            PolicyMode::Lp => 0,
+            PolicyMode::Epoch => 1,
+            PolicyMode::Eager => 2,
+            PolicyMode::Checkpoint => 3,
+        }
+    }
+
+    /// Inverse of [`PolicyMode::rank`].
+    pub fn from_rank(rank: u8) -> Option<Self> {
+        PolicyMode::ALL.into_iter().find(|m| m.rank() == rank)
+    }
+
+    /// The next rung down the ladder (`None` at the top).
+    pub fn degraded(self) -> Option<Self> {
+        Self::from_rank(self.rank() + 1)
+    }
+
+    /// Short stable name (CLI value, journal dump, report row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyMode::Lp => "lp",
+            PolicyMode::Epoch => "epoch",
+            PolicyMode::Eager => "eager",
+            PolicyMode::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// Whether validation recomputes checksums over the data in this mode
+    /// (as opposed to checking commit-token presence).
+    pub fn checksum_validated(self) -> bool {
+        matches!(self, PolicyMode::Lp | PolicyMode::Checkpoint)
+    }
+}
+
+impl std::fmt::Display for PolicyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PolicyMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lp" | "lazy" => Ok(PolicyMode::Lp),
+            "epoch" => Ok(PolicyMode::Epoch),
+            "eager" => Ok(PolicyMode::Eager),
+            "checkpoint" | "ckpt" => Ok(PolicyMode::Checkpoint),
+            other => Err(format!(
+                "unknown policy mode {other:?} (lp|epoch|eager|checkpoint)"
+            )),
+        }
+    }
+}
+
+// The vendored serde derive has no `rename`; serialise as the short name.
+impl Serialize for PolicyMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for PolicyMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected policy mode name string"))?;
+        s.parse().map_err(serde::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn ladder_ranks_are_monotone_and_total() {
+        for (i, m) in PolicyMode::ALL.into_iter().enumerate() {
+            assert_eq!(m.rank() as usize, i);
+            assert_eq!(PolicyMode::from_rank(m.rank()), Some(m));
+        }
+        assert_eq!(PolicyMode::from_rank(4), None);
+        assert_eq!(PolicyMode::Lp.degraded(), Some(PolicyMode::Epoch));
+        assert_eq!(PolicyMode::Checkpoint.degraded(), None);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for m in PolicyMode::ALL {
+            assert_eq!(PolicyMode::from_str(m.name()).unwrap(), m);
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(
+            PolicyMode::from_str("ckpt").unwrap(),
+            PolicyMode::Checkpoint
+        );
+        assert!(PolicyMode::from_str("nope").is_err());
+    }
+
+    #[test]
+    fn serde_uses_short_names() {
+        for m in PolicyMode::ALL {
+            let j = serde_json::to_string(&m).unwrap();
+            let back: PolicyMode = serde_json::from_str(&j).unwrap();
+            assert_eq!(back, m);
+        }
+        assert_eq!(serde_json::to_string(&PolicyMode::Lp).unwrap(), "\"lp\"");
+    }
+
+    #[test]
+    fn checksummed_rungs_bracket_the_ladder() {
+        assert!(PolicyMode::Lp.checksum_validated());
+        assert!(PolicyMode::Checkpoint.checksum_validated());
+        assert!(!PolicyMode::Epoch.checksum_validated());
+        assert!(!PolicyMode::Eager.checksum_validated());
+    }
+}
