@@ -14,14 +14,16 @@
 use gpu_lp::BackendKind;
 use lp_fault::SUBJECT_NAMES;
 use lp_fault::{
-    run_campaign, sanitize_sweep, CampaignReport, CampaignSpec, CrashSite, SABOTAGE_CONFIG,
+    representative_trial, run_campaign, sanitize_sweep, CampaignReport, CampaignSpec, CrashSite,
+    TrialId, SABOTAGE_CONFIG,
 };
 use lp_kernels::Scale;
+use std::collections::BTreeSet;
 use std::io::Write;
 
 const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
                      [--workload NAME] [--backend lp|eager|epoch|sbrp|adaptive|all] \
-                     [--sabotage] [--sanitize] [--json] [--quiet]";
+                     [--no-prune] [--prune-smoke] [--sabotage] [--sanitize] [--json] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("campaign: {msg}\n{USAGE}");
@@ -38,6 +40,8 @@ struct CampaignArgs {
     workload: Option<String>,
     backends: Option<Vec<BackendKind>>,
     quiet: bool,
+    prune: bool,
+    prune_smoke: bool,
 }
 
 fn parse_args() -> CampaignArgs {
@@ -51,6 +55,8 @@ fn parse_args() -> CampaignArgs {
         workload: None,
         backends: None,
         quiet: false,
+        prune: true,
+        prune_smoke: false,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -103,6 +109,8 @@ fn parse_args() -> CampaignArgs {
                     vec![v.parse().unwrap_or_else(|e: String| usage_err(&e))]
                 });
             }
+            "--no-prune" => out.prune = false,
+            "--prune-smoke" => out.prune_smoke = true,
             "--sabotage" => out.sabotage = true,
             "--sanitize" => out.sanitize = true,
             "--json" => out.json = true,
@@ -131,6 +139,12 @@ fn print_report(report: &CampaignReport) {
         report.oracle_skips,
         report.failures.len()
     );
+    if report.pruned_trials > 0 {
+        println!(
+            "{} trials statically pruned (each replaced by a proven-equivalent site)",
+            report.pruned_trials
+        );
+    }
     println!(
         "\n{:<24} {:>7} {:>8} {:>7}",
         "site", "trials", "crashed", "failed"
@@ -165,11 +179,103 @@ fn print_report(report: &CampaignReport) {
     }
 }
 
+/// CI gate for the static pruner: run the same sampled sweep twice — once
+/// unpruned, once pruned — and demand the failure verdicts agree. A pruned
+/// site may only ever fail if its statically-chosen representative fails
+/// too, so the unpruned run's failures, with every pruned site mapped to
+/// its representative, must equal the pruned run's failures exactly.
+fn prune_smoke(args: &CampaignArgs) -> ! {
+    let mut spec = CampaignSpec::default_sweep(args.scale);
+    spec.threads = args.threads;
+    // A deliberately small sample: one config, one seed, two workloads
+    // whose launch geometries exercise every prune family (policy-switch,
+    // checkpoint-at-zero, and block-boundary collapse at 16 and 2 blocks).
+    spec.configs = vec!["recommended".to_string()];
+    spec.seeds = vec![1];
+    spec.workloads = match &args.workload {
+        Some(w) => vec![w.clone()],
+        None => vec!["SPMV".to_string(), "MEGAKV-DELETE".to_string()],
+    };
+
+    spec.prune = false;
+    let full = run_campaign(&spec, |_, _| {});
+    spec.prune = true;
+    let pruned = run_campaign(&spec, |_, _| {});
+
+    eprintln!(
+        "# prune-smoke: {} unpruned trials, {} pruned run trials, {} sites pruned",
+        full.trials, pruned.trials, pruned.pruned_trials
+    );
+    let mut bad = 0usize;
+    if pruned.pruned_trials == 0 {
+        eprintln!("prune-smoke: sample pruned nothing — the smoke test is vacuous");
+        bad += 1;
+    }
+    if pruned.trials + pruned.pruned_trials != full.trials {
+        eprintln!(
+            "prune-smoke: trial accounting broken: {} kept + {} pruned != {} full",
+            pruned.trials, pruned.pruned_trials, full.trials
+        );
+        bad += 1;
+    }
+
+    // Map each dropped trial to the representative the pruner kept.
+    let mut rep_of: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for rec in &pruned.pruned {
+        let dropped = TrialId {
+            workload: rec.workload.clone(),
+            config: rec.config.clone(),
+            backend: rec.backend,
+            seed: rec.seed,
+            site: rec.decision.site,
+        };
+        let rep = representative_trial(&dropped, &rec.decision);
+        rep_of.insert(dropped.label(), rep.label());
+    }
+
+    let full_failures: BTreeSet<String> = full
+        .failures
+        .iter()
+        .map(|f| {
+            let label = f.result.id.label();
+            rep_of.get(&label).cloned().unwrap_or(label)
+        })
+        .collect();
+    let pruned_failures: BTreeSet<String> = pruned
+        .failures
+        .iter()
+        .map(|f| f.result.id.label())
+        .collect();
+    for only_full in full_failures.difference(&pruned_failures) {
+        eprintln!("prune-smoke: fails unpruned but not pruned: {only_full}");
+        bad += 1;
+    }
+    for only_pruned in pruned_failures.difference(&full_failures) {
+        eprintln!("prune-smoke: fails pruned but not unpruned: {only_pruned}");
+        bad += 1;
+    }
+
+    if bad == 0 {
+        println!(
+            "prune-smoke OK: {} trials pruned, failure verdicts identical ({} failures)",
+            pruned.pruned_trials,
+            pruned_failures.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!("prune-smoke FAILED: {bad} disagreement(s)");
+    std::process::exit(1);
+}
+
 fn main() {
     let args = parse_args();
+    if args.prune_smoke {
+        prune_smoke(&args);
+    }
     let mut spec = CampaignSpec::default_sweep(args.scale);
     spec.budget = args.budget;
     spec.threads = args.threads;
+    spec.prune = args.prune;
     if let Some(w) = &args.workload {
         spec.workloads = vec![w.to_ascii_uppercase()];
     }
@@ -252,6 +358,9 @@ fn main() {
             .map(|b| format!(", budget {b}"))
             .unwrap_or_default()
     );
+    if spec.prune {
+        eprintln!("# campaign: static crash-site pruning ON (disable with --no-prune)");
+    }
     let quiet = args.quiet;
     let report = run_campaign(&spec, move |done, total| {
         if !quiet && (done % 50 == 0 || done == total) {

@@ -1,22 +1,37 @@
 //! `lpcuda-lint` — the CLI surface of the static LP-safety analysis.
 //!
-//! Runs `lp_directive::lint` (pragma rules LP001–LP005 plus the
-//! CFG/dataflow rules LP000, LP010–LP015) over CUDA sources and prints
-//! rustc-style diagnostics with source spans and caret underlines, or a
-//! machine-readable JSON report for CI:
+//! Runs `lp_directive::lint` (pragma rules LP001–LP005, the CFG/dataflow
+//! rules LP000, LP010–LP015, and the interprocedural persist-order
+//! contract rules LP016–LP021) over CUDA sources and prints rustc-style
+//! diagnostics with source spans and caret underlines, or a
+//! machine-readable report for CI:
 //!
 //! ```text
 //! lpcuda-lint kernel.cu               # human-readable diagnostics
 //! lpcuda-lint --json src/*.cu         # JSON report on stdout
+//! lpcuda-lint --sarif src/*.cu        # SARIF 2.1.0 on stdout (CI upload)
 //! lpcuda-lint --fixtures              # self-check over the embedded
 //!                                     # clean corpus (CI smoke)
 //! ```
 //!
+//! Both machine formats are deterministic: findings are sorted by
+//! (file, line, column, rule) regardless of input order, and the JSON
+//! report carries a `schema_version` so CI consumers can pin the shape.
+//! The JSON report also includes the per-kernel `relevance` summary the
+//! fault campaign's static crash-site pruner is built on.
+//!
 //! Exit status: 0 when every file lints clean, 1 when any finding is
 //! reported, 2 on usage or I/O errors.
 
+use lp_directive::analysis::interproc::summarize_device_fns;
+use lp_directive::analysis::relevance::kernel_relevance;
+use lp_directive::kernel_scan::find_kernels;
 use lp_directive::{lint, Diagnostic};
 use serde_json::json;
+
+/// Version of the `--json` report shape. Bump on any breaking change to
+/// the emitted keys; CI consumers assert on it.
+const SCHEMA_VERSION: u32 = 1;
 
 /// The clean benchmark corpus, embedded so the binary can self-check
 /// without a source checkout (`--fixtures`). Kept in sync with
@@ -45,17 +60,19 @@ const CLEAN_CORPUS: [(&str, &str); 5] = [
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: lpcuda-lint [--json] [--fixtures] [FILES...]");
+    eprintln!("usage: lpcuda-lint [--json | --sarif] [--fixtures] [FILES...]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut json_mode = false;
+    let mut sarif_mode = false;
     let mut fixtures = false;
     let mut files = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--json" => json_mode = true,
+            "--sarif" => sarif_mode = true,
             "--fixtures" => fixtures = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -64,6 +81,10 @@ fn main() {
             }
             path => files.push(path.to_string()),
         }
+    }
+    if json_mode && sarif_mode {
+        eprintln!("lpcuda-lint: --json and --sarif are mutually exclusive");
+        usage();
     }
     if !fixtures && files.is_empty() {
         usage();
@@ -86,51 +107,138 @@ fn main() {
         }
     }
 
-    let mut total = 0usize;
-    let mut findings = Vec::new();
+    // Collect everything first so machine output can be sorted
+    // deterministically, independent of CLI argument order.
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
     for (name, src) in &inputs {
         for d in lint(src) {
-            total += 1;
-            if json_mode {
-                findings.push(json!({
-                    "file": name,
-                    "code": d.code,
-                    "line": d.span.line,
-                    "col": d.span.col,
-                    "end_col": d.span.end_col,
-                    "message": d.message,
-                }));
-            } else {
-                print!("{}", render(name, src, &d));
-            }
+            findings.push((name.clone(), d));
         }
     }
+    findings.sort_by(|(fa, da), (fb, db)| {
+        (fa, da.span.line, da.span.col, da.code).cmp(&(fb, db.span.line, db.span.col, db.code))
+    });
+    let total = findings.len();
 
     if json_mode {
-        let report = json!({
-            "files": inputs.len(),
-            "total": total,
-            "findings": findings,
-        });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serialises")
-        );
-    } else if total == 0 {
-        println!(
-            "lpcuda-lint: {} file{} clean",
-            inputs.len(),
-            if inputs.len() == 1 { "" } else { "s" }
-        );
+        println!("{}", json_report(&inputs, &findings));
+    } else if sarif_mode {
+        println!("{}", sarif_report(&findings));
     } else {
-        println!(
-            "lpcuda-lint: {total} finding{} in {} file{}",
-            if total == 1 { "" } else { "s" },
-            inputs.len(),
-            if inputs.len() == 1 { "" } else { "s" }
-        );
+        for (name, d) in &findings {
+            let src = &inputs.iter().find(|(n, _)| n == name).expect("input").1;
+            print!("{}", render(name, src, d));
+        }
+        if total == 0 {
+            println!(
+                "lpcuda-lint: {} file{} clean",
+                inputs.len(),
+                if inputs.len() == 1 { "" } else { "s" }
+            );
+        } else {
+            println!(
+                "lpcuda-lint: {total} finding{} in {} file{}",
+                if total == 1 { "" } else { "s" },
+                inputs.len(),
+                if inputs.len() == 1 { "" } else { "s" }
+            );
+        }
     }
     std::process::exit(i32::from(total > 0));
+}
+
+/// The `--json` report: schema-versioned, sorted findings, plus the
+/// per-kernel static `relevance` summary (what the campaign pruner sees).
+fn json_report(inputs: &[(String, String)], findings: &[(String, Diagnostic)]) -> String {
+    let findings_json: Vec<_> = findings
+        .iter()
+        .map(|(file, d)| {
+            json!({
+                "file": file,
+                "code": d.code,
+                "line": d.span.line,
+                "col": d.span.col,
+                "end_col": d.span.end_col,
+                "message": d.message,
+            })
+        })
+        .collect();
+
+    let mut sorted_inputs: Vec<&(String, String)> = inputs.iter().collect();
+    sorted_inputs.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let relevance: Vec<_> = sorted_inputs
+        .iter()
+        .map(|(name, src)| {
+            let lines: Vec<&str> = src.lines().collect();
+            let kernels = find_kernels(&lines).unwrap_or_default();
+            let fns = summarize_device_fns(&lines);
+            json!({
+                "file": name,
+                "kernels": kernel_relevance(&lines, &kernels, &fns),
+            })
+        })
+        .collect();
+
+    let report = json!({
+        "schema_version": SCHEMA_VERSION,
+        "files": inputs.len(),
+        "total": findings.len(),
+        "findings": findings_json,
+        "relevance": relevance,
+    });
+    serde_json::to_string_pretty(&report).expect("report serialises")
+}
+
+/// The `--sarif` report: SARIF 2.1.0, one run, one result per finding,
+/// rule metadata deduplicated from the findings actually reported.
+fn sarif_report(findings: &[(String, Diagnostic)]) -> String {
+    let mut rule_ids: Vec<&str> = findings.iter().map(|(_, d)| d.code).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules: Vec<_> = rule_ids
+        .iter()
+        .map(|id| {
+            json!({
+                "id": id,
+                "name": id,
+                "defaultConfiguration": json!({ "level": "error" }),
+            })
+        })
+        .collect();
+    let results: Vec<_> = findings
+        .iter()
+        .map(|(file, d)| {
+            json!({
+                "ruleId": d.code,
+                "level": "error",
+                "message": json!({ "text": d.message }),
+                "locations": json!([json!({
+                    "physicalLocation": json!({
+                        "artifactLocation": json!({ "uri": file }),
+                        "region": json!({
+                            "startLine": d.span.line,
+                            "startColumn": d.span.col,
+                            "endColumn": d.span.end_col,
+                        }),
+                    }),
+                })]),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": json!([json!({
+            "tool": json!({
+                "driver": json!({
+                    "name": "lpcuda-lint",
+                    "rules": rules,
+                }),
+            }),
+            "results": results,
+        })]),
+    });
+    serde_json::to_string_pretty(&doc).expect("sarif serialises")
 }
 
 /// Renders one diagnostic rustc-style: code + message, file:line:col

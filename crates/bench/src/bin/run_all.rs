@@ -118,6 +118,23 @@ fn main() {
         }
     }
 
+    // E20: static crash-site pruning — the campaign's prune-smoke gate
+    // runs the same sampled sweep pruned and unpruned and exits nonzero
+    // unless the failure verdicts agree and the pruner actually pruned.
+    if selected(only.as_deref(), "prune_smoke", "E20 / static pruning") {
+        ran += 1;
+        println!("\n================================================================");
+        println!("== E20 / static pruning  (campaign --prune-smoke)");
+        println!("================================================================\n");
+        let status = Command::new(bin_dir.join("campaign"))
+            .args(["--prune-smoke", "--scale", "test"])
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn campaign: {e}"));
+        if !status.success() {
+            failed.push("prune_smoke");
+        }
+    }
+
     if ran == 0 {
         eprintln!(
             "run_all: --only {:?} matched no experiment",

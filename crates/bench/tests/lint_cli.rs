@@ -1,0 +1,127 @@
+//! CLI-level tests for `lpcuda-lint`: the machine-readable reports are
+//! part of the tool's contract with CI, so their shape is pinned by a
+//! byte-stable golden (regenerate with `LP_UPDATE_GOLDENS=1`).
+
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_lpcuda-lint");
+const GOLDEN: &str = "tests/goldens/lint_cli.json";
+
+/// Seeded fixtures from the directive crate, reachable because cargo runs
+/// integration tests with the crate root as the working directory.
+const FIX_LP016: &str = "../directive/tests/fixtures/seeded/lp016_helper_escape.cu";
+const FIX_LP021: &str = "../directive/tests/fixtures/seeded/lp021_unsatisfiable_pin.cu";
+
+fn run(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(BIN).args(args).output().expect("spawn lint");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+/// Object field lookup that panics with the missing key's name — the
+/// vendored `serde_json::Value` has no `Index` impls.
+fn key<'a>(v: &'a serde_json::Value, k: &str) -> &'a serde_json::Value {
+    v.get(k).unwrap_or_else(|| panic!("missing key {k:?}"))
+}
+
+/// Array element lookup.
+fn at(v: &serde_json::Value, i: usize) -> &serde_json::Value {
+    &v.as_array().expect("array")[i]
+}
+
+#[test]
+fn embedded_clean_corpus_lints_clean() {
+    let (stdout, _, code) = run(&["--fixtures"]);
+    assert_eq!(code, 0, "clean corpus must stay clean: {stdout}");
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn json_report_matches_the_golden_byte_for_byte() {
+    // Files deliberately passed in reverse lexical order: the report
+    // sorts findings and relevance by (file, line, col, rule), so the
+    // output must not depend on argument order.
+    let (stdout, _, code) = run(&["--json", FIX_LP021, FIX_LP016]);
+    assert_eq!(code, 1, "seeded fixtures must produce findings");
+    if std::env::var_os("LP_UPDATE_GOLDENS").is_some() {
+        std::fs::write(GOLDEN, &stdout).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden {GOLDEN} ({e}); regenerate with LP_UPDATE_GOLDENS=1")
+    });
+    assert_eq!(
+        stdout, want,
+        "JSON report drifted from {GOLDEN}; regenerate with LP_UPDATE_GOLDENS=1 \
+         if the change is intentional"
+    );
+}
+
+#[test]
+fn json_report_is_argument_order_invariant() {
+    let (fwd, _, _) = run(&["--json", FIX_LP016, FIX_LP021]);
+    let (rev, _, _) = run(&["--json", FIX_LP021, FIX_LP016]);
+    assert_eq!(fwd, rev);
+}
+
+#[test]
+fn json_report_carries_schema_version_and_relevance() {
+    let (stdout, _, _) = run(&["--json", FIX_LP016]);
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(1),
+        "schema_version pins the report shape for CI"
+    );
+    let kernels = key(at(key(&doc, "relevance"), 0), "kernels");
+    assert_eq!(key(at(kernels, 0), "kernel").as_str(), Some("scatter"));
+    assert_eq!(key(at(kernels, 0), "helper_calls").as_u64(), Some(1));
+}
+
+#[test]
+fn sarif_report_is_valid_sarif_2_1_0() {
+    let (stdout, _, code) = run(&["--sarif", FIX_LP021, FIX_LP016]);
+    assert_eq!(code, 1);
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(key(&doc, "version").as_str(), Some("2.1.0"));
+    let run0 = at(key(&doc, "runs"), 0);
+    assert_eq!(
+        key(key(key(run0, "tool"), "driver"), "name").as_str(),
+        Some("lpcuda-lint")
+    );
+    let results = key(run0, "results").as_array().expect("results array");
+    assert!(!results.is_empty());
+    // Sorted by (file, line, col, rule): LP016's fixture sorts before
+    // LP021's lexically, whatever order the CLI received them in.
+    let ids: Vec<&str> = results
+        .iter()
+        .map(|r| key(r, "ruleId").as_str().expect("ruleId"))
+        .collect();
+    assert_eq!(ids, vec!["LP016", "LP021"]);
+    for r in results {
+        let region = key(
+            key(at(key(r, "locations"), 0), "physicalLocation"),
+            "region",
+        );
+        assert!(key(region, "startLine").as_u64().is_some());
+        assert!(key(region, "startColumn").as_u64().is_some());
+    }
+}
+
+#[test]
+fn json_and_sarif_are_mutually_exclusive() {
+    let (_, stderr, code) = run(&["--json", "--sarif", FIX_LP016]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("mutually exclusive"));
+}
+
+#[test]
+fn golden_fixture_paths_exist() {
+    // Guards the constants above against fixture renames.
+    assert!(Path::new(FIX_LP016).exists(), "{FIX_LP016}");
+    assert!(Path::new(FIX_LP021).exists(), "{FIX_LP021}");
+}

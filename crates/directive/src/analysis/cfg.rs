@@ -7,7 +7,7 @@
 //! control dependence the divergence rules (LP010/LP012) consume, while
 //! the dominator-based rules (LP011/LP014) use the edge lists.
 
-use super::ir::{KernelIr, Stmt, StmtKind};
+use super::ir::{FenceScope, KernelIr, Stmt, StmtKind};
 use crate::lexer::tokenize;
 
 /// A control-flow graph: nodes, forward edges, and the reverse edges the
@@ -56,6 +56,20 @@ pub enum NodeKind {
     },
     /// `__syncthreads()`.
     Sync,
+    /// A `__threadfence*` memory fence — a durability point for the
+    /// epoch/SBRP persist-order analyses.
+    Fence {
+        /// Fence scope.
+        scope: FenceScope,
+    },
+    /// A statement-expression call to a (possibly `__device__`) helper.
+    /// The interprocedural pass attaches the callee's effect summary.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions, verbatim.
+        args: Vec<String>,
+    },
     /// An `lpcuda_checksum` fold site.
     Fold {
         /// Checksum-table identifier.
@@ -240,6 +254,11 @@ impl Builder {
     fn lower_simple(&self, kind: &StmtKind) -> NodeKind {
         match kind {
             StmtKind::Sync => NodeKind::Sync,
+            StmtKind::Fence { scope } => NodeKind::Fence { scope: *scope },
+            StmtKind::Call { name, args } => NodeKind::Call {
+                name: name.clone(),
+                args: args.clone(),
+            },
             StmtKind::Fold { table, keys } => NodeKind::Fold {
                 table: table.clone(),
                 keys: keys.clone(),
@@ -447,6 +466,27 @@ __global__ void k(float *out) {
             .filter(|n| matches!(n.kind, NodeKind::Store { .. }))
             .count();
         assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn fences_and_calls_lower_to_their_own_nodes() {
+        let cfg = cfg_of(
+            r#"
+__global__ void k(float *p) {
+    p[blockIdx.x] = 1.0f;
+    __threadfence();
+    publish(p, blockIdx.x);
+}
+"#,
+        );
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Fence { scope } if scope == FenceScope::Device)));
+        assert!(cfg.nodes.iter().any(
+            |n| matches!(&n.kind, NodeKind::Call { name, args } if name == "publish"
+                && args.len() == 2)
+        ));
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! Interprocedural call graph and effect summaries over `__device__`
+//! helpers.
+//!
+//! The intra-kernel rules (LP010–LP014) see one `__global__` body at a
+//! time, so a store buried in a `__device__` helper is invisible to them —
+//! the classic escape hatch for a persist-order bug. This module scans the
+//! source for `__device__` function definitions, lowers each body through
+//! the same mini-IR/CFG pipeline as the kernels, and computes a
+//! **context-insensitive effect summary** per function:
+//!
+//! * which *parameters* the function stores through (directly or via its
+//!   own callees),
+//! * whether a checksum fold or a fence executes inside it, and at what
+//!   scope,
+//! * which helpers it calls.
+//!
+//! Summaries close transitively over the call graph by fixpoint, so a
+//! store three helpers deep still surfaces at the kernel's call site. The
+//! contract rules (LP016–LP021) consume the result: a call argument whose
+//! root identifier is a kernel pointer parameter, passed into a stored-to
+//! parameter slot, is an interprocedural persistent store.
+
+use super::cfg::{build, NodeKind};
+use super::ir::{parse_kernel, FenceScope};
+use crate::kernel_scan::KernelSpan;
+use crate::lexer::{tokenize, value_identifiers};
+use std::collections::BTreeMap;
+
+/// Blanks `//` and `/* … */` comment content line by line (block state
+/// carries across lines), keeping line indices aligned with the input.
+fn strip_comments(lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut in_block = false;
+    for line in lines {
+        let mut kept = String::with_capacity(line.len());
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_block {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block = false;
+                }
+            } else if c == '/' && chars.peek() == Some(&'/') {
+                break;
+            } else if c == '/' && chars.peek() == Some(&'*') {
+                chars.next();
+                in_block = true;
+            } else {
+                kept.push(c);
+            }
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// One call site recorded in a summary.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Callee name.
+    pub callee: String,
+    /// Argument expressions, verbatim.
+    pub args: Vec<String>,
+}
+
+/// The transitive effect summary of one `__device__` function.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Parameter names, in declaration order.
+    pub params: Vec<String>,
+    /// Indices into `params` the function stores through, directly or via
+    /// any callee (context-insensitive: any call marks the slot).
+    pub stores_to: Vec<usize>,
+    /// Whether an `lpcuda_checksum` fold executes inside the function or
+    /// any callee.
+    pub has_fold: bool,
+    /// The strongest fence scope executed inside the function or any
+    /// callee, when one exists.
+    pub max_fence: Option<FenceScope>,
+    /// Direct call sites inside the function body.
+    pub calls: Vec<CallSite>,
+}
+
+/// Scans `lines` for `__device__` function definitions. Declarations
+/// (prototypes ending in `;` before any `{`) and `__device__` variable
+/// qualifiers are skipped; a body that never closes is skipped rather than
+/// an error — the lint front end must not reject what nvcc accepts.
+pub fn find_device_fns(lines: &[&str]) -> Vec<KernelSpan> {
+    // Scan a comment-stripped view so a `__device__` inside a doc comment
+    // does not masquerade as a definition; indices map 1:1 to `lines`.
+    let stripped = strip_comments(lines);
+    let stripped_refs: Vec<&str> = stripped.iter().map(String::as_str).collect();
+    let lines = &stripped_refs[..];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let Some(pos) = lines[i].find("__device__") else {
+            i += 1;
+            continue;
+        };
+        if lines[i].contains("__global__") {
+            // `__device__ __global__` never occurs; a `__global__` on the
+            // same line means this is the kernel scanner's business.
+            i += 1;
+            continue;
+        }
+        // Gather the header up to '(' (may span lines).
+        let mut header = lines[i][pos..].to_string();
+        let mut j = i;
+        while !header.contains('(') && !header.contains(';') && j + 1 < lines.len() {
+            j += 1;
+            header.push(' ');
+            header.push_str(lines[j]);
+        }
+        if !header.contains('(')
+            || header
+                .find(';')
+                .is_some_and(|s| s < header.find('(').unwrap())
+        {
+            i = j + 1; // a `__device__` variable, not a function
+            continue;
+        }
+        let name = header
+            .split('(')
+            .next()
+            .unwrap_or("")
+            .split_whitespace()
+            .last()
+            .unwrap_or("")
+            .trim_matches('*')
+            .to_string();
+        while !header.contains(')') && j + 1 < lines.len() {
+            j += 1;
+            header.push(' ');
+            header.push_str(lines[j]);
+        }
+        let params = header
+            .split_once('(')
+            .map(|(_, rest)| rest)
+            .and_then(|r| r.rsplit_once(')').map(|(p, _)| p))
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        // Find the body braces; a `;` first means this was a prototype.
+        let mut depth = 0i64;
+        let mut open_line = None;
+        let mut close_line = None;
+        let mut k = j;
+        'scan: while k < lines.len() {
+            for c in lines[k].chars() {
+                match c {
+                    ';' if open_line.is_none() => break 'scan, // prototype
+                    '{' => {
+                        if open_line.is_none() {
+                            open_line = Some(k);
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 && open_line.is_some() {
+                            close_line = Some(k);
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let (Some(open), Some(close)) = (open_line, close_line) else {
+            i = k.max(j) + 1;
+            continue;
+        };
+        out.push(KernelSpan {
+            name,
+            params,
+            start_line: i,
+            body_open_line: open,
+            body_close_line: close,
+        });
+        i = close + 1;
+    }
+    out
+}
+
+/// Builds the transitively-closed summary map over every `__device__`
+/// function in `lines`.
+pub fn summarize_device_fns(lines: &[&str]) -> BTreeMap<String, FnSummary> {
+    let mut out: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for span in find_device_fns(lines) {
+        let ir = parse_kernel(lines, &span);
+        let cfg = build(&ir);
+        let mut s = FnSummary {
+            params: ir.param_names.clone(),
+            ..FnSummary::default()
+        };
+        for node in &cfg.nodes {
+            match &node.kind {
+                NodeKind::Store { ptr, .. } => {
+                    if let Some(idx) = s.params.iter().position(|p| p == ptr) {
+                        if !s.stores_to.contains(&idx) {
+                            s.stores_to.push(idx);
+                        }
+                    }
+                }
+                NodeKind::Fold { .. } => s.has_fold = true,
+                NodeKind::Fence { scope } => {
+                    s.max_fence = Some(s.max_fence.map_or(*scope, |m| m.max(*scope)));
+                }
+                NodeKind::Call { name, args } => s.calls.push(CallSite {
+                    line: node.line,
+                    callee: name.clone(),
+                    args: args.clone(),
+                }),
+                _ => {}
+            }
+        }
+        s.stores_to.sort_unstable();
+        out.insert(span.name.clone(), s);
+    }
+    close_summaries(&mut out);
+    out
+}
+
+/// Fixpoint: propagates callee effects (stored-to slots, folds, fences)
+/// up through callers until nothing changes.
+fn close_summaries(fns: &mut BTreeMap<String, FnSummary>) {
+    let names: Vec<String> = fns.keys().cloned().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for name in &names {
+            let caller = fns.get(name).cloned().expect("caller present");
+            let mut stores_to = caller.stores_to.clone();
+            let mut has_fold = caller.has_fold;
+            let mut max_fence = caller.max_fence;
+            for call in &caller.calls {
+                let Some(callee) = fns.get(&call.callee) else {
+                    continue;
+                };
+                has_fold |= callee.has_fold;
+                if let Some(f) = callee.max_fence {
+                    max_fence = Some(max_fence.map_or(f, |m| m.max(f)));
+                }
+                for &slot in &callee.stores_to {
+                    let Some(arg) = call.args.get(slot) else {
+                        continue;
+                    };
+                    let Some(root) = arg_root(arg) else {
+                        continue;
+                    };
+                    if let Some(idx) = caller.params.iter().position(|p| *p == root) {
+                        if !stores_to.contains(&idx) {
+                            stores_to.push(idx);
+                        }
+                    }
+                }
+            }
+            stores_to.sort_unstable();
+            let entry = fns.get_mut(name).expect("caller present");
+            if stores_to != entry.stores_to
+                || has_fold != entry.has_fold
+                || max_fence != entry.max_fence
+            {
+                entry.stores_to = stores_to;
+                entry.has_fold = has_fold;
+                entry.max_fence = max_fence;
+                changed = true;
+            }
+        }
+    }
+}
+
+/// The root identifier of an argument expression: the first value
+/// identifier (`out` for `&out[i]`, `out + 4`, `out`). `None` for
+/// literal-only arguments.
+pub fn arg_root(arg: &str) -> Option<String> {
+    value_identifiers(&tokenize(arg)).into_iter().next()
+}
+
+/// The stores a call makes through the *caller's* pointer parameters:
+/// for each stored-to slot of `callee`, the caller parameter the matching
+/// argument is rooted at. Returns `(caller_param, callee_param)` pairs.
+pub fn escaping_stores(
+    callee: &FnSummary,
+    args: &[String],
+    caller_pointer_params: &[String],
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for &slot in &callee.stores_to {
+        let Some(arg) = args.get(slot) else { continue };
+        let Some(root) = arg_root(arg) else { continue };
+        if caller_pointer_params.contains(&root) {
+            let callee_param = callee
+                .params
+                .get(slot)
+                .cloned()
+                .unwrap_or_else(|| format!("#{slot}"));
+            out.push((root, callee_param));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<&str> {
+        src.lines().collect()
+    }
+
+    const HELPERS: &str = r#"
+__device__ void sink(float *dst, int i, float v) {
+    dst[i] = v;
+}
+
+__device__ void relay(float *buf, int i) {
+    sink(buf, i, 1.0f);
+}
+
+__device__ float pure_read(const float *src, int i) {
+    return src[i];
+}
+
+__device__ void fenced(float *dst, int i) {
+    dst[i] = 2.0f;
+    __threadfence();
+}
+
+__global__ void k(float *out, float *in, int n) {
+    relay(out, threadIdx.x);
+}
+"#;
+
+    #[test]
+    fn finds_device_functions_not_kernels_or_prototypes() {
+        let src = lines(HELPERS);
+        let fns = find_device_fns(&src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["sink", "relay", "pure_read", "fenced"]);
+    }
+
+    #[test]
+    fn prototypes_and_device_variables_are_skipped() {
+        let src = lines(
+            r#"
+__device__ int counter;
+__device__ void proto(float *p, int i);
+__device__ void real(float *p) {
+    p[0] = 1.0f;
+}
+"#,
+        );
+        let fns = find_device_fns(&src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn direct_store_summary() {
+        let fns = summarize_device_fns(&lines(HELPERS));
+        let sink = &fns["sink"];
+        assert_eq!(sink.params, vec!["dst", "i", "v"]);
+        assert_eq!(sink.stores_to, vec![0]);
+        assert!(!sink.has_fold);
+        assert!(fns["pure_read"].stores_to.is_empty());
+    }
+
+    #[test]
+    fn stores_propagate_transitively_through_the_call_graph() {
+        let fns = summarize_device_fns(&lines(HELPERS));
+        let relay = &fns["relay"];
+        assert_eq!(relay.stores_to, vec![0], "sink's store surfaces in relay");
+    }
+
+    #[test]
+    fn fence_scope_propagates_to_callers() {
+        let src = lines(
+            r#"
+__device__ void leaf(float *p) {
+    p[0] = 1.0f;
+    __threadfence_block();
+}
+__device__ void mid(float *p) {
+    leaf(p);
+    __threadfence();
+}
+__device__ void top(float *p) {
+    mid(p);
+}
+"#,
+        );
+        let fns = summarize_device_fns(&src);
+        assert_eq!(fns["leaf"].max_fence, Some(FenceScope::Block));
+        assert_eq!(fns["mid"].max_fence, Some(FenceScope::Device));
+        assert_eq!(fns["top"].max_fence, Some(FenceScope::Device));
+        assert_eq!(fns["top"].stores_to, vec![0]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = lines(
+            r#"
+__device__ void ping(float *p, int i) {
+    pong(p, i);
+}
+__device__ void pong(float *p, int i) {
+    if (i > 0) {
+        p[i] = 1.0f;
+        ping(p, i - 1);
+    }
+}
+"#,
+        );
+        let fns = summarize_device_fns(&src);
+        assert_eq!(fns["ping"].stores_to, vec![0]);
+        assert_eq!(fns["pong"].stores_to, vec![0]);
+    }
+
+    #[test]
+    fn escaping_stores_maps_arguments_to_caller_params() {
+        let fns = summarize_device_fns(&lines(HELPERS));
+        let esc = escaping_stores(
+            &fns["relay"],
+            &["out".to_string(), "threadIdx.x".to_string()],
+            &["out".to_string(), "in".to_string()],
+        );
+        assert_eq!(esc, vec![("out".to_string(), "buf".to_string())]);
+        // A literal or local argument escapes nothing.
+        let esc = escaping_stores(
+            &fns["relay"],
+            &["tmp".to_string(), "0".to_string()],
+            &["out".to_string()],
+        );
+        assert!(esc.is_empty());
+    }
+
+    #[test]
+    fn arg_roots() {
+        assert_eq!(arg_root("&out[i]"), Some("out".to_string()));
+        assert_eq!(arg_root("out + 4"), Some("out".to_string()));
+        assert_eq!(arg_root("42"), None);
+    }
+
+    #[test]
+    fn device_mentions_inside_comments_are_not_definitions() {
+        let src = r#"
+/* This helper calls a __device__ function that validates (spans
+ * multiple lines). */
+// another __device__ mention(here)
+__device__ void real(float *p, int i) {
+    p[i] = 1.0f;
+}
+"#;
+        let lines: Vec<&str> = src.lines().collect();
+        let fns = summarize_device_fns(&lines);
+        assert_eq!(fns.len(), 1, "got: {fns:#?}");
+        assert_eq!(fns["real"].stores_to, vec![0]);
+    }
+}

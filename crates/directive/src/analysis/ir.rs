@@ -62,6 +62,30 @@ pub struct Stmt {
     pub kind: StmtKind,
 }
 
+/// The scope of a `__threadfence*` memory fence, ordered by strength:
+/// a block fence orders writes for the block, a device fence for the
+/// whole GPU, a system fence for the host too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FenceScope {
+    /// `__threadfence_block()`.
+    Block,
+    /// `__threadfence()`.
+    Device,
+    /// `__threadfence_system()`.
+    System,
+}
+
+impl FenceScope {
+    /// The intrinsic name for this scope, for diagnostics.
+    pub fn intrinsic(self) -> &'static str {
+        match self {
+            FenceScope::Block => "__threadfence_block",
+            FenceScope::Device => "__threadfence",
+            FenceScope::System => "__threadfence_system",
+        }
+    }
+}
+
 /// The statement forms the analysis distinguishes.
 #[derive(Debug, Clone)]
 pub enum StmtKind {
@@ -84,6 +108,22 @@ pub enum StmtKind {
     },
     /// `__syncthreads();`.
     Sync,
+    /// `__threadfence()` / `__threadfence_block()` /
+    /// `__threadfence_system()`: a memory fence at the given scope — the
+    /// durability point the epoch/SBRP contracts order stores against.
+    Fence {
+        /// Fence scope.
+        scope: FenceScope,
+    },
+    /// A statement-expression call `helper(a, b);`. The interprocedural
+    /// pass resolves the callee against the `__device__` function
+    /// summaries; unknown callees stay effect-free.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions, verbatim.
+        args: Vec<String>,
+    },
     /// `#pragma nvm lpcuda_checksum(op, table, key, …)` — a fold site.
     Fold {
         /// Checksum-table identifier.
@@ -292,6 +332,13 @@ impl Parser {
                         kind: StmtKind::Sync,
                     }];
                 }
+                if let Some(scope) = fence_scope(&tok) {
+                    self.skip_through_semicolon();
+                    return vec![Stmt {
+                        line,
+                        kind: StmtKind::Fence { scope },
+                    }];
+                }
                 let toks = self.gather_simple();
                 classify_simple(&toks, line)
             }
@@ -436,8 +483,21 @@ impl Parser {
     }
 }
 
+/// The fence scope of a `__threadfence*` intrinsic token, if it is one.
+fn fence_scope(tok: &Token) -> Option<FenceScope> {
+    if tok.is_ident("__threadfence") {
+        Some(FenceScope::Device)
+    } else if tok.is_ident("__threadfence_block") {
+        Some(FenceScope::Block)
+    } else if tok.is_ident("__threadfence_system") {
+        Some(FenceScope::System)
+    } else {
+        None
+    }
+}
+
 /// Classifies a `;`-terminated statement's tokens (terminator excluded)
-/// into declarations, assignments, or an opaque statement.
+/// into declarations, assignments, calls, or an opaque statement.
 fn classify_simple(toks: &[Token], line: usize) -> Vec<Stmt> {
     if toks.is_empty() {
         return Vec::new();
@@ -448,12 +508,62 @@ fn classify_simple(toks: &[Token], line: usize) -> Vec<Stmt> {
     if let Some(stmt) = classify_assign(toks, line) {
         return vec![stmt];
     }
+    if let Some(stmt) = classify_call(toks, line) {
+        return vec![stmt];
+    }
     vec![Stmt {
         line,
         kind: StmtKind::Other {
             text: detokenize(toks),
         },
     }]
+}
+
+/// Recognises a whole-statement call expression `name(arg, …)` — the form
+/// a `__device__` helper invocation takes when its result is discarded.
+/// Anything with leading/trailing tokens outside the call (casts, member
+/// calls, arithmetic) stays opaque.
+fn classify_call(toks: &[Token], line: usize) -> Option<Stmt> {
+    let Token::Ident(name) = toks.first()? else {
+        return None;
+    };
+    if !toks.get(1)?.is_punct("(") || !toks.last()?.is_punct(")") {
+        return None;
+    }
+    // The opening paren must match the final token, or this is something
+    // like `f(a) + g(b)` and not a plain call statement.
+    let inner = &toks[2..toks.len() - 1];
+    let mut depth = 0i64;
+    let mut args: Vec<Vec<Token>> = vec![Vec::new()];
+    for t in inner {
+        match t.text() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // `)` closing the call before the end
+                }
+            }
+            "," if depth == 0 => {
+                args.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        args.last_mut().expect("non-empty").push(t.clone());
+    }
+    let args: Vec<String> = args
+        .into_iter()
+        .map(|a| detokenize(&a))
+        .filter(|a| !a.is_empty())
+        .collect();
+    Some(Stmt {
+        line,
+        kind: StmtKind::Call {
+            name: name.clone(),
+            args,
+        },
+    })
 }
 
 /// Parses `qualifiers type a = x, b[N], c;` into one [`StmtKind::Decl`]
@@ -717,7 +827,7 @@ __global__ void k(float *p) {
     }
 
     #[test]
-    fn unrecognised_statements_become_other() {
+    fn call_statements_are_recognised_and_return_stays_other() {
         let ir = ir_of(
             r#"
 __global__ void k(int *bins, int x) {
@@ -727,8 +837,77 @@ __global__ void k(int *bins, int x) {
 "#,
         );
         assert_eq!(ir.body.len(), 2);
-        assert!(matches!(&ir.body[0].kind, StmtKind::Other { text } if text.contains("atomicAdd")));
+        let StmtKind::Call { name, args } = &ir.body[0].kind else {
+            panic!("expected call, got {:?}", ir.body[0]);
+        };
+        assert_eq!(name, "atomicAdd");
+        assert_eq!(args.len(), 2);
+        assert!(args[0].contains("bins"));
+        assert!(matches!(&ir.body[1].kind, StmtKind::Other { text } if text == "return"));
         assert!(!ir.is_protected());
+    }
+
+    #[test]
+    fn fences_parse_with_their_scopes() {
+        let ir = ir_of(
+            r#"
+__global__ void k(float *p) {
+    p[blockIdx.x] = 1.0f;
+    __threadfence_block();
+    __threadfence();
+    __threadfence_system();
+}
+"#,
+        );
+        let scopes: Vec<FenceScope> = ir
+            .body
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Fence { scope } => Some(*scope),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            scopes,
+            vec![FenceScope::Block, FenceScope::Device, FenceScope::System]
+        );
+        assert!(FenceScope::Block < FenceScope::Device);
+        assert!(FenceScope::Device < FenceScope::System);
+    }
+
+    #[test]
+    fn call_arguments_split_at_top_level_commas_only() {
+        let ir = ir_of(
+            r#"
+__global__ void k(float *p, float *q, int n) {
+    helper(p, f(q, n), n + 1);
+    g();
+}
+"#,
+        );
+        let StmtKind::Call { name, args } = &ir.body[0].kind else {
+            panic!("expected call, got {:?}", ir.body[0]);
+        };
+        assert_eq!(name, "helper");
+        assert_eq!(args.len(), 3);
+        assert!(args[1].contains('('), "nested call stays whole: {args:?}");
+        let StmtKind::Call { name, args } = &ir.body[1].kind else {
+            panic!("expected call, got {:?}", ir.body[1]);
+        };
+        assert_eq!(name, "g");
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn expressions_mixing_calls_stay_other() {
+        let ir = ir_of(
+            r#"
+__global__ void k(float *p) {
+    f(1) + g(2);
+}
+"#,
+        );
+        assert!(matches!(&ir.body[0].kind, StmtKind::Other { .. }));
     }
 
     #[test]

@@ -12,14 +12,27 @@
 //! 3. [`dom`] — dominators and post-dominators over that graph;
 //! 4. [`taint`] — thread-dependence and block-dependence dataflow (taint
 //!    seeded at `threadIdx` / `blockIdx`, with implicit control flows);
-//! 5. [`rules`] — the flow-sensitive rules LP010–LP014.
+//! 5. [`interproc`] — `__device__` helper call graph with
+//!    context-insensitive summaries (which pointer parameters a helper
+//!    stores through, its folds, its strongest fence, its callees);
+//! 6. [`rules`] — the flow-sensitive rules LP010–LP015;
+//! 7. [`contract`] — the interprocedural persist-order rules LP016–LP021:
+//!    each kernel checked against its backend's durability point
+//!    (checksum fold, epoch fence, release-scope drain, commit token —
+//!    from `lp_persist::DurabilityContract`, the same source the runtime
+//!    backends delegate to);
+//! 8. [`relevance`] — per-kernel summaries plus the contract/geometry
+//!    site facts `lp-fault`'s static crash-site pruner consumes.
 //!
 //! [`lint::lint`](crate::lint::lint) runs all of it; the `lpcuda-lint`
 //! binary in `lp-bench` gives it a rustc-style CLI surface.
 
 pub mod cfg;
+pub mod contract;
 pub mod dom;
+pub mod interproc;
 pub mod ir;
+pub mod relevance;
 pub mod rules;
 pub mod taint;
 

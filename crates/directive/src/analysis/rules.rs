@@ -9,7 +9,9 @@
 //! (LP010, LP012, LP014). See `DESIGN.md` §3.11 for the coverage table.
 
 use super::cfg::{build, Cfg, NodeKind};
+use super::contract;
 use super::dom::{dominators, post_dominators};
+use super::interproc::summarize_device_fns;
 use super::ir::{parse_kernel, KernelIr};
 use super::taint::{self, Taint};
 use crate::error::{Diagnostic, Span};
@@ -20,12 +22,16 @@ use crate::lexer::{tokenize, value_identifiers};
 /// local definition the dominance rules should demand.
 const BUILTINS: [&str; 5] = ["threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize"];
 
-/// Runs LP010–LP014 over every kernel in `lines`.
+/// Runs LP010–LP014 plus the interprocedural contract rules LP016–LP021
+/// over every kernel in `lines`. The `__device__` helpers are summarised
+/// once and shared across kernels.
 pub fn analyze(lines: &[&str], kernels: &[KernelSpan]) -> Vec<Diagnostic> {
+    let fns = summarize_device_fns(lines);
     let mut out = Vec::new();
     for span in kernels {
         let ir = parse_kernel(lines, span);
         out.extend(analyze_kernel(lines, &ir));
+        contract::analyze_kernel(lines, span, &fns, &mut out);
     }
     out
 }

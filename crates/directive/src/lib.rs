@@ -57,6 +57,7 @@ pub mod pragma;
 pub mod slice;
 
 mod compile_impl;
+mod suggest;
 
 pub use compile_impl::{compile, CompiledLp, RecoveryKernel};
 pub use error::{CompileError, Diagnostic, Span};

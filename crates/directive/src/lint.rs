@@ -8,9 +8,12 @@
 //! the CUDA compiler would silently ignore (unknown pragmas don't warn,
 //! which is exactly how these bugs ship).
 //!
-//! The flow-sensitive rules (LP010–LP014) live in [`crate::analysis`] and
+//! The flow-sensitive rules (LP010–LP015) live in [`crate::analysis`] and
 //! run from here too: they parse each kernel into a mini-IR, build a CFG,
-//! and prove divergence/coverage/ordering properties from structure.
+//! and prove divergence/coverage/ordering properties from structure. The
+//! interprocedural contract rules (LP016–LP021, `analysis::contract`)
+//! additionally summarise `__device__` helpers and check each kernel
+//! against its persistency backend's durability point.
 //!
 //! Rules:
 //!
@@ -28,6 +31,12 @@
 //! | LP013 | store address provably independent of `blockIdx`             |
 //! | LP014 | fold on a value with no dominating definition                |
 //! | LP015 | pinned persist mode provably dominated by the write profile  |
+//! | LP016 | store escapes the checksum fold via a `__device__` helper    |
+//! | LP017 | fence scope too narrow to close an epoch on the weakest path |
+//! | LP018 | commit token stored before the data drain under an eager pin |
+//! | LP019 | epoch left open across a loop back edge                      |
+//! | LP020 | fold reachable from divergent store paths it does not cover  |
+//! | LP021 | pinned persist mode whose contract the kernel cannot satisfy |
 //!
 //! Diagnostics are ordered by source position, then rule code.
 
@@ -65,7 +74,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
         let name = directive_name(raw);
         if !KNOWN.contains(&name.as_str()) {
             let mut message = format!("unknown directive `{name}`");
-            if let Some(meant) = nearest(&name) {
+            if let Some(meant) = crate::suggest::nearest(&name, &KNOWN) {
                 message.push_str(&format!("; did you mean `{meant}`?"));
             }
             out.push(Diagnostic {
@@ -248,32 +257,6 @@ fn directive_name(raw: &str) -> String {
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect()
-}
-
-/// The known directive within edit distance 2 of `name`, if any.
-fn nearest(name: &str) -> Option<&'static str> {
-    KNOWN
-        .iter()
-        .map(|k| (edit_distance(name, k), *k))
-        .filter(|(d, _)| *d <= 2)
-        .min_by_key(|(d, _)| *d)
-        .map(|(_, k)| k)
-}
-
-/// Levenshtein distance, small-input implementation.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, ca) in a.iter().enumerate() {
-        let mut cur = vec![i + 1];
-        for (j, cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
-        }
-        prev = cur;
-    }
-    prev[b.len()]
 }
 
 #[cfg(test)]

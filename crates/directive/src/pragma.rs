@@ -35,15 +35,15 @@ pub enum Pragma {
     Mode {
         /// Source line of the pragma.
         line: usize,
-        /// The pinned mode: `lp`, `epoch`, `eager`, `checkpoint` or
-        /// `adaptive`.
+        /// The pinned mode: `lp`, `epoch`, `eager`, `sbrp`, `checkpoint`
+        /// or `adaptive`.
         mode: String,
     },
 }
 
 /// The persist-mode names `lpcuda_mode` accepts, mirroring the runtime's
 /// backend spectrum plus the adaptive meta-policy.
-pub const MODE_NAMES: [&str; 5] = ["lp", "epoch", "eager", "checkpoint", "adaptive"];
+pub const MODE_NAMES: [&str; 6] = ["lp", "epoch", "eager", "sbrp", "checkpoint", "adaptive"];
 
 impl Pragma {
     /// Source line of the pragma.
@@ -179,10 +179,13 @@ pub fn parse_pragma(line_no: usize, line: &str) -> Result<Pragma, CompileError> 
             }
             let mode = args[0].trim_matches('"').to_ascii_lowercase();
             if !MODE_NAMES.contains(&mode.as_str()) {
+                let hint = crate::suggest::nearest(&mode, &MODE_NAMES)
+                    .map(|m| format!("; did you mean `{m}`?"))
+                    .unwrap_or_default();
                 return Err(CompileError::MalformedPragma {
                     line: line_no,
                     reason: format!(
-                        "unknown persist mode {:?} (one of {})",
+                        "unknown persist mode {:?} (one of {}){hint}",
                         args[0],
                         MODE_NAMES.join(", ")
                     ),
@@ -281,6 +284,34 @@ mod tests {
         // A misspelled mode must not silently ship as a no-op pin.
         let err = parse_pragma(7, "#pragma nvm lpcuda_mode(eagre)").unwrap_err();
         assert!(err.to_string().contains("unknown persist mode"));
+    }
+
+    #[test]
+    fn unknown_modes_get_a_did_you_mean() {
+        for (typo, meant) in [
+            ("eagre", "eager"),
+            ("epcoh", "epoch"),
+            ("sbpr", "sbrp"),
+            ("adaptve", "adaptive"),
+        ] {
+            let err = parse_pragma(3, &format!("#pragma nvm lpcuda_mode({typo})")).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("did you mean `{meant}`?")),
+                "{typo}: {msg}"
+            );
+        }
+        // Nothing close: no suggestion at all.
+        let err = parse_pragma(3, "#pragma nvm lpcuda_mode(quantum)").unwrap_err();
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn sbrp_is_a_valid_mode_pin() {
+        assert!(matches!(
+            parse_pragma(4, "#pragma nvm lpcuda_mode(sbrp)"),
+            Ok(Pragma::Mode { mode, .. }) if mode == "sbrp"
+        ));
     }
 
     #[test]

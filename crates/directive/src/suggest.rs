@@ -1,0 +1,55 @@
+//! Did-you-mean suggestions for misspelled directive and mode names.
+//!
+//! One Levenshtein implementation shared by the lint pass (unknown
+//! `lpcuda_*` directives, LP001) and the pragma parser (unknown
+//! `lpcuda_mode(...)` values), so both surfaces suggest with the same
+//! tolerance.
+
+/// The candidate within edit distance 2 of `name`, if any. Ties break
+/// toward the earlier candidate.
+pub(crate) fn nearest(name: &str, candidates: &[&'static str]) -> Option<&'static str> {
+    candidates
+        .iter()
+        .map(|k| (edit_distance(name, k), *k))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance, small-input implementation.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_exact() {
+        assert_eq!(edit_distance("epoch", "epoch"), 0);
+        assert_eq!(edit_distance("epoc", "epoch"), 1);
+        assert_eq!(edit_distance("epoch", "epoc"), 1);
+        assert_eq!(edit_distance("eagr", "eager"), 1);
+        assert_eq!(edit_distance("", "lp"), 2);
+    }
+
+    #[test]
+    fn nearest_respects_the_distance_cap() {
+        let modes = ["lp", "epoch", "eager", "sbrp"];
+        assert_eq!(nearest("epcoh", &modes), Some("epoch"));
+        assert_eq!(nearest("eagar", &modes), Some("eager"));
+        assert_eq!(nearest("checkpointing", &modes), None);
+    }
+}

@@ -35,6 +35,11 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Crash sites ([`CrashSite::catalog`] by default).
     pub sites: Vec<CrashSite>,
+    /// Whether to drop crash sites the static verifier proves
+    /// trial-equivalent to a kept site (see [`crate::prune`]). Off by
+    /// default so library sweeps stay the full cross product; the campaign
+    /// binary turns it on (with `--no-prune` as the escape hatch).
+    pub prune: bool,
     /// Optional cap on executed trials (deterministic stride sampling).
     pub budget: Option<usize>,
     /// Worker threads (`0` = one per available core).
@@ -57,6 +62,7 @@ impl CampaignSpec {
             backends: vec![BackendKind::LpChecksum],
             seeds: vec![1, 2],
             sites: CrashSite::catalog(),
+            prune: false,
             budget: None,
             threads: 0,
             shrink_attempts: 12,
@@ -66,12 +72,44 @@ impl CampaignSpec {
 
     /// Enumerates the trial IDs this spec executes, budget applied.
     pub fn enumerate(&self) -> Vec<TrialId> {
+        self.enumerate_explained().0
+    }
+
+    /// Like [`enumerate`](Self::enumerate), but also returns the prune
+    /// ledger: one record per (cell, dropped site) with the representative
+    /// trial that covers it. Empty unless `prune` is set.
+    pub fn enumerate_explained(&self) -> (Vec<TrialId>, Vec<PruneRecord>) {
         let mut all = Vec::new();
+        let mut ledger = Vec::new();
+        // Site pruning depends on (workload, backend) only, not on config
+        // or seed; memoize per pair.
+        let mut cache: BTreeMap<(String, BackendKind), crate::prune::PruneOutcome> =
+            BTreeMap::new();
         for workload in &self.workloads {
             for config in &self.configs {
                 for &backend in &self.backends {
                     for &seed in &self.seeds {
-                        for &site in &self.sites {
+                        let sites: &[CrashSite] = if self.prune {
+                            let outcome =
+                                cache.entry((workload.clone(), backend)).or_insert_with(|| {
+                                    let nb =
+                                        crate::prune::subject_num_blocks(workload, self.scale, 1);
+                                    crate::prune::prune_sites(&self.sites, backend, nb)
+                                });
+                            for d in &outcome.pruned {
+                                ledger.push(PruneRecord {
+                                    workload: workload.clone(),
+                                    config: config.clone(),
+                                    backend,
+                                    seed,
+                                    decision: d.clone(),
+                                });
+                            }
+                            &cache[&(workload.clone(), backend)].kept
+                        } else {
+                            &self.sites
+                        };
+                        for &site in sites {
                             all.push(TrialId {
                                 workload: workload.clone(),
                                 config: config.clone(),
@@ -84,7 +122,7 @@ impl CampaignSpec {
                 }
             }
         }
-        match self.budget {
+        let sampled = match self.budget {
             // `Some(0)` means zero trials, not "unlimited".
             Some(budget) if budget < all.len() => {
                 // Deterministic stride sampling keeps coverage spread
@@ -95,8 +133,24 @@ impl CampaignSpec {
                     .collect()
             }
             _ => all,
-        }
+        };
+        (sampled, ledger)
     }
+}
+
+/// One pruned (cell, site) pair in a campaign's ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PruneRecord {
+    /// Subject whose cell dropped the site.
+    pub workload: String,
+    /// Config of the cell.
+    pub config: String,
+    /// Backend of the cell.
+    pub backend: BackendKind,
+    /// Seed of the cell.
+    pub seed: u64,
+    /// The dropped site, its representative and the justification.
+    pub decision: crate::prune::PruneDecision,
 }
 
 /// Per-key tallies for the report's summary tables.
@@ -134,6 +188,11 @@ pub struct CampaignReport {
     pub passed: u64,
     /// Trials with O2/O3 reported not-applicable (skipped loss oracles).
     pub oracle_skips: u64,
+    /// Trials the static pruner removed before execution (zero when
+    /// `spec.prune` is off).
+    pub pruned_trials: u64,
+    /// The prune ledger: every dropped (cell, site) with justification.
+    pub pruned: Vec<PruneRecord>,
     /// Tallies keyed by crash-site label, sorted by label.
     pub by_site: Vec<Tally>,
     /// Tallies keyed by workload, sorted by name.
@@ -197,7 +256,7 @@ fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
 /// report. `progress` is called after each finished trial with
 /// `(done, total)` — pass `|_, _| {}` when no live feedback is wanted.
 pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync) -> CampaignReport {
-    let ids = spec.enumerate();
+    let (ids, prune_ledger) = spec.enumerate_explained();
     let total = ids.len();
     let threads = if spec.threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
@@ -239,6 +298,8 @@ pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync)
         crashed: 0,
         passed: 0,
         oracle_skips: 0,
+        pruned_trials: prune_ledger.len() as u64,
+        pruned: prune_ledger,
         by_site: Vec::new(),
         by_workload: Vec::new(),
         failures: Vec::new(),
@@ -320,6 +381,60 @@ mod tests {
         assert!(report.all_passed(), "{:#?}", report.failures);
         // Non-LP backends skip the loss-attribution oracles by contract.
         assert_eq!(report.oracle_skips, 3 * 2);
+    }
+
+    #[test]
+    fn pruning_removes_at_least_a_fifth_of_the_default_sweep() {
+        let mut spec = CampaignSpec::default_sweep(Scale::Test);
+        let full = spec.enumerate().len();
+        spec.prune = true;
+        let (kept, ledger) = spec.enumerate_explained();
+        assert_eq!(kept.len() + ledger.len(), full, "pruning loses no trial");
+        assert!(
+            ledger.len() * 5 >= full,
+            "only {}/{full} trials pruned (< 20%)",
+            ledger.len()
+        );
+        // Off by default: the ledger stays empty and the product full.
+        let (unpruned, empty) = CampaignSpec::default_sweep(Scale::Test).enumerate_explained();
+        assert_eq!(unpruned.len(), full);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pruned_sites_agree_with_their_representatives_at_sampled_scale() {
+        // The pruning oracle: for every (dropped site, representative)
+        // pair in a sampled sweep, run both trials and demand identical
+        // verdicts — a pruned site must never be a failing site unless its
+        // representative fails too.
+        let mut spec = CampaignSpec::default_sweep(Scale::Test);
+        spec.prune = true;
+        spec.workloads = vec!["SPMV".to_string(), "MEGAKV-DELETE".to_string()];
+        spec.configs = vec!["recommended".to_string()];
+        spec.seeds = vec![1];
+        let (kept, ledger) = spec.enumerate_explained();
+        assert!(!ledger.is_empty(), "sample must exercise the pruner");
+        for rec in &ledger {
+            let pruned_id = TrialId {
+                workload: rec.workload.clone(),
+                config: rec.config.clone(),
+                backend: rec.backend,
+                seed: rec.seed,
+                site: rec.decision.site,
+            };
+            let rep_id = crate::prune::representative_trial(&pruned_id, &rec.decision);
+            assert!(
+                kept.contains(&rep_id),
+                "representative of {pruned_id:?} must still run"
+            );
+            let a = run_one(&pruned_id, spec.scale);
+            let b = run_one(&rep_id, spec.scale);
+            assert_eq!(
+                a.passed, b.passed,
+                "verdicts diverge for {:?} vs {:?}: {} / {}",
+                rec.decision.site, rec.decision.replaced_by, a.detail, b.detail
+            );
+        }
     }
 
     #[test]

@@ -37,13 +37,17 @@
 
 pub mod campaign;
 pub mod oracle;
+pub mod prune;
 pub mod sanitize;
 pub mod shrink;
 pub mod site;
 pub mod trial;
 
-pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, Tally};
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, PruneRecord, Tally};
 pub use oracle::{OracleInput, OracleVerdict};
+pub use prune::{
+    prune_sites, representative_trial, subject_num_blocks, PruneDecision, PruneOutcome,
+};
 pub use sanitize::{sanitize_subject, sanitize_sweep, SanitizeRecord};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use site::CrashSite;

@@ -1,0 +1,280 @@
+//! Static crash-site pruning: drop campaign trials whose verdict is
+//! already determined by another trial in the sweep.
+//!
+//! The static verifier (`lp-directive`'s relevance pass) proves two kinds
+//! of crash-site equivalence without running a single trial:
+//!
+//! * **contract facts** — e.g. under a fixed backend there is no policy
+//!   engine, so every `MidPolicySwitch` site degrades to `BetweenKernels`;
+//!   a checkpoint crash at 0% flushed is a between-kernels power loss;
+//! * **launch geometry** — `BlockBoundary { pct }` crashes after
+//!   `num_blocks * pct / 100` whole blocks, so at small launches distinct
+//!   percentages collapse to the same count, and a count of zero is the
+//!   pristine-image crash `AfterStores { pct: 0 }` already covers.
+//!
+//! A site is only pruned when its *representative* (the equivalent site)
+//! stays in the kept set, so every equivalence class still runs exactly
+//! once. Pruning is off by default on [`crate::CampaignSpec`] (`--no-prune`
+//! is the campaign binary's escape hatch back to the full product), and
+//! the `pruned_sites_agree_with_their_representatives` oracle re-runs
+//! pruned pairs at sampled scale to assert the verdicts really match.
+
+use crate::site::CrashSite;
+use crate::trial::{megakv_records, subject_kind, SubjectKind, TrialId};
+use gpu_lp::BackendKind;
+use lp_directive::analysis::relevance::{
+    block_boundary_after_blocks, contract_site_facts, SiteFact,
+};
+use lp_kernels::{workload_by_name, Scale};
+use megakv::app::OpKind;
+use megakv::kernels::OPS_PER_BLOCK;
+use serde::{Deserialize, Serialize};
+
+/// One pruned site and the evidence for dropping it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneDecision {
+    /// The site removed from the cell's enumeration.
+    pub site: CrashSite,
+    /// The trial-equivalent site that stays and represents it.
+    pub replaced_by: CrashSite,
+    /// Why the equivalence holds.
+    pub why: String,
+}
+
+/// The result of pruning one cell's site list.
+#[derive(Debug, Clone, Default)]
+pub struct PruneOutcome {
+    /// Sites the cell still runs, in catalog order.
+    pub kept: Vec<CrashSite>,
+    /// Sites dropped, each with its representative and justification.
+    pub pruned: Vec<PruneDecision>,
+}
+
+/// The launch block count of `workload` at `scale` — the same geometry the
+/// injector reads off the built kernel, derived here without building the
+/// world (workload block counts are fixed at construction; MEGA-KV batch
+/// sizes are pure functions of the record count).
+pub fn subject_num_blocks(workload: &str, scale: Scale, seed: u64) -> Option<u64> {
+    match subject_kind(workload)? {
+        SubjectKind::Suite(name) => Some(
+            workload_by_name(&name, scale, seed)?
+                .launch_config()
+                .num_blocks(),
+        ),
+        SubjectKind::Kv(op) => {
+            let records = megakv_records(scale) as u64;
+            let batch = match op {
+                OpKind::Insert | OpKind::Search => records,
+                OpKind::Delete => records.div_ceil(2),
+            };
+            Some(batch.div_ceil(u64::from(OPS_PER_BLOCK)))
+        }
+    }
+}
+
+/// Prunes `sites` for one campaign cell. `num_blocks` enables the
+/// geometry family; `None` (unknown subject) applies contract facts only.
+pub fn prune_sites(
+    sites: &[CrashSite],
+    backend: BackendKind,
+    num_blocks: Option<u64>,
+) -> PruneOutcome {
+    let facts = contract_site_facts(backend);
+    let has = |s: &CrashSite| sites.contains(s);
+    let mut out = PruneOutcome::default();
+    for &site in sites {
+        let decision = match site {
+            CrashSite::MidPolicySwitch { .. }
+                if facts.contains(&SiteFact::PolicySwitchIsBetweenKernels)
+                    && has(&CrashSite::BetweenKernels) =>
+            {
+                Some((
+                    CrashSite::BetweenKernels,
+                    SiteFact::PolicySwitchIsBetweenKernels
+                        .justification()
+                        .to_string(),
+                ))
+            }
+            CrashSite::MidCheckpoint { pct: 0 }
+                if facts.contains(&SiteFact::CheckpointZeroPctIsBetweenKernels)
+                    && has(&CrashSite::BetweenKernels) =>
+            {
+                Some((
+                    CrashSite::BetweenKernels,
+                    SiteFact::CheckpointZeroPctIsBetweenKernels
+                        .justification()
+                        .to_string(),
+                ))
+            }
+            CrashSite::BlockBoundary { pct } => num_blocks.and_then(|nb| {
+                let count = block_boundary_after_blocks(nb, pct);
+                if count == 0 && has(&CrashSite::AfterStores { pct: 0 }) {
+                    return Some((
+                        CrashSite::AfterStores { pct: 0 },
+                        format!(
+                            "{nb}-block launch: {pct}% of blocks is 0 whole \
+                             blocks, the pristine-image crash stores@0% runs"
+                        ),
+                    ));
+                }
+                // Distinct percentages with the same whole-block count are
+                // the same trial; the lowest percentage represents them.
+                let twin = sites.iter().find_map(|s| match s {
+                    CrashSite::BlockBoundary { pct: p }
+                        if *p < pct && block_boundary_after_blocks(nb, *p) == count =>
+                    {
+                        Some(*s)
+                    }
+                    _ => None,
+                })?;
+                // The representative must itself survive pruning: it does
+                // unless its count is 0 and stores@0% absorbed it — then
+                // this site's count is 0 too and the branch above fired.
+                Some((
+                    twin,
+                    format!(
+                        "{nb}-block launch: {pct}% and {}% both crash after \
+                         {count} whole blocks",
+                        match twin {
+                            CrashSite::BlockBoundary { pct } => pct,
+                            _ => unreachable!("twin is a block boundary"),
+                        }
+                    ),
+                ))
+            }),
+            _ => None,
+        };
+        match decision {
+            Some((replaced_by, why)) => out.pruned.push(PruneDecision {
+                site,
+                replaced_by,
+                why,
+            }),
+            None => out.kept.push(site),
+        }
+    }
+    out
+}
+
+/// The pruned twin of a trial: same cell, representative site.
+pub fn representative_trial(id: &TrialId, decision: &PruneDecision) -> TrialId {
+    TrialId {
+        site: decision.replaced_by,
+        ..id.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_the_built_kernels_for_every_subject() {
+        use crate::trial::SUBJECT_NAMES;
+        // The static geometry must agree with what the injector will see;
+        // spot-check the table the pruning math depends on.
+        let expect = [
+            ("TPACF", 8),
+            ("HISTO", 8),
+            ("CUTCP", 8),
+            ("MRI-Q", 16),
+            ("SPMV", 16),
+            ("TMM", 64),
+            ("MRI-GRIDDING", 64),
+            ("SAD", 128),
+            ("MEGAKV-INSERT", 4),
+            ("MEGAKV-SEARCH", 4),
+            ("MEGAKV-DELETE", 2),
+        ];
+        for (name, blocks) in expect {
+            assert!(SUBJECT_NAMES.contains(&name));
+            assert_eq!(
+                subject_num_blocks(name, Scale::Test, 1),
+                Some(blocks),
+                "{name}"
+            );
+        }
+        assert_eq!(subject_num_blocks("NOT-A-SUBJECT", Scale::Test, 1), None);
+    }
+
+    #[test]
+    fn contract_facts_prune_switch_and_zero_checkpoint_sites() {
+        let sites = CrashSite::catalog();
+        let out = prune_sites(&sites, BackendKind::LpChecksum, None);
+        let switch_pruned = out
+            .pruned
+            .iter()
+            .filter(|d| matches!(d.site, CrashSite::MidPolicySwitch { .. }))
+            .count();
+        assert_eq!(switch_pruned, 4, "all four switch windows prune");
+        assert!(out
+            .pruned
+            .iter()
+            .any(|d| d.site == CrashSite::MidCheckpoint { pct: 0 }));
+        assert!(out.kept.contains(&CrashSite::BetweenKernels));
+        assert!(
+            out.kept.contains(&CrashSite::MidCheckpoint { pct: 50 }),
+            "non-zero checkpoint sites stay"
+        );
+        for d in &out.pruned {
+            assert!(out.kept.contains(&d.replaced_by), "{d:?}");
+            assert!(!d.why.is_empty());
+        }
+    }
+
+    #[test]
+    fn adaptive_keeps_its_switch_windows() {
+        let sites = CrashSite::catalog();
+        let out = prune_sites(&sites, BackendKind::Adaptive, None);
+        assert!(out
+            .kept
+            .iter()
+            .any(|s| matches!(s, CrashSite::MidPolicySwitch { .. })));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::MidPolicySwitch { .. })));
+    }
+
+    #[test]
+    fn tiny_launches_collapse_block_boundary_sites() {
+        let sites = CrashSite::catalog();
+        // 2 blocks (MEGAKV-DELETE at test scale): 10% → 0 blocks (goes to
+        // stores@0%), 50% and 90% → 1 block (90% folds into 50%).
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(2));
+        let boundary: Vec<&PruneDecision> = out
+            .pruned
+            .iter()
+            .filter(|d| matches!(d.site, CrashSite::BlockBoundary { .. }))
+            .collect();
+        assert_eq!(boundary.len(), 2, "{boundary:#?}");
+        assert_eq!(boundary[0].site, CrashSite::BlockBoundary { pct: 10 });
+        assert_eq!(boundary[0].replaced_by, CrashSite::AfterStores { pct: 0 });
+        assert_eq!(boundary[1].site, CrashSite::BlockBoundary { pct: 90 });
+        assert_eq!(
+            boundary[1].replaced_by,
+            CrashSite::BlockBoundary { pct: 50 }
+        );
+        // 128 blocks: every percentage is a distinct count — no pruning.
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(128));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::BlockBoundary { .. })));
+    }
+
+    #[test]
+    fn every_representative_survives_pruning() {
+        for backend in BackendKind::ALL {
+            for nb in [None, Some(2), Some(8), Some(64), Some(128)] {
+                let out = prune_sites(&CrashSite::catalog(), backend, nb);
+                for d in &out.pruned {
+                    assert!(
+                        out.kept.contains(&d.replaced_by),
+                        "{backend} nb={nb:?}: {d:?}"
+                    );
+                }
+            }
+        }
+    }
+}

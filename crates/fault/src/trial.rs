@@ -181,7 +181,7 @@ pub fn fault_world() -> (Gpu, PersistMemory) {
 }
 
 /// MEGA-KV record count per scale (kept small: trials run by the hundred).
-fn megakv_records(scale: Scale) -> usize {
+pub(crate) fn megakv_records(scale: Scale) -> usize {
     match scale {
         Scale::Test => 1024,
         Scale::Bench => 4096,

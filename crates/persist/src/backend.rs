@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use simt::BlockCtx;
 
 /// The four persistency models the simulator can run a launch under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum BackendKind {
     /// Lazy Persistency with checksums (the paper; the default).
     #[default]
@@ -121,6 +121,72 @@ pub struct DurabilityContract {
     pub buffered_window: bool,
     /// One-line human summary for reports and docs.
     pub summary: &'static str,
+}
+
+impl DurabilityContract {
+    /// The contract for `kind`, without constructing a backend — the
+    /// single source of truth every [`PersistencyBackend::contract`]
+    /// implementation delegates to, and the introspection surface the
+    /// static persist-order verifier (`lp-directive`) reasons from.
+    pub fn of(kind: BackendKind) -> DurabilityContract {
+        match kind {
+            BackendKind::LpChecksum => DurabilityContract {
+                kind,
+                checksum_validated: true,
+                commit_token_durable: false,
+                buffered_window: true,
+                summary: "no persist instructions; durability via natural eviction, \
+                          crash consistency via checksum validation + re-execution",
+            },
+            BackendKind::Eager => DurabilityContract {
+                kind,
+                checksum_validated: false,
+                commit_token_durable: true,
+                buffered_window: false,
+                summary: "clwb per store (or per line at commit), persist barrier, \
+                          durable commit token; a surviving token proves the data",
+            },
+            BackendKind::Epoch => DurabilityContract {
+                kind,
+                checksum_validated: false,
+                commit_token_durable: true,
+                buffered_window: true,
+                summary: "stores buffer within an epoch; a threadfence pushes the \
+                          epoch's lines into the ADR memory queue (= durable)",
+            },
+            BackendKind::Sbrp => DurabilityContract {
+                kind,
+                checksum_validated: false,
+                commit_token_durable: true,
+                buffered_window: true,
+                summary: "persists buffer in per-SM and L2-level persist buffers; \
+                          scope-aware release persists drain them; buffered-but-\
+                          undrained persists do not survive a crash",
+            },
+            BackendKind::Adaptive => DurabilityContract {
+                kind,
+                checksum_validated: true,
+                commit_token_durable: false,
+                buffered_window: true,
+                summary: "per-region policy engine over the fixed spectrum; \
+                          mode switches journalled for crash consistency, \
+                          checksum validation at both ends of the ladder",
+            },
+        }
+    }
+
+    /// The *durability point* this contract orders persistent stores
+    /// against — what the static persist-order lattice checks each store
+    /// reaches in order. Purely descriptive (diagnostics, reports).
+    pub fn durability_point(&self) -> &'static str {
+        match self.kind {
+            BackendKind::LpChecksum => "checksum fold",
+            BackendKind::Eager => "commit-token publication",
+            BackendKind::Epoch => "epoch-closing fence",
+            BackendKind::Sbrp => "release-scope drain",
+            BackendKind::Adaptive => "journalled per-region durability point",
+        }
+    }
 }
 
 /// Counters a session accumulates; purely informational (tests, reports).

@@ -55,14 +55,7 @@ impl PersistencyBackend for EagerBackend {
     }
 
     fn contract(&self) -> DurabilityContract {
-        DurabilityContract {
-            kind: BackendKind::Eager,
-            checksum_validated: false,
-            commit_token_durable: true,
-            buffered_window: false,
-            summary: "clwb per store (or per line at commit), persist barrier, \
-                      durable commit token; a surviving token proves the data",
-        }
+        DurabilityContract::of(BackendKind::Eager)
     }
 
     fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {

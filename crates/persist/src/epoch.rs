@@ -29,14 +29,7 @@ impl PersistencyBackend for EpochBackend {
     }
 
     fn contract(&self) -> DurabilityContract {
-        DurabilityContract {
-            kind: BackendKind::Epoch,
-            checksum_validated: false,
-            commit_token_durable: true,
-            buffered_window: true,
-            summary: "stores buffer within an epoch; a threadfence pushes the \
-                      epoch's lines into the ADR memory queue (= durable)",
-        }
+        DurabilityContract::of(BackendKind::Epoch)
     }
 
     fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {

@@ -59,14 +59,7 @@ impl PersistencyBackend for LpChecksumBackend {
     }
 
     fn contract(&self) -> DurabilityContract {
-        DurabilityContract {
-            kind: BackendKind::LpChecksum,
-            checksum_validated: true,
-            commit_token_durable: false,
-            buffered_window: true,
-            summary: "no persist instructions; durability via natural eviction, \
-                      crash consistency via checksum validation + re-execution",
-        }
+        DurabilityContract::of(BackendKind::LpChecksum)
     }
 
     fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {
@@ -94,15 +87,7 @@ impl PersistencyBackend for AdaptiveBackend {
     }
 
     fn contract(&self) -> DurabilityContract {
-        DurabilityContract {
-            kind: BackendKind::Adaptive,
-            checksum_validated: true,
-            commit_token_durable: false,
-            buffered_window: true,
-            summary: "per-region policy engine over the fixed spectrum; \
-                      mode switches journalled for crash consistency, \
-                      checksum validation at both ends of the ladder",
-        }
+        DurabilityContract::of(BackendKind::Adaptive)
     }
 
     fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {
@@ -159,5 +144,27 @@ mod tests {
         }
         assert!(!backend_for(BackendKind::Eager).contract().buffered_window);
         assert!(backend_for(BackendKind::Sbrp).contract().buffered_window);
+    }
+
+    #[test]
+    fn contract_of_matches_every_backend_instance() {
+        // The kind-level introspection is the single source of truth:
+        // constructing the backend must yield byte-identical contracts.
+        for kind in BackendKind::ALL {
+            assert_eq!(backend_for(kind).contract(), DurabilityContract::of(kind));
+        }
+        assert_eq!(
+            backend_for(BackendKind::Adaptive).contract(),
+            DurabilityContract::of(BackendKind::Adaptive)
+        );
+    }
+
+    #[test]
+    fn durability_points_are_distinct_per_fixed_kind() {
+        let points: std::collections::BTreeSet<&str> = BackendKind::ALL
+            .iter()
+            .map(|k| DurabilityContract::of(*k).durability_point())
+            .collect();
+        assert_eq!(points.len(), BackendKind::ALL.len());
     }
 }

@@ -77,15 +77,7 @@ impl PersistencyBackend for SbrpBackend {
     }
 
     fn contract(&self) -> DurabilityContract {
-        DurabilityContract {
-            kind: BackendKind::Sbrp,
-            checksum_validated: false,
-            commit_token_durable: true,
-            buffered_window: true,
-            summary: "persists buffer in per-SM and L2-level persist buffers; \
-                      scope-aware release persists drain them; buffered-but-\
-                      undrained persists do not survive a crash",
-        }
+        DurabilityContract::of(BackendKind::Sbrp)
     }
 
     fn begin_block(&self, _block: u64) -> Box<dyn BlockPersistSession> {

@@ -164,9 +164,22 @@ impl PolicyJournal {
         })
     }
 
-    /// Replays the durable journal: returns every valid record in sequence
-    /// order and resynchronises the append cursor/sequence counter (the
-    /// reboot path — volatile state is gone, the durable image is truth).
+    /// Replays the durable journal: returns the longest *contiguous* valid
+    /// record prefix (seq 1, 2, 3, …) in sequence order and resynchronises
+    /// the append cursor/sequence counter (the reboot path — volatile
+    /// state is gone, the durable image is truth).
+    ///
+    /// Write-ahead-log prefix rule: a corrupted record in the *middle* of
+    /// the journal (durable bit rot — sequential appends cannot leave a
+    /// gap) ends replay at the last record before the gap, even when later
+    /// slots still checksum clean. A post-gap switch chains off state the
+    /// gap destroyed, so honouring it could validate a region under a
+    /// contract whose provenance is gone. Discarding it is always safe:
+    /// the region is judged under the older journal-proven contract, at
+    /// worst failing validation and re-executing — conservative, never a
+    /// hybrid. The sequence counter still resumes past every valid seq
+    /// seen (discarded ones included) so no seq is ever issued twice,
+    /// which keeps a post-gap zombie from ever rejoining the prefix.
     pub fn replay(&mut self, mem: &PersistMemory) -> Vec<JournalRecord> {
         let mut records = Vec::new();
         let mut used = 0;
@@ -182,6 +195,11 @@ impl PolicyJournal {
             }
         }
         records.sort_by_key(|r| r.seq);
+        let mut keep = 0;
+        while keep < records.len() && records[keep].seq == keep as u64 + 1 {
+            keep += 1;
+        }
+        records.truncate(keep);
         self.cursor = used;
         self.next_seq = max_seq + 1;
         records
@@ -307,6 +325,55 @@ mod tests {
         assert!(j.append(&mut m, 0, PolicyMode::Lp, PolicyMode::Epoch));
         assert!(j.append(&mut m, 1, PolicyMode::Lp, PolicyMode::Epoch));
         assert!(!j.append(&mut m, 2, PolicyMode::Lp, PolicyMode::Epoch));
+    }
+
+    #[test]
+    fn corrupted_middle_record_stops_replay_at_the_valid_prefix() {
+        let mut m = mem();
+        let mut j = PolicyJournal::create(&mut m, 8);
+        assert!(j.append(&mut m, 0, PolicyMode::Lp, PolicyMode::Epoch)); // seq 1
+        assert!(j.append(&mut m, 1, PolicyMode::Lp, PolicyMode::Eager)); // seq 2
+        assert!(j.append(&mut m, 2, PolicyMode::Lp, PolicyMode::Checkpoint)); // seq 3
+        assert!(j.append(&mut m, 0, PolicyMode::Epoch, PolicyMode::Eager)); // seq 4
+        assert!(j.append(&mut m, 3, PolicyMode::Lp, PolicyMode::Epoch)); // seq 5
+                                                                         // Durable bit rot in the *middle* record (seq 3): flip its checksum
+                                                                         // word in the durable image. Slots 3 and 4 still checksum clean.
+        let slot = j.slot(2);
+        let bad = m.read_durable_u64(slot.offset(24)) ^ 1;
+        m.write_u64(slot.offset(24), bad);
+        m.flush_all();
+        m.crash();
+        m.power_on();
+
+        let records = j.replay(&m);
+        assert_eq!(
+            records.len(),
+            2,
+            "replay must stop at the gap, not skip it: {records:?}"
+        );
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[1].seq, 2);
+
+        // Recovery picks exactly one contract per region — the last one the
+        // surviving prefix proves. The rotted switch (region 2) and every
+        // post-gap switch (regions 0, 3) revert to their pre-switch modes:
+        // old or new, never a hybrid.
+        let modes = PolicyJournal::effective_modes(&records, 4);
+        assert_eq!(modes[0], PolicyMode::Epoch, "post-gap seq 4 discarded");
+        assert_eq!(modes[1], PolicyMode::Eager);
+        assert_eq!(modes[2], PolicyMode::Lp, "rotted seq 3 falls back to old");
+        assert_eq!(modes[3], PolicyMode::Lp, "post-gap seq 5 discarded");
+
+        // The sequence counter resumes past every seq seen (discarded ones
+        // included), so the discarded suffix can never rejoin the prefix:
+        // the gap at seq 3 is permanent and a fresh append stays post-gap.
+        assert!(j.append(&mut m, 1, PolicyMode::Eager, PolicyMode::Lp)); // seq 6
+        let records = j.replay(&m);
+        assert_eq!(records.len(), 2, "no zombie resurrection: {records:?}");
+        assert_eq!(
+            PolicyJournal::effective_modes(&records, 4)[1],
+            PolicyMode::Eager
+        );
     }
 
     #[test]

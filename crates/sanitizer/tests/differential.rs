@@ -16,6 +16,18 @@
 //! |                          |                 | `missing_sync.cu` lints clean)   |
 //! | `AtomicPlainMixFixture`  | global-conflict | dynamic-only (atomics are opaque |
 //! |                          |                 | calls to the static IR)          |
+//!
+//! The interprocedural contract rules (LP016–LP021) extend the table in
+//! both directions. LP016 is the interprocedural face of the coverage
+//! pass: the dynamic side is function-blind (a store is a store no matter
+//! which source function issued it), so the same hazard class is caught
+//! dynamically as an uncovered store. LP017–LP021 are **static-only**:
+//! the dynamic sanitizer models the LP checksum discipline, not the
+//! epoch/SBRP/eager durability contracts, so a too-narrow fence, an
+//! early-published commit token, a never-closed epoch, a divergent fold
+//! input or an unsatisfiable mode pin produce no dynamic finding — the
+//! static verifier is the only line of defence, which is exactly why the
+//! fault campaign's pruning consults it.
 
 use gpu_lp::{LpConfig, LpRuntime};
 use lp_sanitizer::fixtures::{
@@ -141,6 +153,62 @@ fn atomic_plain_mix_is_dynamic_only() {
     );
     // No static twin: atomics are opaque calls to the static IR, so the
     // rules have nothing to anchor on. Dynamic-only by design.
+}
+
+#[test]
+fn helper_escape_is_coverage_dynamically_and_lp016_statically() {
+    // Dynamic side: the coverage pass has no notion of source functions —
+    // an uncovered store is flagged whether the kernel or a helper issued
+    // it. `UncoveredStoreFixture` stands in for the hazard class.
+    let (gpu, mut mem) = world();
+    let (blocks, tpb) = (4u32, 8u32);
+    let out = mem.alloc(u64::from(blocks * tpb) * 4, 4);
+    let rt = LpRuntime::setup(
+        &mut mem,
+        u64::from(blocks),
+        u64::from(tpb),
+        LpConfig::recommended(),
+    );
+    let fixture = UncoveredStoreFixture {
+        lp: &rt,
+        out,
+        blocks,
+        tpb,
+    };
+    let report = dynamic_report(&fixture, &mut mem, &gpu);
+    assert!(
+        report.count_for_pass("coverage") > 0,
+        "dynamic side missed the uncovered-store hazard class:\n{report}"
+    );
+    // Static side: only the interprocedural rule sees that the escape
+    // happens through a call.
+    let codes = static_codes("seeded/lp016_helper_escape.cu");
+    assert!(
+        codes.contains(&"LP016"),
+        "static twin must flag LP016, got {codes:?}"
+    );
+}
+
+#[test]
+fn contract_rules_lp017_to_lp021_are_static_only() {
+    // The dynamic sanitizer models the LP checksum discipline only; the
+    // epoch/SBRP/eager contract hazards have no dynamic pass. Each entry
+    // asserts (a) the static verifier flags the seeded fixture and (b) the
+    // fixture stays honest about which codes it triggers, so a future
+    // dynamic pass forces this table to be revisited.
+    for (fixture, code) in [
+        ("seeded/lp017_narrow_fence.cu", "LP017"),
+        ("seeded/lp018_token_first.cu", "LP018"),
+        ("seeded/lp019_open_epoch.cu", "LP019"),
+        ("seeded/lp020_divergent_paths.cu", "LP020"),
+        ("seeded/lp021_unsatisfiable_pin.cu", "LP021"),
+    ] {
+        let codes = static_codes(fixture);
+        assert!(
+            codes.contains(&code),
+            "{fixture} must flag {code} statically, got {codes:?}"
+        );
+    }
 }
 
 #[test]
