@@ -1,0 +1,312 @@
+//! `lp-apps` — recoverable long-running services on the Lazy Persistency
+//! runtime.
+//!
+//! Everything below this crate runs *one launch and recovers it once*. A
+//! production durability story is a **service**: a process that commits a
+//! step, loses power, reboots, rolls the interrupted step forward, and is
+//! back serving — hundreds of times in a row, on a device that tears
+//! write-backs and refuses persists while it happens. This crate hosts
+//! three such services, each a different shape of durable state:
+//!
+//! * [`DurableQueue`] — an append-only log/queue: enqueue and consume
+//!   batches with exactly-once-observable consume semantics (consumption
+//!   is a durable, idempotent receipt, so replaying a step can never
+//!   deliver twice);
+//! * [`TrainingLoop`] — an iterative trainer with periodic checkpoints:
+//!   epochs ping-pong through a rotating buffer ring so re-execution is
+//!   idempotent, and a crash resumes from the last durable epoch;
+//! * [`KvTxn`] — a durable-transaction variant of the MEGA-KV store: each
+//!   step is an all-or-nothing batch of put/delete transactions over a
+//!   bounded key universe, judged against a replayed CPU model.
+//!
+//! All three implement [`RecoverableApp`]: `step` / `crash` / `restore` /
+//! `verify_invariants` / `restoration_latency`. The lifecycle contract is
+//! the core of the crate:
+//!
+//! 1. **Intent before work.** Before a step launches, the app commits an
+//!    intent record (step counter + pre-state cursors) to a
+//!    [`DurableManifest`] — a two-slot, checksummed commit record that a
+//!    torn write-back can only ever revert to the previous valid state,
+//!    never corrupt.
+//! 2. **Roll-forward restore.** After power loss, `restore` reads the
+//!    manifest from durable truth, rebuilds the in-flight step's kernel
+//!    deterministically from `(seed, step, cursors)`, and drives the
+//!    re-entrant resilient recovery loop
+//!    ([`gpu_lp::ResilientRecovery::recover_reentrant`]) until the step's
+//!    regions validate against durable data — even if power fails again
+//!    *during* the restore. The step is then committed, so progress is
+//!    strictly monotone across crash cycles.
+//! 3. **Audit from durable state.** `verify_invariants` re-derives every
+//!    expected value from the seed and the committed counters and compares
+//!    against memory — zero data loss and zero silent corruption are
+//!    checked, not assumed.
+//!
+//! The chaos-soak engine in `lp-fault` (`soak.rs`) drives these apps
+//! through seeded crash→recover→resume schedules and aggregates the
+//! restoration latencies this trait reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kvtxn;
+pub mod manifest;
+pub mod queue;
+pub mod train;
+
+pub use kvtxn::KvTxn;
+pub use manifest::DurableManifest;
+pub use queue::DurableQueue;
+pub use train::TrainingLoop;
+
+use gpu_lp::{BackendKind, ReentrantOutcome};
+use nvm::PersistMemory;
+use serde::{Deserialize, Serialize};
+use simt::Gpu;
+
+/// Modelled cost of validating one store image during restoration, ns.
+/// Restoration latency is dominated by the validation sweep plus repair
+/// re-execution (the GPM/GPMBench Table-5 shape); recovery's own report
+/// charges the repair half, this constant charges the sweep.
+pub const VALIDATE_NS_PER_IMAGE: u64 = 4;
+
+/// Fixed modelled reboot cost (device bring-up + manifest load), ns.
+pub const REBOOT_NS: u64 = 2_000;
+
+/// Which recoverable service to build (CLI surface of the soak sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppKind {
+    /// [`DurableQueue`].
+    Queue,
+    /// [`TrainingLoop`].
+    Train,
+    /// [`KvTxn`].
+    KvTxn,
+}
+
+impl AppKind {
+    /// Every service, in sweep order.
+    pub const ALL: [AppKind; 3] = [AppKind::Queue, AppKind::Train, AppKind::KvTxn];
+
+    /// Short stable name (CLI flag value, report row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Queue => "queue",
+            AppKind::Train => "train",
+            AppKind::KvTxn => "kvtxn",
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AppKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "queue" | "log" => Ok(AppKind::Queue),
+            "train" | "training" => Ok(AppKind::Train),
+            "kvtxn" | "kv" | "megakv-txn" => Ok(AppKind::KvTxn),
+            other => Err(format!("unknown app {other:?} (queue|train|kvtxn)")),
+        }
+    }
+}
+
+/// Sizing and identity parameters shared by every app constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppParams {
+    /// Persistency backend the service's launches run under.
+    pub backend: BackendKind,
+    /// Seed that (together with the step counter) derives every batch,
+    /// payload and schedule decision — the whole service is replayable.
+    pub seed: u64,
+    /// Upper bound on service steps the durable arenas are provisioned
+    /// for (append-only logs are sized up front; exceeding it panics).
+    pub max_steps: u64,
+    /// Per-step work width (batch size / weight count scale knob).
+    pub width: u64,
+}
+
+impl AppParams {
+    /// Parameters for a quick smoke-sized service.
+    pub fn small(backend: BackendKind, seed: u64, max_steps: u64) -> Self {
+        AppParams {
+            backend,
+            seed,
+            max_steps,
+            width: 48,
+        }
+    }
+
+    /// Parameters for a bench-sized service.
+    pub fn bench(backend: BackendKind, seed: u64, max_steps: u64) -> Self {
+        AppParams {
+            backend,
+            seed,
+            max_steps,
+            width: 96,
+        }
+    }
+}
+
+/// Outcome of one service step.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// The service step this launch belonged to (1-based).
+    pub step: u64,
+    /// Power failed before the step could commit.
+    pub crashed: bool,
+    /// The commit record became durable: the step's effects survive any
+    /// later crash.
+    pub committed: bool,
+    /// Modelled kernel execution time, ns (zero when the launch crashed).
+    pub exec_ns: u64,
+}
+
+/// Outcome of one `restore` call (crash → back-serving).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestoreReport {
+    /// Committed progress counter after roll-forward.
+    pub recovered_step: u64,
+    /// Whether an in-flight step existed and was completed.
+    pub rolled_forward: bool,
+    /// Recovery attempts (1 = no interruption; more = power failed during
+    /// the restore itself and the loop re-entered).
+    pub attempts: u32,
+    /// Power failures absorbed mid-restore.
+    pub interruptions: u32,
+    /// Region re-executions across all attempts.
+    pub reexecutions: u64,
+    /// Re-executions that ran in degraded (flush-per-store) mode.
+    pub degraded_reexecutions: u64,
+    /// Device lines retired and remapped during the restore.
+    pub quarantined_lines: u64,
+    /// Modelled restoration latency: reboot + validation sweeps + repair
+    /// re-execution + retry backoff, summed over every attempt.
+    pub latency_ns: u64,
+    /// The final recovery attempt left everything durable. `false` means
+    /// the device defeated the retry/quarantine budget — the service is up
+    /// but must report the exposure.
+    pub all_durable: bool,
+}
+
+/// A long-running service that can crash at any instant and restore itself
+/// from durable state alone.
+///
+/// Lifecycle: any number of `step` calls, then (at any point, including
+/// mid-`step`) `crash`, then `restore`, after which `verify_invariants`
+/// must return no violations and `progress` must have strictly advanced
+/// past the last pre-crash committed value whenever at least one step was
+/// attempted.
+pub trait RecoverableApp {
+    /// Service name (report row label).
+    fn name(&self) -> &'static str;
+
+    /// Runs one service step: derive the batch from `(seed, step)`, commit
+    /// the intent record, launch, drain, commit. Returns early (without
+    /// committing) if power fails at any point.
+    fn step(&mut self, gpu: &Gpu, mem: &mut PersistMemory) -> StepReport;
+
+    /// Models process death + power loss: cuts power if an armed trigger
+    /// has not already done so, and drops every volatile host-side cache
+    /// so `restore` can only rely on durable state.
+    fn crash(&mut self, mem: &mut PersistMemory);
+
+    /// Reboots, reloads the manifest from durable truth, rolls the
+    /// in-flight step (if any) forward through re-entrant resilient
+    /// recovery, commits it, and rebuilds volatile host state. Safe to be
+    /// interrupted by further power failures.
+    fn restore(&mut self, gpu: &Gpu, mem: &mut PersistMemory) -> RestoreReport;
+
+    /// Audits every invariant the service promises (no data loss, no
+    /// silent corruption, cursor consistency) against memory, returning a
+    /// human-readable violation list — empty means healthy. Callers
+    /// disable device fault injection around the audit so the audit's own
+    /// reads cannot corrupt.
+    fn verify_invariants(&mut self, mem: &mut PersistMemory) -> Vec<String>;
+
+    /// Modelled restoration latency (ns) of the most recent `restore` —
+    /// zero before the first one.
+    fn restoration_latency(&self) -> u64;
+
+    /// The durable committed progress counter (steps/epochs/batches). Must
+    /// never decrease across a crash→restore cycle.
+    fn progress(&self, mem: &mut PersistMemory) -> u64;
+}
+
+/// Builds the requested service with its durable arenas allocated from
+/// `mem`. The arenas are flushed so the baseline state is durable.
+pub fn build_app(
+    kind: AppKind,
+    params: AppParams,
+    mem: &mut PersistMemory,
+) -> Box<dyn RecoverableApp> {
+    match kind {
+        AppKind::Queue => Box::new(DurableQueue::create(mem, params)),
+        AppKind::Train => Box::new(TrainingLoop::create(mem, params)),
+        AppKind::KvTxn => Box::new(KvTxn::create(mem, params)),
+    }
+}
+
+/// SplitMix64 — the repo's standard seed mixer.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes three coordinates into one deterministic 64-bit value.
+pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix64(a ^ mix64(b ^ mix64(c ^ 0xA993_5EED_C0FF_EE01)))
+}
+
+/// Drains the whole cache with bounded retries; lines the device keeps
+/// refusing are retired and remapped (their quarantine copy is durable).
+/// Returns `false` only if power failed mid-drain.
+pub(crate) fn drain_all(mem: &mut PersistMemory, retries: u32) -> bool {
+    for _ in 0..retries {
+        if mem.power_failed() {
+            return false;
+        }
+        if mem.flush_all_result() == 0 {
+            return true;
+        }
+    }
+    for base in mem.dirty_line_bases() {
+        mem.quarantine_line(base);
+    }
+    !mem.power_failed() && mem.dirty_lines() == 0
+}
+
+/// The modelled restoration-latency charge for one re-entrant recovery:
+/// reboot, one validation sweep per round over every image, plus the
+/// repair latency the recovery report already carries.
+pub(crate) fn restoration_charge(images: u64, outcome: &ReentrantOutcome) -> u64 {
+    let rounds = u64::from(outcome.report.rounds.max(1));
+    REBOOT_NS + outcome.total_latency_ns + images * VALIDATE_NS_PER_IMAGE * rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_kind_round_trips_through_names() {
+        for kind in AppKind::ALL {
+            assert_eq!(kind.name().parse::<AppKind>().unwrap(), kind);
+        }
+        assert!("nonsense".parse::<AppKind>().is_err());
+    }
+
+    #[test]
+    fn mixers_are_deterministic_and_spread() {
+        assert_eq!(mix3(1, 2, 3), mix3(1, 2, 3));
+        assert_ne!(mix3(1, 2, 3), mix3(1, 2, 4));
+        assert_ne!(mix64(0), mix64(1));
+    }
+}

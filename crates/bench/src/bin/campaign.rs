@@ -23,7 +23,8 @@ use std::io::Write;
 
 const USAGE: &str = "usage: campaign [--scale test|bench|paper] [--budget N] [--threads N] \
                      [--workload NAME] [--backend lp|eager|epoch|sbrp|adaptive|all] \
-                     [--no-prune] [--prune-smoke] [--sabotage] [--sanitize] [--json] [--quiet]";
+                     [--trial-timeout SECS] [--no-prune] [--prune-smoke] [--sabotage] \
+                     [--sanitize] [--json] [--quiet]";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("campaign: {msg}\n{USAGE}");
@@ -42,6 +43,7 @@ struct CampaignArgs {
     quiet: bool,
     prune: bool,
     prune_smoke: bool,
+    trial_timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> CampaignArgs {
@@ -57,6 +59,9 @@ fn parse_args() -> CampaignArgs {
         quiet: false,
         prune: true,
         prune_smoke: false,
+        // Sane default: no single simulated trial takes minutes, so two of
+        // them means a hang, not a slow run. `--trial-timeout 0` disables.
+        trial_timeout_ms: Some(120_000),
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -109,6 +114,13 @@ fn parse_args() -> CampaignArgs {
                     vec![v.parse().unwrap_or_else(|e: String| usage_err(&e))]
                 });
             }
+            "--trial-timeout" => {
+                let v = value(&mut it, "--trial-timeout");
+                let secs: u64 = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--trial-timeout {v:?}: not a seconds count"))
+                });
+                out.trial_timeout_ms = (secs > 0).then(|| secs.saturating_mul(1000));
+            }
             "--no-prune" => out.prune = false,
             "--prune-smoke" => out.prune_smoke = true,
             "--sabotage" => out.sabotage = true,
@@ -139,10 +151,23 @@ fn print_report(report: &CampaignReport) {
         report.oracle_skips,
         report.failures.len()
     );
+    if report.timed_out > 0 {
+        println!(
+            "{} trial(s) abandoned by the per-trial watchdog (TimedOut)",
+            report.timed_out
+        );
+    }
     if report.pruned_trials > 0 {
         println!(
             "{} trials statically pruned (each replaced by a proven-equivalent site)",
             report.pruned_trials
+        );
+    }
+    if let Some(p) = &report.restoration_latency {
+        println!(
+            "restoration latency over {} crashed trials (model ns): \
+             p50 {} / p95 {} / p99 {} / max {}",
+            p.samples, p.p50, p.p95, p.p99, p.max
         );
     }
     println!(
@@ -276,6 +301,7 @@ fn main() {
     spec.budget = args.budget;
     spec.threads = args.threads;
     spec.prune = args.prune;
+    spec.trial_timeout_ms = args.trial_timeout_ms;
     if let Some(w) = &args.workload {
         spec.workloads = vec![w.to_ascii_uppercase()];
     }

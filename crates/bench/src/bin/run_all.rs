@@ -8,7 +8,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [(&str, &str); 15] = [
+const EXPERIMENTS: [(&str, &str); 16] = [
     ("ep_comparison", "E0 / eager-vs-lazy motivation"),
     ("fig5_hash_tables", "E1 / Fig. 5"),
     ("table2_collisions", "E2 / Table II"),
@@ -24,6 +24,7 @@ const EXPERIMENTS: [(&str, &str); 15] = [
     ("device_faults", "E16 / device-fault resilience"),
     ("backend_sweep", "E18 / persistency-model spectrum"),
     ("adaptive_sweep", "E19 / adaptive durability policy"),
+    ("soak", "E21 / recoverable-services chaos soak"),
 ];
 const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
 

@@ -67,5 +67,7 @@ pub use lp_policy::{
 pub use recovery::{Recoverable, RecoveryEngine, RecoveryReport};
 pub use reduce::ReduceStrategy;
 pub use region::{LpBlockSession, LpConfig, LpRuntime, PersistMode};
-pub use resilient::{RegionVerdict, ResilientConfig, ResilientRecovery, ResilientReport};
+pub use resilient::{
+    ReentrantOutcome, RegionVerdict, ResilientConfig, ResilientRecovery, ResilientReport,
+};
 pub use table::{AtomicPolicy, LockPolicy, TableKind, TableStats};

@@ -141,6 +141,35 @@ impl ResilientReport {
     }
 }
 
+/// Outcome of a [`ResilientRecovery::recover_reentrant`] run: the final
+/// recovery report plus how many times the loop had to re-enter after a
+/// power failure struck recovery itself.
+///
+/// Long-running services call this instead of [`ResilientRecovery::recover`]
+/// because a restoration that is itself crash-prone must be *re-entrant*:
+/// every completed repair round flushed its re-executions before the next
+/// validation, so a fresh attempt after reboot only has less work to do,
+/// never different work. The loop exploits exactly that invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReentrantOutcome {
+    /// The report of the final (converged or budget-exhausted) attempt.
+    pub report: ResilientReport,
+    /// Recovery attempts executed (1 = no interruption).
+    pub attempts: u32,
+    /// Power failures that struck mid-recovery and forced a re-entry.
+    pub interruptions: u32,
+    /// Modelled latency summed over every attempt, including the aborted
+    /// ones — the service was down for all of them.
+    pub total_latency_ns: u64,
+}
+
+impl ReentrantOutcome {
+    /// Whether the final attempt left everything durable and correct.
+    pub fn is_success(&self) -> bool {
+        self.report.all_durable
+    }
+}
+
 /// Records the distinct cache lines a block stores to, for degraded-mode
 /// eager flushing.
 struct StoreLineRecorder {
@@ -377,6 +406,48 @@ impl<'g> ResilientRecovery<'g> {
             - report.exhausted_regions.len() as u64
             - report.quarantined_regions.len() as u64;
         report
+    }
+
+    /// Re-entrant recovery: runs [`recover`](Self::recover) repeatedly,
+    /// restoring power whenever a crash strikes recovery itself, until the
+    /// state is fully durable or `max_attempts` runs out.
+    ///
+    /// [`recover`](Self::recover) aborts honestly on a mid-recovery power
+    /// failure; this wrapper is the other half of that contract — it powers
+    /// the machine back on and re-enters. Convergence is monotone: each
+    /// aborted attempt left every completed repair round flushed, so the
+    /// next attempt validates against strictly-no-worse durable state.
+    /// `max_attempts` only guards against a pathological device (e.g. a
+    /// crash armed to fire on every attempt).
+    pub fn recover_reentrant(
+        &self,
+        kernel: &dyn Recoverable,
+        rt: &LpRuntime,
+        mem: &mut PersistMemory,
+        max_attempts: u32,
+    ) -> ReentrantOutcome {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let mut out = ReentrantOutcome::default();
+        for attempt in 1..=max_attempts {
+            if mem.power_failed() {
+                mem.power_on();
+            }
+            out.attempts = attempt;
+            out.report = self.recover(kernel, rt, mem);
+            out.total_latency_ns += out.report.latency_ns();
+            if mem.power_failed() {
+                out.interruptions += 1;
+                continue;
+            }
+            if out.report.all_durable {
+                break;
+            }
+            // Not durable with power still on: the round budget ran out or
+            // lines are stuck beyond quarantine. Re-entering cannot help —
+            // report honestly instead of spinning.
+            break;
+        }
+        out
     }
 }
 
@@ -645,6 +716,52 @@ mod tests {
                 + report.quarantined_regions.len() as u64,
             report.regions
         );
+    }
+
+    #[test]
+    fn reentrant_recovery_absorbs_a_mid_recovery_power_failure() {
+        let (gpu, mut mem, out) = world(2048, Some(FaultConfig::torn(41, 1_000)));
+        let rt = LpRuntime::setup(&mut mem, 32, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 2048,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.crash();
+        mem.arm_crash_after_evictions(2);
+        let outcome = ResilientRecovery::new(&gpu).recover_reentrant(&k, &rt, &mut mem, 8);
+        mem.disarm_crash();
+        assert!(outcome.is_success(), "{outcome:?}");
+        assert_eq!(outcome.interruptions, 1, "{outcome:?}");
+        assert_eq!(outcome.attempts, 2, "{outcome:?}");
+        assert!(
+            outcome.total_latency_ns >= outcome.report.latency_ns(),
+            "downtime must include the aborted attempt"
+        );
+        mem.set_fault_config(None);
+        mem.crash();
+        verify_output(&mut mem, out, 2048);
+    }
+
+    #[test]
+    fn reentrant_recovery_is_a_plain_recover_when_uninterrupted() {
+        let (gpu, mut mem, out) = world(1024, Some(FaultConfig::torn(43, 1_500)));
+        let rt = LpRuntime::setup(&mut mem, 16, 64, LpConfig::recommended());
+        let k = FillLp {
+            out,
+            n: 1024,
+            rt: &rt,
+        };
+        gpu.launch(&k, &mut mem).unwrap();
+        mem.crash();
+        let outcome = ResilientRecovery::new(&gpu).recover_reentrant(&k, &rt, &mut mem, 8);
+        assert!(outcome.is_success(), "{outcome:?}");
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.interruptions, 0);
+        assert_eq!(outcome.total_latency_ns, outcome.report.latency_ns());
+        mem.set_fault_config(None);
+        verify_output(&mut mem, out, 1024);
     }
 
     #[test]

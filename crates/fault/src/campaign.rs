@@ -12,12 +12,14 @@
 
 use crate::shrink::{shrink, ShrinkOutcome};
 use crate::site::CrashSite;
+use crate::stats::{percentiles, Percentiles};
 use crate::trial::{run_trial, TrialId, TrialResult, CONFIG_NAMES, SUBJECT_NAMES};
 use gpu_lp::BackendKind;
 use lp_kernels::Scale;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// What to sweep. Build with [`CampaignSpec::default_sweep`] and adjust.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +50,13 @@ pub struct CampaignSpec {
     pub shrink_attempts: u32,
     /// Cap on failures that get shrunk (shrinking re-runs trials).
     pub max_shrinks: usize,
+    /// Per-trial wall-clock watchdog in milliseconds. A trial exceeding it
+    /// is abandoned and recorded as a `TimedOut` verdict (its worker
+    /// thread is detached, not killed — the simulation is pure compute, so
+    /// an abandoned one only wastes a core until it finishes or the
+    /// process exits). `None` disables the watchdog (library default; the
+    /// campaign binary defaults to 120 s via `--trial-timeout`).
+    pub trial_timeout_ms: Option<u64>,
 }
 
 impl CampaignSpec {
@@ -67,6 +76,7 @@ impl CampaignSpec {
             threads: 0,
             shrink_attempts: 12,
             max_shrinks: 5,
+            trial_timeout_ms: None,
         }
     }
 
@@ -197,6 +207,14 @@ pub struct CampaignReport {
     pub by_site: Vec<Tally>,
     /// Tallies keyed by workload, sorted by name.
     pub by_workload: Vec<Tally>,
+    /// Trials abandoned by the per-trial watchdog (all counted in
+    /// `failures` too, but never shrunk — re-running a hung trial would
+    /// hang the shrinker).
+    pub timed_out: u64,
+    /// Restoration-latency distribution (modelled `recovery_ns`) over the
+    /// trials whose injected crash fired — the campaign-side view of the
+    /// soak engine's per-cycle restoration metric.
+    pub restoration_latency: Option<Percentiles>,
     /// Every failure, shrunk where budget allowed.
     pub failures: Vec<FailureRecord>,
 }
@@ -224,6 +242,28 @@ impl CampaignReport {
     }
 }
 
+/// A non-verdict [`TrialResult`] for trials that never produced one.
+fn aborted_result(id: &TrialId, timed_out: bool, detail: String) -> TrialResult {
+    TrialResult {
+        id: id.clone(),
+        crashed: false,
+        failed_regions: 0,
+        reexecutions: 0,
+        recovery_rounds: 0,
+        quarantined_lines: 0,
+        degraded_reexecutions: 0,
+        recovery_ns: 0,
+        o1_output: false,
+        o2: None,
+        o3: None,
+        o4_no_silent_corruption: None,
+        o5_journal_agreement: None,
+        passed: false,
+        timed_out,
+        detail,
+    }
+}
+
 /// A panicking trial still yields a (failing) result.
 fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
     catch_unwind(AssertUnwindSafe(|| run_trial(id, scale))).unwrap_or_else(|payload| {
@@ -232,24 +272,29 @@ fn run_one(id: &TrialId, scale: Scale) -> TrialResult {
             .map(String::as_str)
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("non-string panic payload");
-        TrialResult {
-            id: id.clone(),
-            crashed: false,
-            failed_regions: 0,
-            reexecutions: 0,
-            recovery_rounds: 0,
-            quarantined_lines: 0,
-            degraded_reexecutions: 0,
-            recovery_ns: 0,
-            o1_output: false,
-            o2: None,
-            o3: None,
-            o4_no_silent_corruption: None,
-            o5_journal_agreement: None,
-            passed: false,
-            detail: format!("panic: {msg}"),
-        }
+        aborted_result(id, false, format!("panic: {msg}"))
     })
+}
+
+/// [`run_one`] under the per-trial watchdog: the trial runs on its own
+/// thread; if it does not report back within `timeout_ms` it is abandoned
+/// (the thread is detached — a pure-compute simulation cannot be killed
+/// safely, so it is left to finish into a dropped channel) and a distinct
+/// `TimedOut` verdict is recorded against the [`TrialId`].
+fn run_one_timed(id: &TrialId, scale: Scale, timeout_ms: Option<u64>) -> TrialResult {
+    let Some(ms) = timeout_ms else {
+        return run_one(id, scale);
+    };
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    let thread_id = id.clone();
+    std::thread::spawn(move || {
+        // The receiver may be gone (watchdog fired); a failed send is fine.
+        let _ = tx.send(run_one(&thread_id, scale));
+    });
+    match rx.recv_timeout(Duration::from_millis(ms)) {
+        Ok(result) => result,
+        Err(_) => aborted_result(id, true, format!("TimedOut: exceeded {ms} ms wall clock")),
+    }
 }
 
 /// Runs every trial of `spec`, fanned out over threads, and assembles the
@@ -278,7 +323,7 @@ pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync)
                     if i % threads != t {
                         continue;
                     }
-                    mine.push((i, run_one(id, spec.scale)));
+                    mine.push((i, run_one_timed(id, spec.scale, spec.trial_timeout_ms)));
                     let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                     progress(n, total);
                 }
@@ -302,10 +347,13 @@ pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync)
         pruned: prune_ledger,
         by_site: Vec::new(),
         by_workload: Vec::new(),
+        timed_out: 0,
+        restoration_latency: None,
         failures: Vec::new(),
     };
     let mut by_site: BTreeMap<String, Tally> = BTreeMap::new();
     let mut by_workload: BTreeMap<String, Tally> = BTreeMap::new();
+    let mut recovery_latencies = Vec::new();
     for (_, r) in &results {
         let site_tally = by_site.entry(r.id.site.label()).or_default();
         let wl_tally = by_workload.entry(r.id.workload.clone()).or_default();
@@ -316,8 +364,13 @@ pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync)
         }
         report.crashed += r.crashed as u64;
         report.passed += r.passed as u64;
+        report.timed_out += r.timed_out as u64;
         report.oracle_skips += (r.o2.is_none() || r.o3.is_none()) as u64;
+        if r.crashed {
+            recovery_latencies.push(r.recovery_ns);
+        }
     }
+    report.restoration_latency = percentiles(&recovery_latencies);
     let labelled = |m: BTreeMap<String, Tally>| {
         m.into_iter()
             .map(|(label, t)| Tally { label, ..t })
@@ -329,7 +382,9 @@ pub fn run_campaign(spec: &CampaignSpec, progress: impl Fn(usize, usize) + Sync)
         if r.passed {
             continue;
         }
-        let shrunk = (report.failures.len() < spec.max_shrinks)
+        // A timed-out trial is never shrunk: shrinking re-runs the trial,
+        // and re-running a hung simulation would hang the shrinker too.
+        let shrunk = (!r.timed_out && report.failures.len() < spec.max_shrinks)
             .then(|| shrink(&r.id, spec.scale, spec.shrink_attempts));
         report.failures.push(FailureRecord { result: r, shrunk });
     }
@@ -504,6 +559,43 @@ mod tests {
         }
         assert!(report.all_passed());
         assert_eq!(report.exit_code(false, 0), 0);
+    }
+
+    #[test]
+    fn tiny_campaign_reports_restoration_percentiles() {
+        let report = run_campaign(&tiny_spec(), |_, _| {});
+        let p = report
+            .restoration_latency
+            .expect("crashed trials must yield a latency distribution");
+        assert_eq!(p.samples, report.crashed);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+    }
+
+    #[test]
+    fn watchdog_reports_timed_out_verdicts_without_wedging() {
+        // A 0 ms budget times every trial out deterministically — the
+        // point is the *reporting* path, not the race.
+        let spec = CampaignSpec {
+            trial_timeout_ms: Some(0),
+            ..tiny_spec()
+        };
+        let report = run_campaign(&spec, |_, _| {});
+        assert_eq!(report.timed_out, report.trials);
+        assert_eq!(report.passed, 0);
+        assert_eq!(report.failures.len(), report.trials as usize);
+        for f in &report.failures {
+            assert!(f.result.timed_out);
+            assert!(f.result.detail.contains("TimedOut"), "{}", f.result.detail);
+            assert!(f.shrunk.is_none(), "timed-out trials must not be shrunk");
+        }
+        // A generous budget changes nothing about a healthy campaign.
+        let spec = CampaignSpec {
+            trial_timeout_ms: Some(120_000),
+            ..tiny_spec()
+        };
+        let report = run_campaign(&spec, |_, _| {});
+        assert_eq!(report.timed_out, 0);
+        assert!(report.all_passed(), "{:#?}", report.failures);
     }
 
     #[test]

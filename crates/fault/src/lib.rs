@@ -41,6 +41,8 @@ pub mod prune;
 pub mod sanitize;
 pub mod shrink;
 pub mod site;
+pub mod soak;
+pub mod stats;
 pub mod trial;
 
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, PruneRecord, Tally};
@@ -51,6 +53,8 @@ pub use prune::{
 pub use sanitize::{sanitize_subject, sanitize_sweep, SanitizeRecord};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use site::CrashSite;
+pub use soak::{run_soak, soak_world, CrashMode, CycleRecord, SoakReport, SoakSpec};
+pub use stats::{percentiles, Percentiles};
 pub use trial::{
     device_fault_config, fault_world, run_trial, trial_config, TrialConfig, TrialId, TrialResult,
     CONFIG_NAMES, SABOTAGE_CONFIG, SUBJECT_NAMES,

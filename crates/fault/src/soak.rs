@@ -1,0 +1,488 @@
+//! Chaos-soak harness: N consecutive crash→recover→resume cycles against
+//! the recoverable services of `lp-apps`, on a lying device.
+//!
+//! Where the campaign engine ([`crate::campaign`]) crashes *one launch
+//! once* and judges the single recovery, the soak engine answers the
+//! question a service operator actually asks: does the system survive
+//! **hundreds of consecutive** power cycles — crashes at step boundaries,
+//! inside drains, and in the middle of recovery itself — while the NVM
+//! device keeps tearing write-backs, refusing persists, and decaying lines
+//! the whole time, without ever losing a committed record or silently
+//! corrupting one?
+//!
+//! Every cycle of a soak is seed-deterministic:
+//!
+//! 1. run a crash-free *anchor step* (so committed progress must strictly
+//!    advance every cycle — the monotonicity oracle has teeth);
+//! 2. run `0..max_steps_per_cycle-1` more steps with a seeded crash
+//!    trigger armed — a step-boundary crash, a natural-eviction crash
+//!    mid-launch, or a crash inside the commit drain;
+//! 3. on a seeded fraction of cycles, arm a *second* trigger before
+//!    restoration, so power fails again in the middle of recovery and the
+//!    re-entrant restore path has to converge anyway;
+//! 4. restore (retrying if interrupted), then audit with device faults
+//!    disabled: zero data loss, zero silent corruption, strictly monotone
+//!    progress, and record the restoration latency.
+//!
+//! The soak's device model deliberately omits `silent_error_bp`: a silent
+//! media flip on long-committed data (outside any active LP region) is
+//! beyond every backend's contract — the campaign's `MediaBitErrors` sites
+//! cover silent flips within the LP horizon, where validation can see
+//! them.
+//!
+//! **Contract waiver.** Torn write-backs *claim success* while persisting a
+//! prefix; only a backend that validates data content (LP's checksums, both
+//! ends of the adaptive ladder) can catch the lie. A token-based model
+//! (eager/epoch/SBRP) is blind to it by design, so — exactly like the
+//! campaign's O4 oracle — a soak under such a backend that loses data while
+//! the device demonstrably lied stops with the cycle recorded as
+//! *waived by contract* rather than failed: that exposure is the paper's
+//! argument for LP, not a harness bug. Corruption without a device lie
+//! stays a hard failure under every backend.
+
+use gpu_lp::{BackendKind, DurabilityContract};
+use lp_apps::{build_app, AppKind, AppParams, RecoverableApp};
+use nvm::{FaultConfig, NvmConfig, PersistMemory};
+use serde::{Deserialize, Serialize};
+use simt::{DeviceConfig, Gpu};
+
+use crate::stats::{percentiles, Percentiles};
+
+/// How a cycle's primary crash is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashMode {
+    /// Instant power loss at a step boundary (between commits).
+    Boundary,
+    /// Armed on natural cache evictions: fires inside a launch.
+    MidStep,
+    /// Armed on flush progress: fires inside a commit/checkpoint drain.
+    MidDrain,
+}
+
+impl CrashMode {
+    fn name(self) -> &'static str {
+        match self {
+            CrashMode::Boundary => "boundary",
+            CrashMode::MidStep => "mid-step",
+            CrashMode::MidDrain => "mid-drain",
+        }
+    }
+}
+
+impl std::fmt::Display for CrashMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One soak configuration: everything needed to replay it bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakSpec {
+    /// Which recoverable service to soak.
+    pub app: AppKind,
+    /// Persistency backend the service runs under.
+    pub backend: BackendKind,
+    /// Master seed: derives the workload *and* the crash schedule.
+    pub seed: u64,
+    /// Crash→recover→resume cycles to run.
+    pub cycles: u64,
+    /// Upper bound on service steps per cycle (≥ 1; the first step of each
+    /// cycle always runs crash-free).
+    pub max_steps_per_cycle: u64,
+    /// Device fault rate in basis points, applied to torn write-backs and
+    /// (at half rate) transient persist failures and ECC errors.
+    pub fault_bp: u32,
+    /// Per-step work width forwarded to [`AppParams`].
+    pub width: u64,
+}
+
+impl SoakSpec {
+    /// Compact row label, e.g. `queue/adaptive bp200 x50`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} bp{} x{}",
+            self.app, self.backend, self.fault_bp, self.cycles
+        )
+    }
+
+    /// The soak device model (see the module docs for why `silent` is 0).
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        if self.fault_bp == 0 {
+            return None;
+        }
+        Some(FaultConfig {
+            seed: self.seed ^ 0xFA17_C0DE,
+            torn_writeback_bp: self.fault_bp,
+            transient_persist_bp: self.fault_bp / 2,
+            stuck_line_bp: self.fault_bp / 8,
+            ecc_error_bp: self.fault_bp / 2,
+            silent_error_bp: 0,
+        })
+    }
+}
+
+/// The outcome of one crash→recover→resume cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// 1-based cycle number.
+    pub cycle: u64,
+    /// Service steps attempted this cycle (including the crashed one).
+    pub steps: u64,
+    /// How the primary crash was injected.
+    pub crash_mode: CrashMode,
+    /// Whether a second trigger was armed to fire mid-recovery.
+    pub crashed_mid_recovery: bool,
+    /// Restore calls needed until the service was fully durable again.
+    pub restore_calls: u32,
+    /// Recovery attempts summed over those calls (> restore_calls means
+    /// the re-entrant loop absorbed interruptions internally too).
+    pub recovery_attempts: u32,
+    /// Committed progress before the cycle / after restoration.
+    pub progress_before: u64,
+    /// Committed progress after restoration (must strictly increase).
+    pub progress_after: u64,
+    /// Modelled restoration latency of the final (successful) restore, ns.
+    pub restoration_ns: u64,
+    /// Invariant violations found by the post-restore audit (data loss or
+    /// silent corruption — must be empty).
+    pub violations: Vec<String>,
+    /// Whether this cycle met every oracle.
+    pub passed: bool,
+    /// Violations occurred, but the backend's durability contract has no
+    /// checksum validation and the device demonstrably lied (torn/silent
+    /// faults) — out of contract, recorded instead of failed.
+    pub waived_by_contract: bool,
+}
+
+/// The full result of one soak run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// The configuration that produced this report.
+    pub spec: SoakSpec,
+    /// Per-cycle records, in order.
+    pub cycles: Vec<CycleRecord>,
+    /// Total committed service steps across the whole soak.
+    pub total_steps: u64,
+    /// Restoration-latency distribution across cycles.
+    pub restoration_latency: Option<Percentiles>,
+    /// Cycle at which the soak stopped under the contract waiver (see the
+    /// module docs), if it did. `None` on a clean or hard-failed soak.
+    pub waived_cycle: Option<u64>,
+    /// Whether every cycle passed or was waived by contract.
+    pub passed: bool,
+}
+
+impl SoakReport {
+    /// Process exit code: 0 iff every cycle passed or was waived.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.passed)
+    }
+
+    /// The hard-failed cycles (empty on a clean or contract-waived soak).
+    pub fn failures(&self) -> Vec<&CycleRecord> {
+        self.cycles
+            .iter()
+            .filter(|c| !c.passed && !c.waived_by_contract)
+            .collect()
+    }
+}
+
+/// SplitMix64 over the soak schedule space.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn schedule(seed: u64, cycle: u64, what: u64) -> u64 {
+    mix(seed ^ mix(cycle ^ mix(what ^ 0x50AC_50AC_50AC_50AC)))
+}
+
+/// The soak machine: the test GPU and a deliberately tiny cache (64 lines)
+/// so natural evictions — and therefore genuinely mid-launch crash
+/// triggers and partially-persisted steps — happen constantly even at
+/// service scale.
+pub fn soak_world() -> (Gpu, PersistMemory) {
+    let mem = PersistMemory::new(NvmConfig {
+        cache_lines: 64,
+        associativity: 4,
+        ..NvmConfig::default()
+    });
+    (Gpu::new(DeviceConfig::test_gpu()), mem)
+}
+
+/// Maximum `restore` calls per cycle before declaring the cycle failed.
+const MAX_RESTORE_CALLS: u32 = 6;
+
+/// Runs one soak to completion. Deterministic in `spec`.
+pub fn run_soak(spec: &SoakSpec) -> SoakReport {
+    assert!(
+        spec.cycles > 0 && spec.max_steps_per_cycle > 0,
+        "empty soak"
+    );
+    let (gpu, mut mem) = soak_world();
+    // The arenas must hold the worst case: every cycle commits every step
+    // plus the rolled-forward one.
+    let max_steps = spec.cycles * (spec.max_steps_per_cycle + 1) + 8;
+    let params = AppParams {
+        backend: spec.backend,
+        seed: spec.seed,
+        max_steps,
+        width: spec.width,
+    };
+    let mut app = build_app(spec.app, params, &mut mem);
+    mem.set_fault_config(spec.fault_config());
+
+    let contract = DurabilityContract::of(spec.backend);
+    let mut cycles = Vec::with_capacity(spec.cycles as usize);
+    let mut total_steps = 0u64;
+    let mut latencies = Vec::with_capacity(spec.cycles as usize);
+    let mut waived_cycle = None;
+    for cycle in 1..=spec.cycles {
+        let mut rec = run_cycle(spec, &gpu, &mut mem, app.as_mut(), cycle, &mut total_steps);
+        latencies.push(rec.restoration_ns);
+        if !rec.passed {
+            // O4 waiver (mirrors `run_trial`): a token-based contract
+            // cannot detect faults where the device claims success while
+            // corrupting data. If the device lied, the loss is out of
+            // contract — record and stop rather than fail.
+            let stats = mem.stats();
+            let device_lied = stats.torn_writebacks > 0 || stats.silent_bit_errors > 0;
+            if !contract.checksum_validated && device_lied {
+                rec.waived_by_contract = true;
+                waived_cycle = Some(cycle);
+            }
+        }
+        cycles.push(rec);
+        if !cycles.last().unwrap().passed {
+            // A failed (or waived) oracle means the durable state can no
+            // longer be trusted; later cycles would only compound it.
+            break;
+        }
+    }
+    let passed = cycles.iter().all(|c| c.passed || c.waived_by_contract);
+    SoakReport {
+        spec: spec.clone(),
+        restoration_latency: percentiles(&latencies),
+        cycles,
+        total_steps,
+        waived_cycle,
+        passed,
+    }
+}
+
+fn run_cycle(
+    spec: &SoakSpec,
+    gpu: &Gpu,
+    mem: &mut PersistMemory,
+    app: &mut dyn RecoverableApp,
+    cycle: u64,
+    total_steps: &mut u64,
+) -> CycleRecord {
+    // A fresh cycle starts powered and disarmed (a stale trigger from a
+    // previous cycle must not corrupt this cycle's schedule).
+    mem.disarm_crash();
+    if mem.power_failed() {
+        mem.power_on();
+    }
+
+    let seed = spec.seed;
+    let extra_steps = schedule(seed, cycle, 1) % spec.max_steps_per_cycle;
+    let crash_mode = match schedule(seed, cycle, 2) % 3 {
+        0 => CrashMode::Boundary,
+        1 => CrashMode::MidStep,
+        _ => CrashMode::MidDrain,
+    };
+    let mid_recovery = schedule(seed, cycle, 3).is_multiple_of(3);
+
+    let progress_before = app.progress(mem);
+    let mut rec = CycleRecord {
+        cycle,
+        steps: 0,
+        crash_mode,
+        crashed_mid_recovery: mid_recovery,
+        restore_calls: 0,
+        recovery_attempts: 0,
+        progress_before,
+        progress_after: progress_before,
+        restoration_ns: 0,
+        violations: Vec::new(),
+        passed: false,
+        waived_by_contract: false,
+    };
+
+    // 1. Anchor step: crash-free, so progress has to advance this cycle.
+    let anchor = app.step(gpu, mem);
+    rec.steps += 1;
+    if !anchor.committed {
+        rec.violations
+            .push(format!("anchor step {} failed to commit", anchor.step));
+        return rec;
+    }
+    *total_steps += 1;
+
+    // 2. Chaos steps with the cycle's trigger armed.
+    match crash_mode {
+        CrashMode::Boundary => {}
+        CrashMode::MidStep => mem.arm_crash_after_evictions(1 + schedule(seed, cycle, 4) % 24),
+        CrashMode::MidDrain => mem.arm_crash_during_flush(schedule(seed, cycle, 5) % 8),
+    }
+    for _ in 0..extra_steps {
+        let rep = app.step(gpu, mem);
+        rec.steps += 1;
+        if rep.crashed {
+            break;
+        }
+        *total_steps += 1;
+    }
+
+    // 3. The crash (if an armed trigger did not already cut power) and,
+    //    on the scheduled cycles, a second trigger aimed at recovery.
+    app.crash(mem);
+    if mid_recovery {
+        if schedule(seed, cycle, 6).is_multiple_of(2) {
+            mem.arm_crash_after_evictions(1 + schedule(seed, cycle, 7) % 8);
+        } else {
+            mem.arm_crash_during_flush(schedule(seed, cycle, 8) % 4);
+        }
+    }
+
+    // 4. Restore until durable (the mid-recovery trigger can interrupt the
+    //    restore itself — the service must converge anyway).
+    let mut restored = false;
+    for _ in 0..MAX_RESTORE_CALLS {
+        let rep = app.restore(gpu, mem);
+        rec.restore_calls += 1;
+        rec.recovery_attempts += rep.attempts;
+        rec.restoration_ns = rep.latency_ns;
+        if rep.all_durable {
+            if rep.rolled_forward {
+                *total_steps += 1;
+            }
+            restored = true;
+            break;
+        }
+    }
+    if !restored {
+        rec.violations.push(format!(
+            "restoration did not converge within {MAX_RESTORE_CALLS} calls"
+        ));
+        return rec;
+    }
+
+    // 5. Audit with the device model quiesced, so the audit's own traffic
+    //    cannot fault; the model comes back for the next cycle.
+    let faults = mem.fault_config();
+    mem.set_fault_config(None);
+    mem.disarm_crash();
+    rec.violations = app.verify_invariants(mem);
+    rec.progress_after = app.progress(mem);
+    mem.set_fault_config(faults);
+
+    if rec.progress_after <= rec.progress_before {
+        rec.violations.push(format!(
+            "progress not monotone: {} -> {}",
+            rec.progress_before, rec.progress_after
+        ));
+    }
+    rec.passed = rec.violations.is_empty();
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(app: AppKind, backend: BackendKind, cycles: u64, fault_bp: u32) -> SoakSpec {
+        SoakSpec {
+            app,
+            backend,
+            seed: 0xD00D + fault_bp as u64,
+            cycles,
+            max_steps_per_cycle: 3,
+            fault_bp,
+            width: 48,
+        }
+    }
+
+    #[test]
+    fn every_app_survives_a_short_clean_soak() {
+        for app in AppKind::ALL {
+            let report = run_soak(&spec(app, BackendKind::LpChecksum, 4, 0));
+            assert!(report.passed, "{app}: {:?}", report.failures());
+            assert_eq!(report.cycles.len(), 4);
+            assert!(report.restoration_latency.is_some());
+        }
+    }
+
+    #[test]
+    fn every_app_survives_a_faulty_device_soak() {
+        for app in AppKind::ALL {
+            let report = run_soak(&spec(app, BackendKind::LpChecksum, 4, 200));
+            assert!(report.passed, "{app}: {:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn progress_is_strictly_monotone_across_cycles() {
+        let report = run_soak(&spec(AppKind::Queue, BackendKind::LpChecksum, 5, 150));
+        assert!(report.passed);
+        for w in report.cycles.windows(2) {
+            assert!(w[1].progress_before >= w[0].progress_after);
+        }
+        for c in &report.cycles {
+            assert!(c.progress_after > c.progress_before, "cycle {}", c.cycle);
+        }
+    }
+
+    #[test]
+    fn soak_is_deterministic_in_the_spec() {
+        let s = spec(AppKind::KvTxn, BackendKind::LpChecksum, 3, 100);
+        let a = run_soak(&s);
+        let b = run_soak(&s);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn adaptive_backend_soaks_clean() {
+        let report = run_soak(&spec(AppKind::Queue, BackendKind::Adaptive, 3, 120));
+        assert!(report.passed, "{:?}", report.failures());
+    }
+
+    #[test]
+    fn token_backends_waive_lying_device_losses_instead_of_failing() {
+        let mut any_waived = false;
+        for backend in [BackendKind::Eager, BackendKind::Epoch, BackendKind::Sbrp] {
+            let report = run_soak(&spec(AppKind::Queue, backend, 30, 300));
+            assert!(
+                report.passed,
+                "{backend}: a lying-device loss under a token contract must \
+                 waive, not hard-fail: {:?}",
+                report.failures()
+            );
+            assert!(report.failures().is_empty());
+            if let Some(cycle) = report.waived_cycle {
+                any_waived = true;
+                let last = report.cycles.last().unwrap();
+                assert_eq!(last.cycle, cycle, "soak must stop at the waived cycle");
+                assert!(last.waived_by_contract && !last.violations.is_empty());
+            }
+        }
+        assert!(
+            any_waived,
+            "at bp 300 over 30 cycles at least one token backend must hit \
+             a torn-writeback loss"
+        );
+    }
+
+    #[test]
+    fn checksum_backends_never_waive() {
+        let report = run_soak(&spec(AppKind::Queue, BackendKind::LpChecksum, 6, 300));
+        assert!(report.passed, "{:?}", report.failures());
+        assert_eq!(report.waived_cycle, None);
+    }
+}

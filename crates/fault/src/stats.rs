@@ -1,0 +1,74 @@
+//! Small latency-distribution statistics for campaign and soak reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentiles of a latency sample set (ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Number of samples the percentiles were computed over.
+    pub samples: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile: the smallest sample ≥ `p`% of the set. `sorted`
+/// must be ascending.
+fn rank(sorted: &[u64], p: u64) -> u64 {
+    let n = sorted.len() as u64;
+    let idx = (p * n).div_ceil(100).max(1) - 1;
+    sorted[idx.min(n - 1) as usize]
+}
+
+/// Computes [`Percentiles`] over a sample set; `None` when empty.
+pub fn percentiles(samples: &[u64]) -> Option<Percentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(Percentiles {
+        samples: sorted.len() as u64,
+        p50: rank(&sorted, 50),
+        p95: rank(&sorted, 95),
+        p99: rank(&sorted, 99),
+        max: *sorted.last().unwrap(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_percentiles() {
+        assert_eq!(percentiles(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = percentiles(&[7]).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99, p.max, p.samples), (7, 7, 7, 7, 1));
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_set() {
+        // 1..=100: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = percentiles(&samples).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (50, 95, 99, 100));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = percentiles(&[5, 1, 9, 3, 7]).unwrap();
+        let b = percentiles(&[9, 7, 5, 3, 1]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 5);
+    }
+}

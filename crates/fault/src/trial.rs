@@ -152,6 +152,11 @@ pub struct TrialResult {
     pub o5_journal_agreement: Option<bool>,
     /// All applicable oracles passed.
     pub passed: bool,
+    /// The trial exceeded the campaign's per-trial wall-clock watchdog and
+    /// was abandoned: a distinct verdict (`passed = false`) so a hung or
+    /// runaway simulation is reported with its [`TrialId`] instead of
+    /// wedging the whole run.
+    pub timed_out: bool,
     /// Diagnostics for failures and skipped oracles.
     pub detail: String,
 }
@@ -530,6 +535,7 @@ pub fn run_trial(id: &TrialId, scale: Scale) -> TrialResult {
                 o4_no_silent_corruption: None,
                 o5_journal_agreement: None,
                 passed: o1 && verdict.ok(),
+                timed_out: false,
                 detail,
             }
         },
@@ -663,6 +669,7 @@ fn run_policy_switch_trial(
                 o4_no_silent_corruption: None,
                 o5_journal_agreement: Some(o5),
                 passed: o1 && o5,
+                timed_out: false,
                 detail,
             }
         },
@@ -750,6 +757,7 @@ fn judge_device_trial(
         o4_no_silent_corruption: Some(o4),
         o5_journal_agreement: None,
         passed: o4,
+        timed_out: false,
         detail,
     }
 }
