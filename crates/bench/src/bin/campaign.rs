@@ -236,6 +236,26 @@ fn prune_smoke(args: &CampaignArgs) -> ! {
         eprintln!("prune-smoke: sample pruned nothing — the smoke test is vacuous");
         bad += 1;
     }
+    // The footprint family must be exercised, not just the contract and
+    // geometry families: SPMV's store-footprint certificate collapses its
+    // block-boundary sites, so a default sample with zero
+    // footprint-justified decisions means the family silently regressed.
+    // (The representative-verdict comparison below then covers those
+    // decisions like any other: a footprint-pruned site that fails in the
+    // unpruned run must map to a failing representative.)
+    if args.workload.is_none() {
+        let fp = pruned
+            .pruned
+            .iter()
+            .filter(|r| r.decision.why.contains("footprint"))
+            .count();
+        if fp == 0 {
+            eprintln!("prune-smoke: no footprint-certified decision in the default sample");
+            bad += 1;
+        } else {
+            eprintln!("# prune-smoke: {fp} footprint-certified prune decisions in sample");
+        }
+    }
     if pruned.trials + pruned.pruned_trials != full.trials {
         eprintln!(
             "prune-smoke: trial accounting broken: {} kept + {} pruned != {} full",

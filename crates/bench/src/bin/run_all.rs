@@ -8,7 +8,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [(&str, &str); 16] = [
+const EXPERIMENTS: [(&str, &str); 17] = [
     ("ep_comparison", "E0 / eager-vs-lazy motivation"),
     ("fig5_hash_tables", "E1 / Fig. 5"),
     ("table2_collisions", "E2 / Table II"),
@@ -25,6 +25,7 @@ const EXPERIMENTS: [(&str, &str); 16] = [
     ("backend_sweep", "E18 / persistency-model spectrum"),
     ("adaptive_sweep", "E19 / adaptive durability policy"),
     ("soak", "E21 / recoverable-services chaos soak"),
+    ("footprint_engine", "E22 / store-footprint engine"),
 ];
 const FAST_EXTRA: [(&str, &str); 1] = [("false_negatives", "E12 / §IV-B")];
 

@@ -158,7 +158,7 @@ fn weakest_path_fence(cfg: &Cfg, fns: &BTreeMap<String, FnSummary>) -> Vec<u8> {
 
 /// Forward reachability from `from` (exclusive of `from` itself unless it
 /// sits on a cycle).
-fn reachable_from(cfg: &Cfg, from: usize) -> Vec<bool> {
+pub(super) fn reachable_from(cfg: &Cfg, from: usize) -> Vec<bool> {
     let mut seen = vec![false; cfg.nodes.len()];
     let mut stack: Vec<usize> = cfg.succs[from].clone();
     while let Some(n) = stack.pop() {
@@ -204,6 +204,7 @@ fn lp016_store_escapes_fold(
                      kernel `{}` or fold the written value there",
                     ir.name
                 ),
+                suggestion: None,
             });
         }
     }
@@ -264,6 +265,7 @@ fn lp017_fence_scope_too_narrow(
                 backend.name(),
                 node.line,
             ),
+            suggestion: None,
         });
     }
 }
@@ -326,6 +328,7 @@ fn lp018_token_before_drain(
                  publishing the token",
                 cfg.nodes[w].line
             ),
+            suggestion: None,
         });
     }
 }
@@ -389,6 +392,7 @@ fn lp019_epoch_open_across_back_edge(
                                 hnode.line,
                                 backend.name(),
                             ),
+                            suggestion: None,
                         });
                     }
                 }
@@ -453,6 +457,7 @@ fn lp020_divergent_fold_paths(
                  give each branch its own fold or make the branch uniform",
                 cfg.nodes[a].line, cfg.nodes[b].line
             ),
+            suggestion: None,
         });
     }
 }
@@ -521,6 +526,7 @@ fn lp021_unsatisfiable_pin(
                 .unwrap_or(contract.summary),
             contract.durability_point(),
         ),
+        suggestion: None,
     });
 }
 

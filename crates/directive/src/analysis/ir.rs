@@ -27,8 +27,14 @@ pub struct KernelIr {
     pub name: String,
     /// Names of every kernel parameter (uniform across the grid).
     pub param_names: Vec<String>,
+    /// Declared type text of each parameter, parallel to `param_names`
+    /// (e.g. `"const float *"`); empty string when unrecoverable.
+    pub param_types: Vec<String>,
     /// Names of the pointer-typed parameters (the global buffers).
     pub pointer_params: Vec<String>,
+    /// Declared persist regions from `lpcuda_region(ptr, nelems)` pragmas
+    /// in the body, as `(line, pointer_param, element_count_expr)`.
+    pub regions: Vec<(usize, String, String)>,
     /// The statement tree of the body.
     pub body: Vec<Stmt>,
 }
@@ -177,6 +183,7 @@ impl LTok {
 /// Parses the body of `span` out of the full source `lines` into an IR.
 pub fn parse_kernel(lines: &[&str], span: &KernelSpan) -> KernelIr {
     let mut toks = Vec::new();
+    let mut regions = Vec::new();
     let last = span.body_close_line.min(lines.len());
     for (idx, raw) in lines
         .iter()
@@ -187,10 +194,16 @@ pub fn parse_kernel(lines: &[&str], span: &KernelSpan) -> KernelIr {
         let raw = *raw;
         let line_no = idx + 1;
         if is_nvm_pragma(raw) {
-            if let Ok(Pragma::Checksum { table, keys, .. }) = parse_pragma(line_no, raw) {
-                toks.push(LTok::Fold(line_no, table, keys));
+            match parse_pragma(line_no, raw) {
+                Ok(Pragma::Checksum { table, keys, .. }) => {
+                    toks.push(LTok::Fold(line_no, table, keys));
+                }
+                Ok(Pragma::Region { ptr, nelems, .. }) => {
+                    regions.push((line_no, ptr, nelems));
+                }
+                _ => {} // malformed or host-side pragmas are compile's problem
             }
-            continue; // malformed or host-side pragmas are compile's problem
+            continue;
         }
         if raw.trim_start().starts_with('#') {
             continue; // other preprocessor lines carry no dataflow
@@ -201,24 +214,33 @@ pub fn parse_kernel(lines: &[&str], span: &KernelSpan) -> KernelIr {
     }
     let mut p = Parser { toks, pos: 0 };
     let body = p.parse_seq();
+    let decls = param_decls(&span.params);
     KernelIr {
         name: span.name.clone(),
-        param_names: param_names(&span.params),
+        param_names: decls.iter().map(|(_, n)| n.clone()).collect(),
+        param_types: decls.into_iter().map(|(t, _)| t).collect(),
         pointer_params: span.pointer_params(),
+        regions,
         body,
     }
 }
 
-/// Every parameter name, pointer-typed or not.
-fn param_names(params: &str) -> Vec<String> {
+/// Every parameter as a `(type_text, name)` pair, pointer-typed or not.
+fn param_decls(params: &str) -> Vec<(String, String)> {
     params
         .split(',')
         .filter_map(|p| {
-            p.rsplit(|c: char| !c.is_alphanumeric() && c != '_')
-                .find(|s| !s.is_empty())
-                .map(str::to_string)
+            let name = p
+                .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                .find(|s| !s.is_empty())?
+                .to_string();
+            let ty = p
+                .rfind(&name)
+                .map(|at| p[..at].trim().to_string())
+                .unwrap_or_default();
+            Some((ty, name))
         })
-        .filter(|n| n != "void")
+        .filter(|(_, n)| n != "void")
         .collect()
 }
 

@@ -15,13 +15,20 @@
 //! 5. [`interproc`] — `__device__` helper call graph with
 //!    context-insensitive summaries (which pointer parameters a helper
 //!    stores through, its folds, its strongest fence, its callees);
-//! 6. [`rules`] — the flow-sensitive rules LP010–LP015;
-//! 7. [`contract`] — the interprocedural persist-order rules LP016–LP021:
+//! 6. [`symbolic`] + [`footprint`] — affine abstract interpretation of
+//!    per-thread addresses (`base + c₁·blockIdx + c₂·threadIdx + c₃·i`
+//!    with interval bounds on loop induction variables) yielding a
+//!    byte-precise store footprint per kernel: cross-block disjointness
+//!    proofs, fold-coverage proofs, out-of-bounds detection, and the
+//!    facts `lp-fault`'s pruner and the sanitizer differential consume;
+//! 7. [`rules`] — the flow-sensitive rules LP010–LP015 and the
+//!    footprint-backed rules LP022–LP024;
+//! 8. [`contract`] — the interprocedural persist-order rules LP016–LP021:
 //!    each kernel checked against its backend's durability point
 //!    (checksum fold, epoch fence, release-scope drain, commit token —
 //!    from `lp_persist::DurabilityContract`, the same source the runtime
 //!    backends delegate to);
-//! 8. [`relevance`] — per-kernel summaries plus the contract/geometry
+//! 9. [`relevance`] — per-kernel summaries plus the contract/geometry
 //!    site facts `lp-fault`'s static crash-site pruner consumes.
 //!
 //! [`lint::lint`](crate::lint::lint) runs all of it; the `lpcuda-lint`
@@ -30,10 +37,12 @@
 pub mod cfg;
 pub mod contract;
 pub mod dom;
+pub mod footprint;
 pub mod interproc;
 pub mod ir;
 pub mod relevance;
 pub mod rules;
+pub mod symbolic;
 pub mod taint;
 
 pub use rules::{analyze, analyze_kernel};

@@ -1,30 +1,35 @@
-//! The flow-sensitive LP-safety rules, LP010–LP014.
+//! The flow-sensitive LP-safety rules, LP010–LP014 and LP022–LP024.
 //!
 //! Each rule consumes the kernel CFG plus the dominator/post-dominator and
 //! taint results and proves a *structural* property — no inputs, no
 //! execution. The static rules deliberately mirror the dynamic sanitizer's
-//! passes where a structural proof exists (LP011 ↔ coverage, LP013 ↔
-//! global-conflict) and cover the divergence/ordering hazards the
-//! sanitizer can only witness on inputs that happen to trigger them
-//! (LP010, LP012, LP014). See `DESIGN.md` §3.11 for the coverage table.
+//! passes where a structural proof exists (LP011 ↔ coverage, LP013/LP023 ↔
+//! global-conflict, LP022 ↔ bounds) and cover the divergence/ordering
+//! hazards the sanitizer can only witness on inputs that happen to trigger
+//! them (LP010, LP012, LP014). See `DESIGN.md` §3.11 for the coverage
+//! table and §3.16 for the footprint engine the byte-precise rules
+//! (LP011, LP013, LP022–LP024) are built on.
 
 use super::cfg::{build, Cfg, NodeKind};
 use super::contract;
 use super::dom::{dominators, post_dominators};
+use super::footprint::{self, KernelFootprint, StoreFootprint};
 use super::interproc::summarize_device_fns;
 use super::ir::{parse_kernel, KernelIr};
+use super::symbolic::Lin;
 use super::taint::{self, Taint};
-use crate::error::{Diagnostic, Span};
+use crate::error::{Diagnostic, Edit, Span, Suggestion};
 use crate::kernel_scan::KernelSpan;
 use crate::lexer::{tokenize, value_identifiers};
+use std::collections::BTreeMap;
 
 /// Built-in index variables — uniform or defined by the launch, never a
 /// local definition the dominance rules should demand.
 const BUILTINS: [&str; 5] = ["threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize"];
 
-/// Runs LP010–LP014 plus the interprocedural contract rules LP016–LP021
-/// over every kernel in `lines`. The `__device__` helpers are summarised
-/// once and shared across kernels.
+/// Runs LP010–LP014 and LP022–LP024 plus the interprocedural contract
+/// rules LP016–LP021 over every kernel in `lines`. The `__device__`
+/// helpers are summarised once and shared across kernels.
 pub fn analyze(lines: &[&str], kernels: &[KernelSpan]) -> Vec<Diagnostic> {
     let fns = summarize_device_fns(lines);
     let mut out = Vec::new();
@@ -41,14 +46,18 @@ pub fn analyze_kernel(lines: &[&str], ir: &KernelIr) -> Vec<Diagnostic> {
     let cfg = build(ir);
     let thread = taint::analyze(&cfg, taint::THREAD);
     let block = taint::analyze(&cfg, taint::BLOCK);
+    let fp = footprint::kernel_footprint(ir, &cfg);
     let mut out = Vec::new();
     lp010_barrier_divergence(&cfg, &thread, lines, &mut out);
     if ir.is_protected() {
-        lp011_uncovered_store(&cfg, lines, ir, &mut out);
+        lp011_uncovered_store(&cfg, &fp, lines, ir, &mut out);
         lp012_divergent_fold(&cfg, &thread, lines, &mut out);
         lp014_fold_before_store(&cfg, lines, ir, &mut out);
+        lp024_fold_mismatch(&cfg, &fp, lines, &mut out);
     }
-    lp013_cross_block_conflict(&cfg, &block, lines, ir, &mut out);
+    lp013_cross_block_conflict(&cfg, &block, &fp, lines, ir, &mut out);
+    lp022_out_of_bounds(&fp, lines, ir, &mut out);
+    lp023_same_address_threads(&cfg, &thread, &fp, lines, ir, &mut out);
     out
 }
 
@@ -75,25 +84,30 @@ fn lp010_barrier_divergence(cfg: &Cfg, thread: &Taint, lines: &[&str], out: &mut
                      hoist the barrier out of the divergent branch or make the \
                      condition uniform across the block"
                 ),
+                suggestion: None,
             });
         }
     }
 }
 
-/// LP011: a global store in an LP-protected kernel that no checksum fold
-/// covers. A crash that loses the store's line still validates, so
-/// recovery silently returns wrong data — the exact false negative the
-/// dynamic coverage pass hunts, proven from structure alone.
-fn lp011_uncovered_store(cfg: &Cfg, lines: &[&str], ir: &KernelIr, out: &mut Vec<Diagnostic>) {
+/// LP011: a global store in an LP-protected kernel whose *final bytes* no
+/// checksum fold covers. A crash that loses the store's line still
+/// validates, so recovery silently returns wrong data — the exact false
+/// negative the dynamic coverage pass hunts, proven from structure alone.
+///
+/// Byte-precision comes from the footprint engine: a store is covered not
+/// only when a fold attaches to it directly, but also when a
+/// post-dominating folded store provably rewrites the same elements (the
+/// overwrite is what persists, and *it* is folded). Only genuinely
+/// unfolded final bytes are flagged.
+fn lp011_uncovered_store(
+    cfg: &Cfg,
+    fp: &KernelFootprint,
+    lines: &[&str],
+    ir: &KernelIr,
+    out: &mut Vec<Diagnostic>,
+) {
     let pdom = post_dominators(cfg);
-    let covered: Vec<usize> = cfg
-        .nodes
-        .iter()
-        .filter_map(|n| match &n.kind {
-            NodeKind::Fold { store, .. } => *store,
-            _ => None,
-        })
-        .collect();
     let folds: Vec<(usize, &str)> = cfg
         .nodes
         .iter()
@@ -103,33 +117,44 @@ fn lp011_uncovered_store(cfg: &Cfg, lines: &[&str], ir: &KernelIr, out: &mut Vec
             _ => None,
         })
         .collect();
-    for (id, node) in cfg.nodes.iter().enumerate() {
+    for store in &fp.stores {
+        if store.covered {
+            continue;
+        }
+        let node = &cfg.nodes[store.node];
         let NodeKind::Store { ptr, lhs, .. } = &node.kind else {
             continue;
         };
-        if covered.contains(&id) {
-            continue;
-        }
         let table = folds.first().map(|(_, t)| *t).unwrap_or("tab");
+        let fix_pragma = format!("#pragma nvm lpcuda_checksum(\"+\", {table}, blockIdx.x)");
         let mut message = format!(
             "global store `{lhs}` in LP-protected kernel `{}` is never folded \
              into a checksum: a crash that loses it still validates and \
              recovery silently drops the value; protect it with \
-             `#pragma nvm lpcuda_checksum(\"+\", {table}, blockIdx.x)` \
-             immediately before the store",
+             `{fix_pragma}` immediately before the store",
             ir.name
         );
-        if let Some((fid, _)) = folds.iter().find(|(fid, _)| pdom[id].contains(*fid)) {
+        if let Some((fid, _)) = folds
+            .iter()
+            .find(|(fid, _)| pdom[store.node].contains(*fid))
+        {
             let fold_line = cfg.nodes[*fid].line;
             message.push_str(&format!(
                 " (the fold on line {fold_line} runs after this store on \
-                 every path, but folds a different value)"
+                 every path, but folds different bytes)"
             ));
         }
         out.push(Diagnostic {
             code: "LP011",
             span: span_at(lines, node.line, ptr),
             message,
+            suggestion: Some(Suggestion {
+                message: format!("insert a checksum fold before the store of `{lhs}`"),
+                edits: vec![Edit::InsertBefore {
+                    line: node.line,
+                    text: fix_pragma,
+                }],
+            }),
         });
     }
 }
@@ -153,44 +178,72 @@ fn lp012_divergent_fold(cfg: &Cfg, thread: &Taint, lines: &[&str], out: &mut Vec
                      matches recomputation; restructure so every thread \
                      reaches the fold, or make the condition uniform"
                 ),
+                suggestion: None,
             });
         }
     }
 }
 
-/// LP013: a plain global store whose address provably does not depend on
-/// `blockIdx` — every block writes the same locations, the unsynchronised
-/// cross-block conflict the sanitizer's global-conflict pass detects
-/// dynamically. A `blockIdx`-dependent enclosing guard (e.g.
-/// `if (blockIdx.x == 0)`) restricts the writers and exempts the store.
+/// LP013: a plain global store that every block provably writes at the
+/// same addresses — the unsynchronised cross-block conflict the
+/// sanitizer's global-conflict pass detects dynamically.
+///
+/// The proof runs in three tiers. A `blockIdx`-dependent enclosing guard
+/// (e.g. `if (blockIdx.x == 0)`) restricts the writers and exempts the
+/// store outright. Otherwise, when the footprint engine knows the store's
+/// affine form, the answer is exact: a zero `blockIdx` coefficient *is*
+/// full overlap (flag), a stride that provably clears the per-block width
+/// is disjointness (quiet), and an unprovable stride stays quiet — no
+/// claim without a proof. Only opaque indexes fall back to the old taint
+/// approximation.
 fn lp013_cross_block_conflict(
     cfg: &Cfg,
     block: &Taint,
+    fp: &KernelFootprint,
     lines: &[&str],
     ir: &KernelIr,
     out: &mut Vec<Diagnostic>,
 ) {
-    for (id, node) in cfg.nodes.iter().enumerate() {
+    for store in &fp.stores {
+        let node = &cfg.nodes[store.node];
         let NodeKind::Store {
             ptr, index, lhs, ..
         } = &node.kind
         else {
             continue;
         };
-        if block.expr_tainted(index) || block.tainted_guard(cfg, id).is_some() {
+        if block.tainted_guard(cfg, store.node).is_some() {
+            continue; // a blockIdx-dependent guard restricts the writers
+        }
+        let overlaps = match &store.index {
+            // The affine form is known: exact answer. Flag only the
+            // provable full overlap (no blockIdx dependence at all).
+            Some(a) => a.coef.keys().all(|s| !s.starts_with("blockIdx.")),
+            // Opaque index: the conservative taint approximation.
+            None => !block.expr_tainted(index),
+        };
+        if !overlaps {
             continue;
         }
+        let detail = if let Some(affine) = &store.index {
+            format!(
+                "its footprint `{affine}` has no blockIdx term, so the element set \
+                 is identical in every block"
+            )
+        } else {
+            format!("the index `{index}` does not depend on blockIdx and no enclosing condition does either")
+        };
         out.push(Diagnostic {
             code: "LP013",
             span: span_at(lines, node.line, ptr),
             message: format!(
                 "store `{lhs}` in kernel `{}` writes the same address in \
-                 every block: the index `{index}` does not depend on blockIdx \
-                 and no enclosing condition does either, so concurrent blocks \
-                 race on the location; partition the buffer by blockIdx or \
-                 guard the store with `if (blockIdx.x == 0)`",
+                 every block: {detail}, so concurrent blocks race on the \
+                 location; partition the buffer by blockIdx or guard the \
+                 store with `if (blockIdx.x == 0)`",
                 ir.name
             ),
+            suggestion: None,
         });
     }
 }
@@ -261,7 +314,202 @@ fn lp014_fold_before_store(cfg: &Cfg, lines: &[&str], ir: &KernelIr, out: &mut V
                      value, so define `{var}` unconditionally before the \
                      protected store"
                 ),
+                suggestion: None,
             });
         }
     }
+}
+
+/// LP022: a store through a declared persist region provably lands outside
+/// the region's bounds — the GPU memory-safety class GPUArmor reports
+/// dominating real-world kernels, caught before any execution.
+///
+/// The proof needs an exact footprint (every guard is a modelled loop
+/// condition), an affine index, and a launch-uniform region bound; the
+/// maximum reachable element index is then compared symbolically against
+/// the bound. Under-declared regions are the common case — the fix widens
+/// the declaration to cover the proven maximum.
+fn lp022_out_of_bounds(
+    fp: &KernelFootprint,
+    lines: &[&str],
+    ir: &KernelIr,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (rline, ptr, nelems) in &ir.regions {
+        let Some(bound) = pure_uniform(nelems) else {
+            continue; // a bound the engine cannot compare against
+        };
+        for store in fp.stores.iter().filter(|s| s.ptr == *ptr) {
+            if !store.exact {
+                continue; // an unmodelled guard may exclude the extreme index
+            }
+            let Some((_, hi)) = fp.elem_range(store) else {
+                continue;
+            };
+            // 0-based indices: any reachable index ≥ nelems is out of
+            // bounds (for every launch that reaches the store at all).
+            if !hi.sub(&bound).provably_nonneg() {
+                continue;
+            }
+            let widened = hi.add(&Lin::constant(1));
+            let node_line = store.line;
+            let region_text = lines.get(rline.wrapping_sub(1)).copied().unwrap_or("");
+            let fixed_region = format!(
+                "{}#pragma nvm lpcuda_region({ptr}, {widened})",
+                &region_text[..region_text.len() - region_text.trim_start().len()]
+            );
+            out.push(Diagnostic {
+                code: "LP022",
+                span: span_at(lines, node_line, &store.lhs),
+                message: format!(
+                    "store `{}` reaches element index `{hi}` but the region \
+                     declared on line {rline} spans only `{nelems}` elements \
+                     of `{ptr}`: the store lands outside the persist region, \
+                     so it is never covered by recovery and may corrupt an \
+                     adjacent allocation; widen the region to `{widened}` \
+                     elements or shrink the store's index range",
+                    store.lhs
+                ),
+                suggestion: Some(Suggestion {
+                    message: format!("widen the `{ptr}` region to `{widened}` elements"),
+                    edits: vec![Edit::ReplaceLine {
+                        line: *rline,
+                        text: fixed_region,
+                    }],
+                }),
+            });
+        }
+    }
+}
+
+/// LP023: distinct threads of one block provably store to the same
+/// address with thread-varying values — a static data-race / torn-line
+/// proof. The footprint shows the element index is identical for every
+/// thread (no `threadIdx` term, no thread-dependent guard filtering the
+/// writers down to one), while the stored value differs per thread, so
+/// the final bytes depend on warp scheduling.
+fn lp023_same_address_threads(
+    cfg: &Cfg,
+    thread: &Taint,
+    fp: &KernelFootprint,
+    lines: &[&str],
+    ir: &KernelIr,
+    out: &mut Vec<Diagnostic>,
+) {
+    for store in &fp.stores {
+        let Some(a) = &store.index else { continue };
+        if a.depends_on_thread() {
+            continue; // threads write distinct elements
+        }
+        let node = &cfg.nodes[store.node];
+        let NodeKind::Store { ptr, lhs, rhs, .. } = &node.kind else {
+            continue;
+        };
+        if thread.tainted_guard(cfg, store.node).is_some() {
+            continue; // a thread-dependent guard restricts the writers
+        }
+        if !thread.expr_tainted(rhs) {
+            continue; // every thread writes the same value — benign
+        }
+        out.push(Diagnostic {
+            code: "LP023",
+            span: span_at(lines, node.line, ptr),
+            message: format!(
+                "store `{lhs}` in kernel `{}` writes the thread-dependent \
+                 value `{rhs}` to the same element (footprint `{a}` has no \
+                 threadIdx term) from every thread of the block: the final \
+                 bytes depend on warp scheduling and a crash can persist a \
+                 torn line; index the store by threadIdx or restrict the \
+                 writer with `if (threadIdx.x == 0)`",
+                ir.name
+            ),
+            suggestion: None,
+        });
+    }
+}
+
+/// LP024: a checksum fold whose byte-claim does not match the bytes'
+/// final values — the fold footprint is not contained in the *final*
+/// store footprint. Two shapes: a dangling fold that attaches to no
+/// store at all (it claims bytes nothing writes), and a fold whose
+/// store's elements are provably rewritten later (folded value ≠ final
+/// value, so recovery validation false-fails even without a crash).
+fn lp024_fold_mismatch(cfg: &Cfg, fp: &KernelFootprint, lines: &[&str], out: &mut Vec<Diagnostic>) {
+    let by_node: BTreeMap<usize, &StoreFootprint> = fp.stores.iter().map(|s| (s.node, s)).collect();
+    for node in &cfg.nodes {
+        let NodeKind::Fold { table, store, .. } = &node.kind else {
+            continue;
+        };
+        let Some(sid) = store else {
+            out.push(Diagnostic {
+                code: "LP024",
+                span: span_at(lines, node.line, "lpcuda_checksum"),
+                message: format!(
+                    "checksum fold into `{table}` attaches to no global \
+                     store: the next statement is not a store, so the fold \
+                     claims bytes nothing writes and the table entry never \
+                     matches recomputation; move the pragma immediately \
+                     before the store it protects"
+                ),
+                suggestion: Some(Suggestion {
+                    message: "remove the dangling fold".into(),
+                    edits: vec![Edit::DeleteLine { line: node.line }],
+                }),
+            });
+            continue;
+        };
+        let Some(folded) = by_node.get(sid) else {
+            continue;
+        };
+        // A later store that provably rewrites the folded elements makes
+        // the folded value stale: validation recomputes from the final
+        // bytes and can never match the accumulated checksum.
+        let reach = super::contract::reachable_from(cfg, *sid);
+        let rewrite = fp.stores.iter().find(|later| {
+            later.node != *sid && reach[later.node] && footprint::same_elements(later, folded)
+        });
+        if let Some(rw) = rewrite {
+            let verb = if rw.folded {
+                "and is folded again — the checksum accumulates both values \
+                 while recomputation sees only the last"
+            } else {
+                "without a fold — the checksum keeps the stale value"
+            };
+            // The fix moves the fold to the final store: delete here and,
+            // when the rewrite is unfolded, re-insert before it.
+            let mut edits = vec![Edit::DeleteLine { line: node.line }];
+            if !rw.folded {
+                let pragma_text = lines
+                    .get(node.line.wrapping_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default();
+                edits.push(Edit::InsertBefore {
+                    line: rw.line,
+                    text: pragma_text,
+                });
+            }
+            out.push(Diagnostic {
+                code: "LP024",
+                span: span_at(lines, node.line, "lpcuda_checksum"),
+                message: format!(
+                    "checksum fold into `{table}` covers bytes that the \
+                     store on line {} provably rewrites {verb}; recovery \
+                     validation false-fails even without a crash: fold only \
+                     the final store of each element",
+                    rw.line
+                ),
+                suggestion: Some(Suggestion {
+                    message: "fold the final store instead of this one".into(),
+                    edits,
+                }),
+            });
+        }
+    }
+}
+
+/// Evaluates an expression as a pure launch-uniform linear form (no
+/// `threadIdx`/`blockIdx`/loop terms) — region bounds must be uniform.
+fn pure_uniform(expr: &str) -> Option<Lin> {
+    let a = super::symbolic::eval_expr(expr, &BTreeMap::new())?;
+    a.coef.is_empty().then_some(a.base)
 }

@@ -12,6 +12,10 @@
 //!   post-loop `i` thread-dependent even though the step `i = i + 1` is
 //!   not).
 //!
+//! The taint set is a `BTreeSet` so every consumer that iterates it (and
+//! every diagnostic derived from it) is deterministic across runs — part
+//! of the repo-wide sorted-iteration audit for reproducible reports.
+//!
 //! The same machinery seeded at `blockIdx` computes *block-dependence*,
 //! which LP013 uses to prove two blocks write the same address. Member
 //! selectors never count as roots ([`value_identifiers`]), so a local
@@ -19,13 +23,13 @@
 
 use super::cfg::{Cfg, NodeKind};
 use crate::lexer::{tokenize, value_identifiers};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The result of one taint fixpoint: which variables depend on `source`.
 #[derive(Debug)]
 pub struct Taint {
     source: &'static str,
-    tainted: HashSet<String>,
+    tainted: BTreeSet<String>,
 }
 
 /// `threadIdx` — seeds thread-dependence (divergence) analysis.
@@ -57,7 +61,7 @@ impl Taint {
 pub fn analyze(cfg: &Cfg, source: &'static str) -> Taint {
     let mut t = Taint {
         source,
-        tainted: HashSet::new(),
+        tainted: BTreeSet::new(),
     };
     let defs: Vec<(&str, &str, usize)> = cfg
         .nodes

@@ -184,6 +184,14 @@ pub fn compile(source: &str) -> Result<CompiledLp, CompileError> {
                     indent = indent_of(raw)
                 ));
             }
+            Pragma::Region { ptr, nelems, .. } => {
+                // A region bound declaration is a static-analysis fact
+                // (LP022) with no device lowering; comment it out likewise.
+                replace[idx] = Some(format!(
+                    "{indent}/* lpcuda_region({ptr}, {nelems}): persist-region bound */",
+                    indent = indent_of(raw)
+                ));
+            }
         }
     }
 

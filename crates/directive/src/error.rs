@@ -46,22 +46,118 @@ impl fmt::Display for Span {
     }
 }
 
+/// One textual edit of a machine-applicable fix. Line numbers are 1-based
+/// and refer to the *original* source; appliers must sort edits by
+/// descending line so earlier edits do not shift later anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert `text` as a new line immediately before 1-based `line`,
+    /// indented like that line.
+    InsertBefore {
+        /// 1-based line the new text goes in front of.
+        line: usize,
+        /// The inserted line's text (unindented).
+        text: String,
+    },
+    /// Replace the whole 1-based `line` with `text` (indentation included
+    /// in `text`).
+    ReplaceLine {
+        /// 1-based line to replace.
+        line: usize,
+        /// Replacement text.
+        text: String,
+    },
+    /// Delete the whole 1-based `line`.
+    DeleteLine {
+        /// 1-based line to delete.
+        line: usize,
+    },
+}
+
+impl Edit {
+    /// The 1-based line the edit anchors to.
+    pub fn line(&self) -> usize {
+        match self {
+            Edit::InsertBefore { line, .. }
+            | Edit::ReplaceLine { line, .. }
+            | Edit::DeleteLine { line } => *line,
+        }
+    }
+}
+
+/// A machine-applicable fix attached to a diagnostic: a rustc-style
+/// suggestion message plus the concrete edits `lpcuda-lint --fix` applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// What the fix does, in the imperative ("insert a fold before …").
+    pub message: String,
+    /// The edits, in source order.
+    pub edits: Vec<Edit>,
+}
+
 /// A non-fatal finding from the lint pass: a stable rule code, the source
 /// span it anchors to, and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule code (`LP001` … `LP005`).
+    /// Stable rule code (`LP000` … `LP024`).
     pub code: &'static str,
     /// Source span the finding anchors to.
     pub span: Span,
     /// What is wrong and, where possible, how to fix it.
     pub message: String,
+    /// A machine-applicable fix, when one exists.
+    pub suggestion: Option<Suggestion>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}]: {}", self.span, self.code, self.message)
     }
+}
+
+/// Applies every suggestion in `diags` to `source`, returning the fixed
+/// text and how many fixes were applied. Edits are applied bottom-up so
+/// line anchors stay valid; when two fixes target the same line the first
+/// (by diagnostic order) wins and the second is skipped as conflicting.
+pub fn apply_fixes(source: &str, diags: &[Diagnostic]) -> (String, usize) {
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut edits: Vec<&Edit> = Vec::new();
+    let mut claimed: Vec<usize> = Vec::new();
+    let mut applied = 0usize;
+    for d in diags {
+        let Some(s) = &d.suggestion else { continue };
+        if s.edits.iter().any(|e| claimed.contains(&e.line())) {
+            continue; // conflicts with an earlier fix on the same line
+        }
+        claimed.extend(s.edits.iter().map(Edit::line));
+        edits.extend(s.edits.iter());
+        applied += 1;
+    }
+    edits.sort_by_key(|e| std::cmp::Reverse(e.line()));
+    for e in edits {
+        let at = e.line().saturating_sub(1);
+        if at >= lines.len() {
+            continue;
+        }
+        match e {
+            Edit::InsertBefore { text, .. } => {
+                let indent: String = lines[at]
+                    .chars()
+                    .take_while(|c| c.is_whitespace())
+                    .collect();
+                lines.insert(at, format!("{indent}{text}"));
+            }
+            Edit::ReplaceLine { text, .. } => lines[at] = text.clone(),
+            Edit::DeleteLine { .. } => {
+                lines.remove(at);
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    if source.ends_with('\n') {
+        out.push('\n');
+    }
+    (out, applied)
 }
 
 /// An error raised while compiling LP directives.

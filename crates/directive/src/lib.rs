@@ -60,6 +60,6 @@ mod compile_impl;
 mod suggest;
 
 pub use compile_impl::{compile, CompiledLp, RecoveryKernel};
-pub use error::{CompileError, Diagnostic, Span};
+pub use error::{apply_fixes, CompileError, Diagnostic, Edit, Span, Suggestion};
 pub use lint::lint;
 pub use plan::{ChecksumOp, LpPlan};

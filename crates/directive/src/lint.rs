@@ -37,6 +37,15 @@
 //! | LP019 | epoch left open across a loop back edge                      |
 //! | LP020 | fold reachable from divergent store paths it does not cover  |
 //! | LP021 | pinned persist mode whose contract the kernel cannot satisfy |
+//! | LP022 | store provably outside its declared `lpcuda_region` bounds   |
+//! | LP023 | distinct threads provably store to one element (torn line)   |
+//! | LP024 | fold byte-claim mismatches the bytes' final values           |
+//!
+//! LP011, LP013 and LP022–LP024 are byte-precise: they run on the
+//! symbolic store-footprint engine (`analysis::footprint`), which proves
+//! per-store element sets as affine forms over `blockIdx`/`threadIdx`/
+//! loop induction symbols. Several rules attach machine-applicable fixes
+//! (`Diagnostic::suggestion`) that `lpcuda-lint --fix` applies.
 //!
 //! Diagnostics are ordered by source position, then rule code.
 
@@ -46,8 +55,163 @@ use crate::kernel_scan::find_kernels;
 use crate::pragma::{is_nvm_pragma, parse_pragma, Pragma};
 
 /// The two directives §VI of the paper defines, plus the persist-mode pin
-/// this runtime adds on top of them.
-const KNOWN: [&str; 3] = ["lpcuda_init", "lpcuda_checksum", "lpcuda_mode"];
+/// and the persist-region bound declaration this runtime adds on top of
+/// them.
+const KNOWN: [&str; 4] = [
+    "lpcuda_init",
+    "lpcuda_checksum",
+    "lpcuda_mode",
+    "lpcuda_region",
+];
+
+/// Static metadata for one lint rule — the single source the CLI's SARIF
+/// `rules` array and the docs draw from.
+pub struct RuleMeta {
+    /// Rule code, e.g. `"LP011"`.
+    pub code: &'static str,
+    /// One-line summary (SARIF `shortDescription`).
+    pub summary: &'static str,
+    /// Full description: what goes wrong at run time and why it matters
+    /// (SARIF `fullDescription`).
+    pub detail: &'static str,
+}
+
+/// Every rule the lint pass can emit, ordered by code. `helpUri`s are
+/// derived as `README.md#<code-lowercased>`.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        code: "LP000",
+        summary: "source does not scan",
+        detail: "A kernel body has unbalanced braces, so no body-sensitive rule can \
+                 see kernel extents; the scan failure is reported alone.",
+    },
+    RuleMeta {
+        code: "LP001",
+        summary: "unknown lpcuda_* directive",
+        detail: "A misspelled directive is silently ignored by the CUDA compiler, so \
+                 the store it was meant to protect persists without a checksum.",
+    },
+    RuleMeta {
+        code: "LP002",
+        summary: "directive outside any __global__ kernel",
+        detail: "lpcuda_checksum and lpcuda_region only act on stores inside a kernel \
+                 body; placed outside one they protect or bound nothing.",
+    },
+    RuleMeta {
+        code: "LP003",
+        summary: "duplicate lpcuda_init for one table",
+        detail: "The second init discards the first table's checksums, so recovery \
+                 validates against a table that lost half its folds.",
+    },
+    RuleMeta {
+        code: "LP004",
+        summary: "table initialised but never folded into",
+        detail: "An lpcuda_init with no lpcuda_checksum referencing it declares a \
+                 Lazy Persistency region that protects no persistent stores.",
+    },
+    RuleMeta {
+        code: "LP005",
+        summary: "checksum into an undeclared table",
+        detail: "The host never sizes the table the fold writes into, so the fold \
+                 scribbles through an unallocated pointer at run time.",
+    },
+    RuleMeta {
+        code: "LP010",
+        summary: "__syncthreads under a thread-dependent branch",
+        detail: "Threads that skip the branch never reach the barrier; the block \
+                 deadlocks or (on newer hardware) silently desynchronises the epoch.",
+    },
+    RuleMeta {
+        code: "LP011",
+        summary: "global store covered by no checksum fold",
+        detail: "A persistent store in a protected kernel whose bytes no fold \
+                 accumulates: a crash after the store persists data that recovery \
+                 can neither validate nor recompute.",
+    },
+    RuleMeta {
+        code: "LP012",
+        summary: "checksum fold under thread-dependent control",
+        detail: "Threads that skip the fold leave the table entry short, so \
+                 validation false-fails on every recovery, crash or not.",
+    },
+    RuleMeta {
+        code: "LP013",
+        summary: "store footprint independent of blockIdx",
+        detail: "Every block writes the same element set, so cross-block scheduling \
+                 races decide the final bytes and per-block checksums cannot \
+                 attribute them.",
+    },
+    RuleMeta {
+        code: "LP014",
+        summary: "fold on a value with no dominating definition",
+        detail: "On paths that skip the definition the fold accumulates garbage, \
+                 poisoning the table entry for the whole region.",
+    },
+    RuleMeta {
+        code: "LP015",
+        summary: "eager persist pin dominated by the write profile",
+        detail: "A store inside a loop pays one synchronous flush per iteration \
+                 under an eager pin; lazy checksums amortise the same durability to \
+                 one table write per region.",
+    },
+    RuleMeta {
+        code: "LP016",
+        summary: "store escapes the fold via a __device__ helper",
+        detail: "A helper called after the fold writes protected bytes the fold \
+                 never saw; interprocedural summaries prove the escape.",
+    },
+    RuleMeta {
+        code: "LP017",
+        summary: "fence scope too narrow for the epoch",
+        detail: "The weakest path to the epoch close crosses a fence that does not \
+                 order the persistent stores it must drain.",
+    },
+    RuleMeta {
+        code: "LP018",
+        summary: "commit token stored before the data drain",
+        detail: "Under an eager pin the commit marker can persist before the data it \
+                 commits, so a crash between them validates garbage.",
+    },
+    RuleMeta {
+        code: "LP019",
+        summary: "epoch left open across a loop back edge",
+        detail: "The next iteration's stores mix into the previous epoch's checksum, \
+                 so a crash mid-loop validates a torn region.",
+    },
+    RuleMeta {
+        code: "LP020",
+        summary: "fold reachable from divergent store paths",
+        detail: "One fold post-dominates stores on only some divergent paths; the \
+                 others persist bytes the checksum never accumulated.",
+    },
+    RuleMeta {
+        code: "LP021",
+        summary: "pinned persist mode's contract unsatisfiable",
+        detail: "The kernel cannot meet the ordering contract of the backend it \
+                 pins (e.g. epoch mode with no barrier on some path).",
+    },
+    RuleMeta {
+        code: "LP022",
+        summary: "store provably outside its declared region",
+        detail: "The footprint engine proves the store's maximum element index \
+                 reaches or exceeds the lpcuda_region bound, so the store persists \
+                 bytes outside the recoverable region.",
+    },
+    RuleMeta {
+        code: "LP023",
+        summary: "distinct threads store to one element",
+        detail: "The store's affine footprint has no threadIdx term while the stored \
+                 value is thread-dependent, so warp scheduling decides the final \
+                 bytes and a crash can persist a torn line.",
+    },
+    RuleMeta {
+        code: "LP024",
+        summary: "fold byte-claim mismatches final values",
+        detail: "A checksum folds a value that is provably rewritten afterwards (or \
+                 folds no store at all), so recovery recomputes different bytes than \
+                 the table recorded and validation false-fails.",
+    },
+];
 
 /// Lints `source` and returns every finding, ordered by source position.
 /// A clean program — including a pragma-free one — yields an empty vector.
@@ -81,6 +245,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                 code: "LP001",
                 span: Span::of(line_no, raw, &name),
                 message,
+                suggestion: None,
             });
             continue;
         }
@@ -100,6 +265,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                              (first initialised on line {first}); \
                              the second init discards the first table's checksums"
                         ),
+                        suggestion: None,
                     });
                 } else {
                     inits.push((table, line_no));
@@ -113,9 +279,23 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                         message: "lpcuda_checksum outside a __global__ kernel; \
                                   the directive only protects stores inside a kernel body"
                             .into(),
+                        suggestion: None,
                     });
                 }
                 checksum_tables.push(table);
+            }
+            Pragma::Region { ptr, .. } => {
+                if !kernels.iter().any(|k| k.contains_line(idx)) {
+                    out.push(Diagnostic {
+                        code: "LP002",
+                        span: Span::of(line_no, raw, "lpcuda_region"),
+                        message: format!(
+                            "lpcuda_region({ptr}, …) outside a __global__ kernel; \
+                             the declaration only bounds stores inside a kernel body"
+                        ),
+                        suggestion: None,
+                    });
+                }
             }
             Pragma::Mode { mode, .. } => {
                 // LP015: eager pinned on a write-dense kernel. A store
@@ -142,6 +322,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                              did you mean `lpcuda_mode(adaptive)`?",
                             ir.name
                         ),
+                        suggestion: None,
                     });
                 }
             }
@@ -157,6 +338,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                     "table `{table}` is initialised but no lpcuda_checksum references it; \
                      the LP region protects no persistent stores"
                 ),
+                suggestion: None,
             });
         }
     }
@@ -175,6 +357,7 @@ pub fn lint(source: &str) -> Vec<Diagnostic> {
                         "lpcuda_checksum writes into table `{table}` \
                          but no lpcuda_init declares it; the host never sizes the table"
                     ),
+                    suggestion: None,
                 });
                 flagged.push(table);
             }
@@ -203,6 +386,7 @@ fn lp000(lines: &[&str], err: &CompileError) -> Diagnostic {
         code: "LP000",
         span: Span::of(line_no, raw, needle),
         message: format!("{err}; the lint pass cannot see kernel bodies until the source scans"),
+        suggestion: None,
     }
 }
 
@@ -444,7 +628,7 @@ __global__ void k(float *out, float *log) {
         let ds = lint(src);
         let lp011: Vec<_> = ds.iter().filter(|d| d.code == "LP011").collect();
         assert_eq!(lp011.len(), 1, "got:\n{ds:?}");
-        assert!(lp011[0].message.contains("folds a different value"));
+        assert!(lp011[0].message.contains("folds different bytes"));
         assert!(lp011[0].message.contains("line 5"));
     }
 
@@ -477,7 +661,7 @@ __global__ void k(float *out) {
         let ds = lint(src);
         assert_eq!(ds.len(), 1, "got:\n{ds:?}");
         assert_eq!(ds[0].code, "LP013");
-        assert!(ds[0].message.contains("does not depend on blockIdx"));
+        assert!(ds[0].message.contains("has no blockIdx term"));
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub enum Pragma {
         /// or `adaptive`.
         mode: String,
     },
+    /// `#pragma nvm lpcuda_region(ptr, nelems)` — kernel side. Declares
+    /// the persist region behind pointer parameter `ptr` to span exactly
+    /// `nelems` elements, giving the footprint engine a bound to prove
+    /// stores against (LP022). Generates no device code.
+    Region {
+        /// Source line of the pragma.
+        line: usize,
+        /// The pointer parameter the region sits behind.
+        ptr: String,
+        /// Element-count expression (verbatim, e.g. `n` or `n*m`).
+        nelems: String,
+    },
 }
 
 /// The persist-mode names `lpcuda_mode` accepts, mirroring the runtime's
@@ -51,7 +63,8 @@ impl Pragma {
         match self {
             Pragma::Init { line, .. }
             | Pragma::Checksum { line, .. }
-            | Pragma::Mode { line, .. } => *line,
+            | Pragma::Mode { line, .. }
+            | Pragma::Region { line, .. } => *line,
         }
     }
 }
@@ -196,6 +209,19 @@ pub fn parse_pragma(line_no: usize, line: &str) -> Result<Pragma, CompileError> 
                 mode,
             })
         }
+        "lpcuda_region" => {
+            if args.len() != 2 {
+                return Err(CompileError::MalformedPragma {
+                    line: line_no,
+                    reason: format!("lpcuda_region expects 2 arguments, got {}", args.len()),
+                });
+            }
+            Ok(Pragma::Region {
+                line: line_no,
+                ptr: args[0].clone(),
+                nelems: args[1].clone(),
+            })
+        }
         other => Err(CompileError::MalformedPragma {
             line: line_no,
             reason: format!("unknown directive `{other}`"),
@@ -312,6 +338,22 @@ mod tests {
             parse_pragma(4, "#pragma nvm lpcuda_mode(sbrp)"),
             Ok(Pragma::Mode { mode, .. }) if mode == "sbrp"
         ));
+    }
+
+    #[test]
+    fn parses_region_declaration() {
+        let p = parse_pragma(3, "#pragma nvm lpcuda_region(out, n*m)").unwrap();
+        assert_eq!(
+            p,
+            Pragma::Region {
+                line: 3,
+                ptr: "out".into(),
+                nelems: "n*m".into(),
+            }
+        );
+        // Wrong arity is rejected like the other directives.
+        assert!(parse_pragma(4, "#pragma nvm lpcuda_region(out)").is_err());
+        assert!(parse_pragma(5, "#pragma nvm lpcuda_region(out, n, m)").is_err());
     }
 
     #[test]

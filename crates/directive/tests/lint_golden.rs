@@ -93,7 +93,8 @@ fn seeded_corpus_covers_every_rule() {
     }
     for code in [
         "LP000", "LP001", "LP002", "LP003", "LP004", "LP005", "LP010", "LP011", "LP012", "LP013",
-        "LP014", "LP015", "LP016", "LP017", "LP018", "LP019", "LP020", "LP021",
+        "LP014", "LP015", "LP016", "LP017", "LP018", "LP019", "LP020", "LP021", "LP022", "LP023",
+        "LP024",
     ] {
         assert!(seen.contains(code), "no seeded fixture triggers {code}");
     }

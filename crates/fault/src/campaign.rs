@@ -104,7 +104,8 @@ impl CampaignSpec {
                                 cache.entry((workload.clone(), backend)).or_insert_with(|| {
                                     let nb =
                                         crate::prune::subject_num_blocks(workload, self.scale, 1);
-                                    crate::prune::prune_sites(&self.sites, backend, nb)
+                                    let fp = crate::prune::subject_footprint(workload);
+                                    crate::prune::prune_sites(&self.sites, backend, nb, fp.as_ref())
                                 });
                             for d in &outcome.pruned {
                                 ledger.push(PruneRecord {
@@ -449,6 +450,22 @@ mod tests {
             ledger.len() * 5 >= full,
             "only {}/{full} trials pruned (< 20%)",
             ledger.len()
+        );
+        // The footprint family must prune strictly past the 248/1144
+        // (21.7%) the contract + geometry families reached on their own,
+        // and its decisions must be visible in the ledger.
+        assert!(
+            ledger.len() > 248,
+            "footprint family regressed: only {}/{full} pruned",
+            ledger.len()
+        );
+        let footprint_records = ledger
+            .iter()
+            .filter(|r| r.decision.why.contains("footprint"))
+            .count();
+        assert!(
+            footprint_records > 0,
+            "no footprint-based decision in the ledger"
         );
         // Off by default: the ledger stays empty and the product full.
         let (unpruned, empty) = CampaignSpec::default_sweep(Scale::Test).enumerate_explained();

@@ -48,9 +48,12 @@ pub mod trial;
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, FailureRecord, PruneRecord, Tally};
 pub use oracle::{OracleInput, OracleVerdict};
 pub use prune::{
-    prune_sites, representative_trial, subject_num_blocks, PruneDecision, PruneOutcome,
+    prune_sites, representative_trial, subject_footprint, subject_num_blocks, subject_twin,
+    PruneDecision, PruneOutcome, SubjectFootprint,
 };
-pub use sanitize::{sanitize_subject, sanitize_sweep, SanitizeRecord};
+pub use sanitize::{
+    observe_subject, sanitize_subject, sanitize_sweep, ObservedSubject, SanitizeRecord,
+};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use site::CrashSite;
 pub use soak::{run_soak, soak_world, CrashMode, CycleRecord, SoakReport, SoakSpec};

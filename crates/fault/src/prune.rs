@@ -22,6 +22,7 @@
 use crate::site::CrashSite;
 use crate::trial::{megakv_records, subject_kind, SubjectKind, TrialId};
 use gpu_lp::BackendKind;
+use lp_directive::analysis::footprint::source_footprints;
 use lp_directive::analysis::relevance::{
     block_boundary_after_blocks, contract_site_facts, SiteFact,
 };
@@ -72,12 +73,125 @@ pub fn subject_num_blocks(workload: &str, scale: Scale, seed: u64) -> Option<u64
     }
 }
 
+/// The static store-footprint certificate of one subject's kernel, read
+/// off the annotated clean-twin source the lint corpus carries for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectFootprint {
+    /// The twin kernel the certificate was proved on.
+    pub kernel: String,
+    /// Distinct blocks provably write distinct elements.
+    pub block_partitioned: bool,
+    /// Every persisted store's final bytes are folded into a checksum.
+    pub fully_folded: bool,
+}
+
+impl SubjectFootprint {
+    /// Whether the certificate grounds the block-boundary collapse: with
+    /// per-block element sets pairwise disjoint and every persisted byte
+    /// checksum-validated, a crash after N ≥ 1 whole blocks leaves N
+    /// independent, self-validating per-block subproblems — recovery
+    /// re-derives every block that did not persist, so the verdict does
+    /// not depend on N.
+    pub fn certified(&self) -> bool {
+        self.block_partitioned && self.fully_folded
+    }
+}
+
+/// The annotated clean-twin source and kernel name for each campaign
+/// subject — the same corpus `lpcuda-lint --fixtures` checks, embedded so
+/// the pruner's footprint facts come from sources the lint CI keeps clean.
+/// The clean static twin of a campaign subject: the `.cu` source the
+/// footprint engine analyses in place of the Rust kernel, plus the kernel
+/// name inside it. Public so the differential tests can re-derive the
+/// byte-level claims a certificate rests on and check them against a
+/// dynamically observed launch.
+pub fn subject_twin(workload: &str) -> Option<(&'static str, &'static str)> {
+    let fixtures = [
+        (
+            "TPACF",
+            include_str!("../../directive/tests/fixtures/clean/tpacf.cu"),
+            "tpacf",
+        ),
+        (
+            "HISTO",
+            include_str!("../../directive/tests/fixtures/clean/histo.cu"),
+            "histo",
+        ),
+        (
+            "CUTCP",
+            include_str!("../../directive/tests/fixtures/clean/cutcp.cu"),
+            "cutcp",
+        ),
+        (
+            "MRI-Q",
+            include_str!("../../directive/tests/fixtures/clean/mriq.cu"),
+            "mriq",
+        ),
+        (
+            "SPMV",
+            include_str!("../../directive/tests/fixtures/clean/spmv.cu"),
+            "spmv_csr",
+        ),
+        (
+            "TMM",
+            include_str!("../../directive/tests/fixtures/clean/tmm.cu"),
+            "tmm",
+        ),
+        (
+            "MRI-GRIDDING",
+            include_str!("../../directive/tests/fixtures/clean/mrigridding.cu"),
+            "gridding",
+        ),
+        (
+            "SAD",
+            include_str!("../../directive/tests/fixtures/clean/sad.cu"),
+            "sad",
+        ),
+        (
+            "MEGAKV-INSERT",
+            include_str!("../../directive/tests/fixtures/clean/megakv.cu"),
+            "kv_insert",
+        ),
+        (
+            "MEGAKV-SEARCH",
+            include_str!("../../directive/tests/fixtures/clean/megakv.cu"),
+            "kv_search",
+        ),
+        (
+            "MEGAKV-DELETE",
+            include_str!("../../directive/tests/fixtures/clean/megakv.cu"),
+            "kv_delete",
+        ),
+    ];
+    fixtures
+        .iter()
+        .find(|(name, _, _)| *name == workload)
+        .map(|(_, src, kernel)| (*src, *kernel))
+}
+
+/// Runs the symbolic store-footprint engine over `workload`'s clean twin
+/// and returns the certificate, or `None` for subjects without a twin.
+pub fn subject_footprint(workload: &str) -> Option<SubjectFootprint> {
+    let (src, kernel) = subject_twin(workload)?;
+    let fp = source_footprints(src)
+        .into_iter()
+        .find(|fp| fp.kernel == kernel)?;
+    Some(SubjectFootprint {
+        kernel: fp.kernel,
+        block_partitioned: fp.block_partitioned,
+        fully_folded: fp.fully_folded,
+    })
+}
+
 /// Prunes `sites` for one campaign cell. `num_blocks` enables the
-/// geometry family; `None` (unknown subject) applies contract facts only.
+/// geometry family; `footprint` (the subject's static store-footprint
+/// certificate) enables the block-boundary collapse; `None` for either
+/// applies the remaining families only.
 pub fn prune_sites(
     sites: &[CrashSite],
     backend: BackendKind,
     num_blocks: Option<u64>,
+    footprint: Option<&SubjectFootprint>,
 ) -> PruneOutcome {
     let facts = contract_site_facts(backend);
     let has = |s: &CrashSite| sites.contains(s);
@@ -126,19 +240,52 @@ pub fn prune_sites(
                         Some(*s)
                     }
                     _ => None,
-                })?;
+                });
                 // The representative must itself survive pruning: it does
                 // unless its count is 0 and stores@0% absorbed it — then
                 // this site's count is 0 too and the branch above fired.
-                Some((
-                    twin,
-                    format!(
-                        "{nb}-block launch: {pct}% and {}% both crash after \
-                         {count} whole blocks",
-                        match twin {
-                            CrashSite::BlockBoundary { pct } => pct,
-                            _ => unreachable!("twin is a block boundary"),
+                if let Some(twin) = twin {
+                    return Some((
+                        twin,
+                        format!(
+                            "{nb}-block launch: {pct}% and {}% both crash after \
+                             {count} whole blocks",
+                            match twin {
+                                CrashSite::BlockBoundary { pct } => pct,
+                                _ => unreachable!("twin is a block boundary"),
+                            }
+                        ),
+                    ));
+                }
+                // Footprint family: a block-partitioned, fully folded
+                // kernel under the checksum contract makes every boundary
+                // crash with ≥ 1 complete block verdict-equivalent, so the
+                // lowest such percentage represents the whole family. Only
+                // the LP backend's recovery validates through the folds the
+                // certificate is about.
+                let fact = footprint.filter(|f| f.certified())?;
+                if backend != BackendKind::LpChecksum {
+                    return None;
+                }
+                let rep = sites
+                    .iter()
+                    .filter_map(|s| match s {
+                        CrashSite::BlockBoundary { pct: p }
+                            if *p < pct && block_boundary_after_blocks(nb, *p) >= 1 =>
+                        {
+                            Some(*p)
                         }
+                        _ => None,
+                    })
+                    .min()?;
+                Some((
+                    CrashSite::BlockBoundary { pct: rep },
+                    format!(
+                        "footprint of `{}` is block-partitioned and fully \
+                         folded: a crash after any N ≥ 1 of {nb} blocks \
+                         leaves N disjoint self-validating block regions, \
+                         so {pct}% recovers identically to {rep}%",
+                        fact.kernel
                     ),
                 ))
             }),
@@ -200,7 +347,7 @@ mod tests {
     #[test]
     fn contract_facts_prune_switch_and_zero_checkpoint_sites() {
         let sites = CrashSite::catalog();
-        let out = prune_sites(&sites, BackendKind::LpChecksum, None);
+        let out = prune_sites(&sites, BackendKind::LpChecksum, None, None);
         let switch_pruned = out
             .pruned
             .iter()
@@ -225,7 +372,7 @@ mod tests {
     #[test]
     fn adaptive_keeps_its_switch_windows() {
         let sites = CrashSite::catalog();
-        let out = prune_sites(&sites, BackendKind::Adaptive, None);
+        let out = prune_sites(&sites, BackendKind::Adaptive, None, None);
         assert!(out
             .kept
             .iter()
@@ -241,7 +388,7 @@ mod tests {
         let sites = CrashSite::catalog();
         // 2 blocks (MEGAKV-DELETE at test scale): 10% → 0 blocks (goes to
         // stores@0%), 50% and 90% → 1 block (90% folds into 50%).
-        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(2));
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(2), None);
         let boundary: Vec<&PruneDecision> = out
             .pruned
             .iter()
@@ -256,7 +403,7 @@ mod tests {
             CrashSite::BlockBoundary { pct: 50 }
         );
         // 128 blocks: every percentage is a distinct count — no pruning.
-        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(128));
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(128), None);
         assert!(out
             .pruned
             .iter()
@@ -265,16 +412,124 @@ mod tests {
 
     #[test]
     fn every_representative_survives_pruning() {
+        let certified = SubjectFootprint {
+            kernel: "k".to_string(),
+            block_partitioned: true,
+            fully_folded: true,
+        };
         for backend in BackendKind::ALL {
             for nb in [None, Some(2), Some(8), Some(64), Some(128)] {
-                let out = prune_sites(&CrashSite::catalog(), backend, nb);
-                for d in &out.pruned {
-                    assert!(
-                        out.kept.contains(&d.replaced_by),
-                        "{backend} nb={nb:?}: {d:?}"
-                    );
+                for fp in [None, Some(&certified)] {
+                    let out = prune_sites(&CrashSite::catalog(), backend, nb, fp);
+                    for d in &out.pruned {
+                        assert!(
+                            out.kept.contains(&d.replaced_by),
+                            "{backend} nb={nb:?} fp={fp:?}: {d:?}"
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn footprint_certificates_come_from_the_clean_twins() {
+        // Certified: the twin's store index is affine with a blockIdx
+        // stride covering the per-block width, and every store is folded.
+        for w in ["SPMV", "CUTCP", "MRI-Q", "SAD", "MEGAKV-SEARCH"] {
+            let fp = subject_footprint(w).unwrap_or_else(|| panic!("{w} has a twin"));
+            assert!(fp.certified(), "{w}: {fp:?}");
+        }
+        // Not certified, each for a real reason: HISTO/TPACF commit with a
+        // constant bin stride against a symbolic block width; TMM's index
+        // spans two blockIdx dimensions; MRI-GRIDDING scatters through a
+        // data-dependent cell; the KV insert/delete slots are hash-derived.
+        for w in [
+            "HISTO",
+            "TPACF",
+            "TMM",
+            "MRI-GRIDDING",
+            "MEGAKV-INSERT",
+            "MEGAKV-DELETE",
+        ] {
+            let fp = subject_footprint(w).unwrap_or_else(|| panic!("{w} has a twin"));
+            assert!(!fp.certified(), "{w} must not over-claim: {fp:?}");
+        }
+        assert_eq!(subject_footprint("NOT-A-SUBJECT"), None);
+    }
+
+    #[test]
+    fn footprint_collapses_the_block_boundary_family() {
+        let sites = CrashSite::catalog();
+        let fp = subject_footprint("SPMV").expect("SPMV twin");
+        // 16 blocks: 10%/50%/90% land on 1/8/14 whole blocks — distinct
+        // counts, so geometry alone keeps all three. The footprint
+        // certificate collapses 50% and 90% into 10%.
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(16), Some(&fp));
+        let boundary: Vec<&PruneDecision> = out
+            .pruned
+            .iter()
+            .filter(|d| matches!(d.site, CrashSite::BlockBoundary { .. }))
+            .collect();
+        assert_eq!(boundary.len(), 2, "{boundary:#?}");
+        for d in &boundary {
+            assert_eq!(d.replaced_by, CrashSite::BlockBoundary { pct: 10 });
+            assert!(d.why.contains("footprint"), "{}", d.why);
+            assert!(d.why.contains("spmv_csr"), "{}", d.why);
+        }
+        // The same geometry without the certificate prunes nothing.
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(16), None);
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::BlockBoundary { .. })));
+        // An uncertified twin (HISTO) never grounds the collapse.
+        let histo = subject_footprint("HISTO").expect("HISTO twin");
+        let out = prune_sites(&sites, BackendKind::LpChecksum, Some(16), Some(&histo));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::BlockBoundary { .. })));
+        // The argument runs through checksum validation, so non-LP
+        // backends keep the full family even when certified.
+        let out = prune_sites(&sites, BackendKind::Eager, Some(16), Some(&fp));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::BlockBoundary { .. })));
+        // Unknown geometry: without the block count the ≥ 1-block guard
+        // cannot be established, so nothing collapses.
+        let out = prune_sites(&sites, BackendKind::LpChecksum, None, Some(&fp));
+        assert!(out
+            .pruned
+            .iter()
+            .all(|d| !matches!(d.site, CrashSite::BlockBoundary { .. })));
+    }
+
+    #[test]
+    fn footprint_family_composes_with_geometry_at_tiny_launches() {
+        // 2 blocks, certified twin: 10% → 0 blocks (pristine image, goes
+        // to stores@0% via geometry), 50%/90% → 1 block each — geometry
+        // already collapses 90% into 50% and its justification wins, so
+        // the footprint family adds nothing new here.
+        let fp = subject_footprint("SPMV").expect("SPMV twin");
+        let out = prune_sites(
+            &CrashSite::catalog(),
+            BackendKind::LpChecksum,
+            Some(2),
+            Some(&fp),
+        );
+        let boundary: Vec<&PruneDecision> = out
+            .pruned
+            .iter()
+            .filter(|d| matches!(d.site, CrashSite::BlockBoundary { .. }))
+            .collect();
+        assert_eq!(boundary.len(), 2, "{boundary:#?}");
+        assert_eq!(boundary[0].replaced_by, CrashSite::AfterStores { pct: 0 });
+        assert_eq!(
+            boundary[1].replaced_by,
+            CrashSite::BlockBoundary { pct: 50 }
+        );
+        assert!(boundary[1].why.contains("whole blocks"), "geometry wins");
     }
 }

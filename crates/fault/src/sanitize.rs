@@ -13,7 +13,7 @@ use crate::trial::{subject_kind, trial_config};
 use lp_kernels::Scale;
 use lp_sanitizer::{sanitize_launch_exempt, SanitizerReport};
 use serde::{Deserialize, Serialize};
-use simt::LaunchStats;
+use simt::{AccessObserver, LaunchStats};
 
 /// One sanitized, crash-free execution of a campaign subject.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -57,6 +57,58 @@ pub fn sanitize_subject(
             // cross-block conflict rule.
             sanitize_launch_exempt(gpu, kernel, mem, &rt.table_ranges())
                 .expect("sanitized launch failed")
+        },
+    ))
+}
+
+/// The launch geometry and instrumentation layout of one observed,
+/// crash-free subject execution, returned by [`observe_subject`].
+#[derive(Debug, Clone)]
+pub struct ObservedSubject {
+    /// Simulated launch statistics.
+    pub stats: LaunchStats,
+    /// Number of thread blocks in the observed launch.
+    pub num_blocks: u64,
+    /// Threads per block in the observed launch.
+    pub threads_per_block: u64,
+    /// `(base, len)` byte ranges of the LP runtime's own persistent
+    /// metadata (checksum table, policy journal). Stores landing here are
+    /// instrumentation, not workload output — observers comparing against
+    /// a workload's store footprint must filter them out.
+    pub table_ranges: Vec<(u64, u64)>,
+}
+
+/// Runs one subject crash-free under a caller-supplied [`AccessObserver`]
+/// and returns the launch geometry the observer's records should be
+/// interpreted against. This is the dynamic half of the footprint
+/// differential: the static engine claims a byte-level store footprint
+/// for the subject's clean twin, and an observer watching the real kernel
+/// can hold it to that claim. `None` for unknown subject or config names.
+pub fn observe_subject(
+    workload: &str,
+    config: &str,
+    scale: Scale,
+    seed: u64,
+    observer: &mut dyn AccessObserver,
+) -> Option<ObservedSubject> {
+    let kind = subject_kind(workload)?;
+    let cfg = trial_config(config)?;
+    Some(crate::trial::with_instance(
+        &kind,
+        scale,
+        seed,
+        &cfg.lp,
+        |gpu, mem, kernel, rt, _verify| {
+            let stats = gpu
+                .launch_observed(kernel, mem, observer)
+                .expect("observed launch failed");
+            let lc = kernel.config();
+            ObservedSubject {
+                stats,
+                num_blocks: lc.num_blocks(),
+                threads_per_block: lc.threads_per_block(),
+                table_ranges: rt.table_ranges(),
+            }
         },
     ))
 }

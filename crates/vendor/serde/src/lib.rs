@@ -273,6 +273,12 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
 impl<K: fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Object(

@@ -68,18 +68,30 @@ fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
     }
 }
 
-/// Splits a token slice on top-level commas.
+/// Splits a token slice on top-level commas. Commas inside generic
+/// arguments (`BTreeMap<String, i64>`) are not separators, so `<`/`>`
+/// nesting is tracked; angle brackets lex as plain puncts, not groups.
 fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     let mut out = Vec::new();
     let mut cur = Vec::new();
+    let mut depth = 0usize;
     for t in toks {
         match t {
-            TokenTree::Punct(p) if p.as_char() == ',' => {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
                 if !cur.is_empty() {
                     out.push(std::mem::take(&mut cur));
                 }
             }
-            other => cur.push(other.clone()),
+            other => {
+                if let TokenTree::Punct(p) = other {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                cur.push(other.clone());
+            }
         }
     }
     if !cur.is_empty() {
